@@ -1,0 +1,474 @@
+// Benchmark harness: one testing.B benchmark per experiment in DESIGN.md's
+// index (E1–E9), regenerating the paper's Figure 2 measurement and the
+// per-theorem scaling behaviours, plus micro-benchmarks of the substrate
+// data structures. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics: findgaps/op is the paper's certificate-size
+// measurement, probes/op the outer-loop iterations, cdsops/op the
+// constraint-store work.
+package minesweeper
+
+import (
+	"fmt"
+	"testing"
+
+	"minesweeper/internal/baseline"
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/dataset"
+	"minesweeper/internal/experiments"
+	"minesweeper/internal/ordered"
+	"minesweeper/internal/reltree"
+)
+
+func report(b *testing.B, s *certificate.Stats, n int) {
+	b.ReportMetric(float64(s.FindGaps)/float64(n), "findgaps/op")
+	b.ReportMetric(float64(s.ProbePoints)/float64(n), "probes/op")
+	b.ReportMetric(float64(s.CDSOps)/float64(n), "cdsops/op")
+}
+
+// --- E1: Figure 2 -----------------------------------------------------
+
+func benchmarkFigure2(b *testing.B, build func(*dataset.Graph, [][][]int) ([]string, []core.AtomSpec)) {
+	preset := dataset.Presets[1] // Epinions-like: smallest
+	preset.N = 2000
+	preset.SampleP = 0.005
+	g, samples := preset.Build()
+	gao, atoms := build(g, samples)
+	p, err := core.NewProblem(gao, atoms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinesweeperAll(p, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+func BenchmarkFigure2Star(b *testing.B) { benchmarkFigure2(b, dataset.StarQuery) }
+func BenchmarkFigure2Path(b *testing.B) { benchmarkFigure2(b, dataset.PathQuery) }
+func BenchmarkFigure2Tree(b *testing.B) { benchmarkFigure2(b, dataset.TreeQuery) }
+
+// --- E2: Theorem 2.7 β-acyclic scaling --------------------------------
+
+func BenchmarkBetaAcyclicScaling(b *testing.B) {
+	for _, M := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("M=%d", M), func(b *testing.B) {
+			gao, atoms := dataset.AppendixJPath(5, M)
+			p, err := core.NewProblem(gao, atoms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stats certificate.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinesweeperAll(p, &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, &stats, b.N)
+		})
+	}
+}
+
+// --- E3: Appendix J — Minesweeper vs WCOJ baselines -------------------
+
+func benchmarkAppendixJ(b *testing.B, M int, run func(*core.Problem, []string, []core.AtomSpec) error) {
+	gao, atoms := dataset.AppendixJPath(5, M)
+	p, err := core.NewProblem(gao, atoms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(p, gao, atoms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendixJMinesweeper(b *testing.B) {
+	benchmarkAppendixJ(b, 64, func(p *core.Problem, _ []string, _ []core.AtomSpec) error {
+		_, err := core.MinesweeperAll(p, nil)
+		return err
+	})
+}
+
+func BenchmarkAppendixJLeapfrog(b *testing.B) {
+	benchmarkAppendixJ(b, 64, func(p *core.Problem, _ []string, _ []core.AtomSpec) error {
+		_, err := baseline.LeapfrogAll(p, nil)
+		return err
+	})
+}
+
+func BenchmarkAppendixJNPRR(b *testing.B) {
+	benchmarkAppendixJ(b, 64, func(p *core.Problem, _ []string, _ []core.AtomSpec) error {
+		_, err := baseline.NPRRAll(p, nil)
+		return err
+	})
+}
+
+func BenchmarkAppendixJYannakakis(b *testing.B) {
+	benchmarkAppendixJ(b, 64, func(_ *core.Problem, gao []string, atoms []core.AtomSpec) error {
+		_, err := baseline.Yannakakis(gao, atoms, nil)
+		return err
+	})
+}
+
+// --- E4: Appendix H set intersection -----------------------------------
+
+func BenchmarkSetIntersectionBlocks(b *testing.B) {
+	sets := dataset.BlockSets(4, 50000)
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IntersectSets(sets, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+func BenchmarkSetIntersectionInterleaved(b *testing.B) {
+	sets := dataset.InterleavedSets(4, 5000)
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IntersectSets(sets, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+// --- E5: Appendix I bow-tie --------------------------------------------
+
+func BenchmarkBowtieHiddenGap(b *testing.B) {
+	const n = 20000
+	var s [][]int
+	for i := 1; i <= n; i++ {
+		s = append(s, []int{1, n + 1 + i}, []int{3, i})
+	}
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Bowtie([]int{2}, s, []int{n + 1}, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+// --- E6: Theorem 5.4 triangle ------------------------------------------
+
+func BenchmarkTriangleSpecialized(b *testing.B) {
+	r, s, t := dataset.TriangleHard(128)
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Triangle(r, s, t, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+func BenchmarkTriangleGeneric(b *testing.B) {
+	r, s, t := dataset.TriangleHard(128)
+	p, err := core.NewProblem([]string{"A", "B", "C"}, []core.AtomSpec{
+		{Name: "R", Attrs: []string{"A", "B"}, Tuples: r},
+		{Name: "S", Attrs: []string{"B", "C"}, Tuples: s},
+		{Name: "T", Attrs: []string{"A", "C"}, Tuples: t},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinesweeperAll(p, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+func BenchmarkTriangleLeapfrog(b *testing.B) {
+	r, s, t := dataset.TriangleHard(128)
+	p, err := core.NewProblem([]string{"A", "B", "C"}, []core.AtomSpec{
+		{Name: "R", Attrs: []string{"A", "B"}, Tuples: r},
+		{Name: "S", Attrs: []string{"B", "C"}, Tuples: s},
+		{Name: "T", Attrs: []string{"A", "C"}, Tuples: t},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.LeapfrogAll(p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangleListingGraph(b *testing.B) {
+	g := dataset.PowerLawGraph(600, 8, true, 5)
+	r, s, t := dataset.TriangleGraph(g)
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Triangle(r, s, t, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+// --- E7: Proposition 5.3 treewidth family -------------------------------
+
+func BenchmarkTreewidthFamily(b *testing.B) {
+	for _, m := range []int{16, 32} {
+		b.Run(fmt.Sprintf("w=2/m=%d", m), func(b *testing.B) {
+			gao, atoms := dataset.CliqueInstance(2, m)
+			p, err := core.NewProblem(gao, atoms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stats certificate.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinesweeperAll(p, &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, &stats, b.N)
+		})
+	}
+}
+
+// --- E8: Example 4.1 memoization ----------------------------------------
+
+func BenchmarkMemoization(b *testing.B) {
+	tab, err := experiments.MemoizationEffect(experiments.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tab
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MemoizationEffect(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: Examples B.3/B.4 GAO dependence --------------------------------
+
+func benchmarkGAODependence(b *testing.B, gao []string) {
+	atoms := dataset.ExampleB3(24)
+	p, err := core.NewProblem(gao, atoms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinesweeperAll(p, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+func BenchmarkGAODependenceABC(b *testing.B) { benchmarkGAODependence(b, []string{"A", "B", "C"}) }
+func BenchmarkGAODependenceCAB(b *testing.B) { benchmarkGAODependence(b, []string{"C", "A", "B"}) }
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func BenchmarkRangeSetInsert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs := ordered.NewRangeSet()
+		for j := 0; j < 100; j++ {
+			rs.Insert(j*10, j*10+5)
+		}
+	}
+}
+
+func BenchmarkRangeSetNext(b *testing.B) {
+	rs := ordered.NewRangeSet()
+	for j := 0; j < 10000; j++ {
+		rs.Insert(j*10, j*10+5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Next(i % 100000)
+	}
+}
+
+func BenchmarkFindGap(b *testing.B) {
+	tuples := make([][]int, 100000)
+	for i := range tuples {
+		tuples[i] = []int{i * 2}
+	}
+	tr, err := reltree.New("R", 1, tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.FindGap(nil, (i*7)%200000)
+	}
+}
+
+func BenchmarkDyadicInsert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dt := ordered.NewDyadicTree(1024)
+		for j := 0; j < 200; j++ {
+			dt.InsertAtKey(j%1024, j*5, j*5+20)
+		}
+	}
+}
+
+// --- End-to-end through the public API ----------------------------------
+
+func BenchmarkExecuteMinesweeperTwoPath(b *testing.B) {
+	g := dataset.PowerLawGraph(2000, 6, false, 3)
+	e, err := NewRelation("E", 2, g.Edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := NewQuery(
+		Atom{Rel: e, Vars: []string{"A", "B"}},
+		Atom{Rel: e, Vars: []string{"B", "C"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := NewRelation("U", 1, dataset.SampleVertices(2000, 0.01, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q2, err := NewQuery(
+		Atom{Rel: e, Vars: []string{"A", "B"}},
+		Atom{Rel: e, Vars: []string{"B", "C"}},
+		Atom{Rel: u, Vars: []string{"A"}},
+		Atom{Rel: u, Vars: []string{"C"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = q
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(q2, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangleParallel(b *testing.B) {
+	g := dataset.PowerLawGraph(600, 8, true, 5)
+	r, _, _ := dataset.TriangleGraph(g)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TriangleParallel(r, r, r, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBTreeVsSortedListInsert(b *testing.B) {
+	const n = 10000
+	b.Run("btree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := ordered.NewBTree[int]()
+			for j := 0; j < n; j++ {
+				t.Insert((j*2654435761)%1000000, j)
+			}
+		}
+	})
+	b.Run("avl", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := ordered.NewSortedList[int]()
+			for j := 0; j < n; j++ {
+				t.Insert((j*2654435761)%1000000, j)
+			}
+		}
+	})
+}
+
+func BenchmarkBTreeVsSortedListLookup(b *testing.B) {
+	const n = 100000
+	bt := ordered.NewBTree[int]()
+	av := ordered.NewSortedList[int]()
+	for j := 0; j < n; j++ {
+		k := (j * 2654435761) % 10000000
+		bt.Insert(k, j)
+		av.Insert(k, j)
+	}
+	b.Run("btree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bt.FindLub(i % 10000000)
+		}
+	})
+	b.Run("avl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			av.FindLub(i % 10000000)
+		}
+	})
+}
+
+func BenchmarkExecuteLimitAnytime(b *testing.B) {
+	g := dataset.PowerLawGraph(3000, 8, false, 12)
+	e, err := NewRelation("E", 2, g.Edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := NewQuery(
+		Atom{Rel: e, Vars: []string{"A", "B"}},
+		Atom{Rel: e, Vars: []string{"B", "C"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gao := []string{"A", "B", "C"}
+	b.Run("limit10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ExecuteLimit(q, &Options{GAO: gao}, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Execute(q, &Options{GAO: gao}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSetIntersectionMergeVariant(b *testing.B) {
+	sets := dataset.InterleavedSets(4, 5000)
+	var stats certificate.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IntersectSetsMerge(sets, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}

@@ -1,0 +1,60 @@
+package minesweeper
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+)
+
+// Comparison re-exports the symbolic comparison type of the certificate
+// machinery: one relation R[x] θ S[y] between index-tuple variables
+// (Section 2.2 of the paper).
+type Comparison = certificate.Comparison
+
+// Certificate is an argument — a set of symbolic comparisons — that is a
+// certificate by construction: every database instance satisfying it has
+// exactly the same witness set (Definition 2.3).
+type Certificate struct {
+	arg certificate.Argument
+	q   *Query
+	gao []string
+}
+
+// FullCertificate builds the explicit worst-case certificate of
+// Proposition 2.6 for the query's current data under the given GAO
+// (empty = recommended): at most r·N comparisons pinning down the entire
+// relative order of the indexed values. Instance-optimal certificates can
+// be far smaller; this is the universal upper bound that Minesweeper's
+// |C|-sensitive runtime is measured against.
+func FullCertificate(q *Query, gao []string) (*Certificate, error) {
+	if len(gao) == 0 {
+		gao, _ = q.RecommendGAO()
+	}
+	p, err := core.NewProblem(gao, q.atomSpecs())
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{arg: core.BuildFullCertificate(p), q: q, gao: gao}, nil
+}
+
+// Size returns the number of comparisons — the |C| of the analysis.
+func (c *Certificate) Size() int { return c.arg.Size() }
+
+// Comparisons returns the underlying comparisons.
+func (c *Certificate) Comparisons() []Comparison {
+	return append([]Comparison(nil), c.arg...)
+}
+
+// String renders the comparison set.
+func (c *Certificate) String() string { return c.arg.String() }
+
+// SatisfiedByTransform re-evaluates the certificate against the query's
+// own data with every value passed through transform (nil = identity).
+// Order-preserving transforms must satisfy the certificate — certificates
+// are value-oblivious (Section 6.2) — while order-breaking ones must not.
+func (c *Certificate) SatisfiedByTransform(transform func(int) int) (bool, error) {
+	p, err := core.NewProblem(c.gao, c.q.atomSpecs())
+	if err != nil {
+		return false, err
+	}
+	return c.arg.SatisfiedBy(core.ProblemInstance(p, transform))
+}

@@ -1,0 +1,117 @@
+// Command msbench regenerates the paper's evaluation tables.
+//
+// Every table/figure of "Beyond Worst-case Analysis for Joins with
+// Minesweeper" (PODS 2014) plus one measured experiment per quantitative
+// theorem is available by name (see DESIGN.md's experiment index):
+//
+//	msbench -exp fig2        # Figure 2: N vs |C| on star/3-path/tree
+//	msbench -exp appj        # Appendix J: Minesweeper vs WCOJ baselines
+//	msbench -exp all         # everything
+//	msbench -exp all -scale small   # quick pass
+//
+// Output is a plain-text table per experiment, with the paper's expected
+// shape quoted in the notes line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"minesweeper/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name or 'all' (fig2, betaacyclic, appj, intersect, bowtie, triangle, treewidth, memo, gao)")
+	scaleFlag := flag.String("scale", "full", "full or small")
+	flag.Parse()
+
+	scale := experiments.Full
+	switch *scaleFlag {
+	case "full":
+	case "small":
+		scale = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "msbench: unknown scale %q (want full or small)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	all := experiments.All()
+	var selected []struct {
+		Name string
+		Run  experiments.Runner
+	}
+	if *exp == "all" {
+		selected = all
+	} else {
+		for _, e := range all {
+			if e.Name == *exp {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			names := make([]string, len(all))
+			for i, e := range all {
+				names[i] = e.Name
+			}
+			fmt.Fprintf(os.Stderr, "msbench: unknown experiment %q; available: %s\n", *exp, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		printTable(tab, time.Since(start))
+	}
+}
+
+func printTable(t *experiments.Table, elapsed time.Duration) {
+	fmt.Printf("== %s — %s (ran in %s)\n", t.ID, t.Title, elapsed.Round(time.Millisecond))
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Headers)
+	for i := range widths {
+		widths[i] = len(strings.Repeat("-", widths[i]))
+	}
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Printf("   note: %s\n", t.Notes)
+	}
+	fmt.Println()
+}

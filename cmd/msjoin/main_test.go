@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRelation(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "r.rel", "R: A B\n1 2\n3 4\n")
+	atom, err := loadRelation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atom.Rel.Name() != "R" || atom.Rel.Arity() != 2 || atom.Rel.Len() != 2 {
+		t.Fatalf("relation: %s/%d/%d", atom.Rel.Name(), atom.Rel.Arity(), atom.Rel.Len())
+	}
+	if len(atom.Vars) != 2 || atom.Vars[0] != "A" || atom.Vars[1] != "B" {
+		t.Fatalf("vars = %v", atom.Vars)
+	}
+}
+
+func TestLoadRelationErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadRelation(filepath.Join(dir, "missing.rel")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := writeFile(t, dir, "bad.rel", "no header here\n")
+	if _, err := loadRelation(bad); err == nil {
+		t.Fatal("headerless file must error")
+	}
+	ragged := writeFile(t, dir, "ragged.rel", "R: A B\n1\n")
+	if _, err := loadRelation(ragged); err == nil {
+		t.Fatal("ragged row must error")
+	}
+}
+
+func TestLoadRelationJoinsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rp := writeFile(t, dir, "r.rel", "R: A B\n1 2\n2 3\n")
+	sp := writeFile(t, dir, "s.rel", "S: B C\n2 5\n3 7\n")
+	ra, err := loadRelation(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := loadRelation(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Rel.Len() != 2 || sa.Rel.Len() != 2 {
+		t.Fatal("relations not loaded")
+	}
+}

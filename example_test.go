@@ -1,0 +1,107 @@
+package minesweeper_test
+
+import (
+	"fmt"
+	"log"
+
+	"minesweeper"
+)
+
+// Joining two relations with the default (Minesweeper) engine.
+func ExampleExecute() {
+	r, err := minesweeper.NewRelation("R", 2, [][]int{{1, 10}, {3, 20}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := minesweeper.NewRelation("S", 2, [][]int{{10, 100}, {20, 200}, {55, 5}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := minesweeper.NewQuery(
+		minesweeper.Atom{Rel: r, Vars: []string{"A", "B"}},
+		minesweeper.Atom{Rel: s, Vars: []string{"B", "C"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := minesweeper.Execute(q, &minesweeper.Options{GAO: []string{"A", "B", "C"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Vars)
+	for _, tup := range res.Tuples {
+		fmt.Println(tup)
+	}
+	// Output:
+	// [A B C]
+	// [1 10 100]
+	// [3 20 200]
+}
+
+// Adaptive set intersection skips over provably empty regions: disjoint
+// inputs cost O(1) probes regardless of size.
+func ExampleIntersect() {
+	a := []int{1, 2, 3, 4, 5}
+	b := []int{3, 5, 7}
+	out, stats, err := minesweeper.Intersect(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println(stats.Outputs)
+	// Output:
+	// [3 5]
+	// 2
+}
+
+// Queries can be written as text.
+func ExampleParseQuery() {
+	edge, err := minesweeper.NewRelation("Edge", 2, [][]int{{1, 2}, {2, 3}, {3, 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := minesweeper.ParseQuery("Edge(x,y) ⋈ Edge(y,z) ⋈ Edge(x,z)", map[string]*minesweeper.Relation{"Edge": edge})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.IsBetaAcyclic())
+	res, err := minesweeper.Execute(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Tuples))
+	// Output:
+	// false
+	// 0
+}
+
+// Structure analysis guides the choice of attribute order.
+func ExampleQuery_RecommendGAO() {
+	r, _ := minesweeper.NewRelation("R", 1, nil)
+	s, _ := minesweeper.NewRelation("S", 2, nil)
+	t, _ := minesweeper.NewRelation("T", 1, nil)
+	q, err := minesweeper.NewQuery(
+		minesweeper.Atom{Rel: r, Vars: []string{"X"}},
+		minesweeper.Atom{Rel: s, Vars: []string{"X", "Y"}},
+		minesweeper.Atom{Rel: t, Vars: []string{"Y"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, width := q.RecommendGAO()
+	fmt.Println(q.IsBetaAcyclic(), width)
+	// Output:
+	// true 1
+}
+
+// Triangle listing with the Õ(|C|^{3/2}+Z) specialized engine.
+func ExampleListTriangles() {
+	edges := [][]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}}
+	tris, _, err := minesweeper.ListTriangles(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(tris))
+	// Output:
+	// 6
+}

@@ -1,0 +1,69 @@
+// Adaptive set intersection (Appendix H): Minesweeper's intersection
+// runs in time proportional to the instance's certificate, not its size.
+// Document-search engines intersect posting lists exactly like this:
+// when the lists barely overlap, the algorithm gallops over huge ranges.
+//
+//	go run ./examples/setintersect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minesweeper"
+)
+
+func main() {
+	const n = 100000
+
+	// Posting lists for three "terms". Term A appears in documents
+	// 0..n-1, term B in n..2n-1 (disjoint eras), term C everywhere.
+	listA := make([]int, n)
+	listB := make([]int, n)
+	listC := make([]int, 2*n)
+	for i := 0; i < n; i++ {
+		listA[i] = i
+		listB[i] = n + i
+	}
+	for i := range listC {
+		listC[i] = i
+	}
+
+	// Disjoint lists: certificate is a single comparison.
+	out, stats, err := minesweeper.Intersect(listA, listB, listC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("disjoint eras:   |result| = %d, probes = %d, findgaps = %d  (N = %d)\n",
+		len(out), stats.ProbePoints, stats.FindGaps, 4*n)
+
+	// Overlapping block: certificate still tiny.
+	shifted := make([]int, n)
+	for i := range shifted {
+		shifted[i] = n/2 + i // overlaps listA on [n/2, n)
+	}
+	out, stats, err = minesweeper.Intersect(listA, shifted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("half overlap:    |result| = %d, probes = %d, findgaps = %d\n",
+		len(out), stats.ProbePoints, stats.FindGaps)
+
+	// Fully interleaved lists: the certificate is Θ(N) — no algorithm in
+	// the comparison model can do better than linear here.
+	evens := make([]int, n)
+	odds := make([]int, n)
+	for i := 0; i < n; i++ {
+		evens[i] = 2 * i
+		odds[i] = 2*i + 1
+	}
+	out, stats, err = minesweeper.Intersect(evens, odds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interleaved:     |result| = %d, probes = %d, findgaps = %d\n",
+		len(out), stats.ProbePoints, stats.FindGaps)
+
+	fmt.Println("\nProbe counts track the certificate (instance difficulty), not N:")
+	fmt.Println("disjoint O(1), half-overlap O(Z), interleaved Θ(N) — Theorem H.4.")
+}

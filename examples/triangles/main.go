@@ -1,0 +1,114 @@
+// Triangle listing: the triangle query Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C)
+// solved three ways — the specialized dyadic-CDS Minesweeper of
+// Theorem 5.4 (Õ(|C|^{3/2}+Z)), the generic Minesweeper engine
+// (Õ(|C|²+Z) on this query), and Leapfrog Triejoin — on both a real
+// graph workload and the adversarial family where the engines separate.
+//
+//	go run ./examples/triangles
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"minesweeper"
+)
+
+func randomGraph(n, m int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]int]bool{}
+	var edges [][]int
+	for len(edges) < 2*m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		seen[[2]int{v, u}] = true
+		edges = append(edges, []int{u, v}, []int{v, u})
+	}
+	return edges
+}
+
+func main() {
+	// Part 1: triangles of a random graph.
+	edges := randomGraph(400, 1600, 7)
+	tris, stats, err := minesweeper.ListTriangles(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random graph: %d directed edges, %d ordered triangles (%d undirected)\n",
+		len(edges), len(tris), len(tris)/6)
+	fmt.Printf("dyadic-CDS engine: %s\n\n", stats.String())
+
+	// The generic engine must agree.
+	e, err := minesweeper.NewRelation("E", 2, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := minesweeper.NewQuery(
+		minesweeper.Atom{Rel: e, Vars: []string{"A", "B"}},
+		minesweeper.Atom{Rel: e, Vars: []string{"B", "C"}},
+		minesweeper.Atom{Rel: e, Vars: []string{"A", "C"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := minesweeper.Execute(q, &minesweeper.Options{GAO: []string{"A", "B", "C"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generic Minesweeper agrees: %v (probes=%d)\n", len(gen.Tuples) == len(tris), gen.Stats.ProbePoints)
+	lf, err := minesweeper.Execute(q, &minesweeper.Options{
+		Engine: minesweeper.EngineLeapfrog, GAO: []string{"A", "B", "C"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leapfrog agrees:           %v (seeks=%d)\n\n", len(lf.Tuples) == len(tris), lf.Stats.FindGaps)
+
+	// Part 2: the adversarial family (Appendix L): R = [K]², S and T
+	// disjoint strips — empty output, |C| = O(K), but a quadratic trap
+	// for the generic CDS. The Θ(K²) pair iteration of the generic CDS
+	// is visible in its CDS-operation counter; the dyadic CDS prunes
+	// whole B-subtrees and stays near-linear.
+	fmt.Printf("%4s %12s %16s %16s\n", "K", "input", "special cdsops", "generic cdsops")
+	for _, k := range []int{16, 32, 64} {
+		var r, s, t [][]int
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				r = append(r, []int{a, b})
+			}
+		}
+		for b := 0; b < k; b++ {
+			s = append(s, []int{b, k + 1 + b})
+			t = append(t, []int{b, 2*k + 10 + b})
+		}
+		out, spStats, err := minesweeper.TriangleJoin(r, s, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(out) != 0 {
+			log.Fatal("expected empty output")
+		}
+		rr, _ := minesweeper.NewRelation("R", 2, r)
+		ss, _ := minesweeper.NewRelation("S", 2, s)
+		tt, _ := minesweeper.NewRelation("T", 2, t)
+		q, err := minesweeper.NewQuery(
+			minesweeper.Atom{Rel: rr, Vars: []string{"A", "B"}},
+			minesweeper.Atom{Rel: ss, Vars: []string{"B", "C"}},
+			minesweeper.Atom{Rel: tt, Vars: []string{"A", "C"}},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		genRes, err := minesweeper.Execute(q, &minesweeper.Options{GAO: []string{"A", "B", "C"}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %12d %16d %16d\n",
+			k, len(r)+len(s)+len(t), spStats.CDSOps, genRes.Stats.CDSOps)
+	}
+	fmt.Println("\nThe dyadic CDS prunes whole B-blocks per probe (Theorem 5.4); the")
+	fmt.Println("generic CDS pays per (a,b) pair — the |C|^{3/2} vs |C|² separation.")
+}

@@ -1,0 +1,98 @@
+package minesweeper
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery feeds arbitrary strings to the query parser; it must
+// never panic and must only succeed on inputs that round-trip into a
+// well-formed query.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"R(A,B), S(B,C)",
+		"R(A,B) ⋈ S(B,C)",
+		"R(A,B)(",
+		"R(,)",
+		"⋈⋈⋈",
+		"R (A , B)   S(B,C)",
+		strings.Repeat("R(A,B),", 50),
+		"Unknown(X)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	rel, err := NewRelation("R", 2, [][]int{{1, 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s2, err := NewRelation("S", 2, [][]int{{2, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rels := map[string]*Relation{"R": rel, "S": s2}
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := ParseQuery(expr, rels)
+		if err != nil {
+			return
+		}
+		// Anything that parses must execute.
+		if _, err := Execute(q, nil); err != nil {
+			t.Fatalf("parsed query failed to execute: %v (expr %q)", err, expr)
+		}
+	})
+}
+
+// FuzzExecuteTwoAtoms builds two small relations from fuzzed bytes and
+// checks that Minesweeper agrees with the hash-plan oracle.
+func FuzzExecuteTwoAtoms(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, []byte{2, 5, 3, 7})
+	f.Add([]byte{}, []byte{0, 0})
+	f.Add([]byte{9, 9, 9, 9}, []byte{9, 9})
+	f.Fuzz(func(t *testing.T, rb, sb []byte) {
+		if len(rb) > 60 || len(sb) > 60 {
+			return
+		}
+		mk := func(b []byte) [][]int {
+			var out [][]int
+			for i := 0; i+1 < len(b); i += 2 {
+				out = append(out, []int{int(b[i]) % 16, int(b[i+1]) % 16})
+			}
+			return out
+		}
+		r, err := NewRelation("R", 2, mk(rb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewRelation("S", 2, mk(sb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewQuery(
+			Atom{Rel: r, Vars: []string{"A", "B"}},
+			Atom{Rel: s, Vars: []string{"B", "C"}},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gao := []string{"A", "B", "C"}
+		ms, err := Execute(q, &Options{Engine: EngineMinesweeper, GAO: gao, Debug: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := Execute(q, &Options{Engine: EngineHashPlan, GAO: gao})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms.Tuples) != len(oracle.Tuples) {
+			t.Fatalf("minesweeper %d tuples, oracle %d", len(ms.Tuples), len(oracle.Tuples))
+		}
+		for i := range ms.Tuples {
+			for j := range ms.Tuples[i] {
+				if ms.Tuples[i][j] != oracle.Tuples[i][j] {
+					t.Fatalf("tuple %d differs: %v vs %v", i, ms.Tuples[i], oracle.Tuples[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/ordered"
+	"minesweeper/internal/reltree"
+)
+
+// trieIter is a linear iterator over one level of a relation search tree,
+// supporting the leapfrog operations open/up/next/seek (Veldhuizen [53]).
+type trieIter struct {
+	tree  *reltree.Tree
+	stats *certificate.Stats
+	// stack of (node, position) pairs; depth = len(stack)-1 after open.
+	nodes []*reltree.Node
+	pos   []int
+}
+
+func newTrieIter(t *reltree.Tree, stats *certificate.Stats) *trieIter {
+	return &trieIter{tree: t, stats: stats}
+}
+
+func (it *trieIter) cur() (*reltree.Node, int) {
+	return it.nodes[len(it.nodes)-1], it.pos[len(it.pos)-1]
+}
+
+// atEnd reports whether the iterator is past the last value at this level.
+func (it *trieIter) atEnd() bool {
+	n, p := it.cur()
+	return p >= len(n.Values)
+}
+
+// key returns the current value at this level.
+func (it *trieIter) key() int {
+	n, p := it.cur()
+	return n.Values[p]
+}
+
+// next advances to the following value at this level.
+func (it *trieIter) next() {
+	it.pos[len(it.pos)-1]++
+}
+
+// seek advances to the least value ≥ v at this level (galloping search,
+// counted as one FindGap-equivalent probe).
+func (it *trieIter) seek(v int) {
+	n, p := it.cur()
+	if it.stats != nil {
+		it.stats.FindGaps++
+	}
+	// Gallop from the current position.
+	lo, hi := p, p+1
+	for hi < len(n.Values) && n.Values[hi] < v {
+		if it.stats != nil {
+			it.stats.Comparisons++
+		}
+		lo = hi
+		hi = p + 2*(hi-p)
+	}
+	if hi > len(n.Values) {
+		hi = len(n.Values)
+	}
+	// Binary search in (lo, hi].
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if it.stats != nil {
+			it.stats.Comparisons++
+		}
+		if n.Values[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.pos[len(it.pos)-1] = lo
+}
+
+// open descends one trie level: from the virtual pre-root to the first
+// attribute, or into the children of the current value.
+func (it *trieIter) open() {
+	if len(it.nodes) == 0 {
+		it.nodes = append(it.nodes, it.tree.Root())
+		it.pos = append(it.pos, 0)
+		return
+	}
+	n, p := it.cur()
+	it.nodes = append(it.nodes, n.Children[p])
+	it.pos = append(it.pos, 0)
+}
+
+// up returns to the parent level.
+func (it *trieIter) up() {
+	it.nodes = it.nodes[:len(it.nodes)-1]
+	it.pos = it.pos[:len(it.pos)-1]
+}
+
+// Leapfrog evaluates the join with the Leapfrog Triejoin algorithm [53]:
+// a backtracking search over the GAO where, at each attribute, the
+// iterators of all atoms containing that attribute are intersected with
+// the leapfrog seek dance. Worst-case optimal, but ω(|C|) on the path
+// families of Appendix J.
+func Leapfrog(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
+	p.Attach(stats)
+	defer p.Detach()
+	n := len(p.GAO)
+	// For each GAO level, the atoms participating (their iterator index).
+	levelAtoms := make([][]int, n)
+	for ai := range p.Atoms {
+		for _, gp := range p.Atoms[ai].Positions {
+			levelAtoms[gp] = append(levelAtoms[gp], ai)
+		}
+	}
+	iters := make([]*trieIter, len(p.Atoms))
+	for i := range p.Atoms {
+		iters[i] = newTrieIter(p.Atoms[i].Tree, stats)
+	}
+	t := make([]int, n)
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == n {
+			if stats != nil {
+				stats.Outputs++
+			}
+			emit(append([]int(nil), t...))
+			return nil
+		}
+		parts := levelAtoms[level]
+		if len(parts) == 0 {
+			// Cannot happen: NewProblem rejects uncovered attributes.
+			t[level] = 0
+			return rec(level + 1)
+		}
+		for _, ai := range parts {
+			iters[ai].open()
+		}
+		defer func() {
+			for _, ai := range parts {
+				iters[ai].up()
+			}
+		}()
+		// Leapfrog intersection.
+		for {
+			// max of current keys; if any iterator is exhausted, done.
+			maxKey, anyEnd := ordered.NegInf, false
+			for _, ai := range parts {
+				if iters[ai].atEnd() {
+					anyEnd = true
+					break
+				}
+				if k := iters[ai].key(); k > maxKey {
+					maxKey = k
+				}
+			}
+			if anyEnd {
+				return nil
+			}
+			agree := true
+			for _, ai := range parts {
+				if iters[ai].key() != maxKey {
+					iters[ai].seek(maxKey)
+					agree = false
+					break
+				}
+			}
+			if !agree {
+				continue
+			}
+			t[level] = maxKey
+			if err := rec(level + 1); err != nil {
+				return err
+			}
+			for _, ai := range parts {
+				iters[ai].next()
+			}
+			// After next(), only the advanced iterators changed; loop
+			// recomputes the intersection from scratch.
+		}
+	}
+	return rec(0)
+}
+
+// LeapfrogAll runs Leapfrog and collects the outputs.
+func LeapfrogAll(p *core.Problem, stats *certificate.Stats) ([][]int, error) {
+	var out [][]int
+	err := Leapfrog(p, stats, func(t []int) { out = append(out, t) })
+	return out, err
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+)
+
+// IndexNestedLoopJoin evaluates the query with the classic index
+// nested-loop strategy over the GAO-ordered search trees: scan the first
+// atom's tuples; for each, bind its attributes and recursively probe the
+// remaining atoms through their indexes (one FindGap-equivalent binary
+// search per bound attribute group). A member of the paper's
+// comparison-based class (Section 1) and hence lower-bounded by |C|.
+func IndexNestedLoopJoin(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
+	p.Attach(stats)
+	defer p.Detach()
+	n := len(p.GAO)
+	t := make([]int, n)
+	bound := make([]bool, n)
+
+	var rec func(ai int) error
+	rec = func(ai int) error {
+		if ai == len(p.Atoms) {
+			// All atoms matched; all attributes must be bound (every GAO
+			// attribute appears in some atom).
+			if stats != nil {
+				stats.Outputs++
+			}
+			emit(append([]int(nil), t...))
+			return nil
+		}
+		atom := &p.Atoms[ai]
+		// Enumerate the atom's tuples consistent with current bindings by
+		// walking its search tree, seeking on bound attributes.
+		var walk func(idx []int, depth int) error
+		walk = func(idx []int, depth int) error {
+			if depth == atom.Tree.Arity() {
+				return rec(ai + 1)
+			}
+			gp := atom.Positions[depth]
+			if bound[gp] {
+				lo, hi := atom.Tree.FindGap(idx, t[gp])
+				if lo != hi {
+					return nil // bound value absent
+				}
+				return walk(append(idx, hi), depth+1)
+			}
+			fan := atom.Tree.Fanout(idx)
+			for i := 0; i < fan; i++ {
+				t[gp] = atom.Tree.Value(append(idx, i))
+				bound[gp] = true
+				if err := walk(append(idx, i), depth+1); err != nil {
+					return err
+				}
+				bound[gp] = false
+			}
+			return nil
+		}
+		return walk(make([]int, 0, atom.Tree.Arity()), 0)
+	}
+	return rec(0)
+}
+
+// IndexNestedLoopAll runs IndexNestedLoopJoin and collects sorted output.
+func IndexNestedLoopAll(p *core.Problem, stats *certificate.Stats) ([][]int, error) {
+	var out [][]int
+	err := IndexNestedLoopJoin(p, stats, func(t []int) { out = append(out, t) })
+	SortTuples(out)
+	return dedupTuples(out), err
+}
+
+// BlockNestedLoopJoin evaluates a two-table natural join by the
+// block-nested-loop method: the outer relation is processed in fixed-size
+// blocks, each joined against a full scan of the inner relation. Another
+// member of the Section 1 comparison class; quadratic in general.
+func BlockNestedLoopJoin(a, b *table, blockSize int, stats *certificate.Stats) *table {
+	if blockSize < 1 {
+		blockSize = 256
+	}
+	_, ia, ib := common(a, b)
+	shared := map[int]bool{}
+	for _, j := range ib {
+		shared[j] = true
+	}
+	var extraCols []int
+	out := &table{attrs: append([]string(nil), a.attrs...)}
+	for j, attr := range b.attrs {
+		if !shared[j] {
+			extraCols = append(extraCols, j)
+			out.attrs = append(out.attrs, attr)
+		}
+	}
+	for start := 0; start < len(a.tuples); start += blockSize {
+		end := start + blockSize
+		if end > len(a.tuples) {
+			end = len(a.tuples)
+		}
+		block := a.tuples[start:end]
+		for _, tb := range b.tuples {
+			for _, ta := range block {
+				if stats != nil {
+					stats.Comparisons++
+				}
+				match := true
+				for x := range ia {
+					if ta[ia[x]] != tb[ib[x]] {
+						match = false
+						break
+					}
+				}
+				if match {
+					row := make([]int, 0, len(out.attrs))
+					row = append(row, ta...)
+					for _, c := range extraCols {
+						row = append(row, tb[c])
+					}
+					out.tuples = append(out.tuples, row)
+				}
+			}
+		}
+	}
+	return out.dedup()
+}
+
+func dedupTuples(tuples [][]int) [][]int {
+	out := tuples[:0]
+	for i, tup := range tuples {
+		if i > 0 && equalTuple(tup, tuples[i-1]) {
+			continue
+		}
+		out = append(out, tup)
+	}
+	return out
+}
+
+func equalTuple(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

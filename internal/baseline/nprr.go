@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+)
+
+// hashTrie is a nested hash-map index over an atom's attributes in GAO
+// order, the access structure used by our NPRR-style generic join [40].
+type hashTrie struct {
+	children map[int]*hashTrie
+}
+
+func buildHashTrie(tuples [][]int) *hashTrie {
+	root := &hashTrie{children: map[int]*hashTrie{}}
+	for _, tup := range tuples {
+		n := root
+		for _, v := range tup {
+			child, ok := n.children[v]
+			if !ok {
+				child = &hashTrie{children: map[int]*hashTrie{}}
+				n.children[v] = child
+			}
+			n = child
+		}
+	}
+	return root
+}
+
+// NPRR evaluates the join with an attribute-at-a-time generic join in the
+// style of Ngo–Porat–Ré–Rudra [40]: at each GAO attribute, the candidate
+// set is the distinct values of the participating atom with the fewest
+// candidates (the size-based choice behind the AGM bound), and each
+// candidate is hash-probed against the other participating atoms.
+// Worst-case optimal, but ω(|C|) on the Appendix J families.
+func NPRR(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
+	n := len(p.GAO)
+	levelAtoms := make([][]int, n)
+	for ai := range p.Atoms {
+		for _, gp := range p.Atoms[ai].Positions {
+			levelAtoms[gp] = append(levelAtoms[gp], ai)
+		}
+	}
+	tries := make([]*hashTrie, len(p.Atoms))
+	for i := range p.Atoms {
+		tries[i] = buildHashTrie(p.Atoms[i].Tree.Tuples())
+	}
+	// cursor[i]: current hash-trie node of atom i given the bound prefix.
+	cursor := make([]*hashTrie, len(p.Atoms))
+	copy(cursor, tries)
+	t := make([]int, n)
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == n {
+			if stats != nil {
+				stats.Outputs++
+			}
+			emit(append([]int(nil), t...))
+			return nil
+		}
+		parts := levelAtoms[level]
+		// Smallest candidate set among the participating atoms.
+		minIdx := parts[0]
+		for _, ai := range parts[1:] {
+			if len(cursor[ai].children) < len(cursor[minIdx].children) {
+				minIdx = ai
+			}
+		}
+		saved := make([]*hashTrie, len(parts))
+		for v, sub := range cursor[minIdx].children {
+			ok := true
+			for _, ai := range parts {
+				if stats != nil {
+					stats.Comparisons++
+				}
+				if ai == minIdx {
+					continue
+				}
+				if _, found := cursor[ai].children[v]; !found {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for si, ai := range parts {
+				saved[si] = cursor[ai]
+				if ai == minIdx {
+					cursor[ai] = sub
+				} else {
+					cursor[ai] = cursor[ai].children[v]
+				}
+			}
+			t[level] = v
+			if err := rec(level + 1); err != nil {
+				return err
+			}
+			for si, ai := range parts {
+				cursor[ai] = saved[si]
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// NPRRAll runs NPRR and collects the outputs in canonical order.
+// (Hash-map iteration is unordered, so outputs are sorted.)
+func NPRRAll(p *core.Problem, stats *certificate.Stats) ([][]int, error) {
+	var out [][]int
+	err := NPRR(p, stats, func(t []int) { out = append(out, t) })
+	SortTuples(out)
+	return out, err
+}

@@ -1,0 +1,49 @@
+package cds
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the ConstraintTree in the style of Figure 1 of the paper:
+// one line per node showing its pattern path and interval list, indented
+// by depth. Intended for debugging and tests.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	var walk func(v *node, label string, depth int)
+	walk = func(v *node, label string, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(label)
+		if !v.intervals.Empty() {
+			fmt.Fprintf(&b, " %s", v.intervals)
+		}
+		b.WriteByte('\n')
+		v.eq.Ascend(func(key int, child *node) bool {
+			walk(child, fmt.Sprintf("=%d", key), depth+1)
+			return true
+		})
+		if v.star != nil {
+			walk(v.star, "*", depth+1)
+		}
+	}
+	walk(t.root, "root", 0)
+	return b.String()
+}
+
+// Nodes returns the number of materialized nodes (for tests and metrics).
+func (t *Tree) Nodes() int {
+	count := 0
+	var walk func(v *node)
+	walk = func(v *node) {
+		count++
+		v.eq.Ascend(func(_ int, child *node) bool {
+			walk(child)
+			return true
+		})
+		if v.star != nil {
+			walk(v.star)
+		}
+	}
+	walk(t.root)
+	return count
+}

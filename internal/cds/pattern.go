@@ -1,0 +1,164 @@
+// Package cds implements Minesweeper's constraint data structure: the
+// ConstraintTree of Section 3.3 (Figure 1, Appendix E.3) with constraint
+// insertion (Algorithm 5) and probe-point discovery — the chain-based
+// getProbePoint of Algorithm 3/4 for β-acyclic global attribute orders,
+// generalized with the shadow-chain construction of Algorithms 6/7 so the
+// same code handles arbitrary queries (Appendix G).
+package cds
+
+import (
+	"fmt"
+	"strings"
+
+	"minesweeper/internal/ordered"
+)
+
+// Comp is one component of a constraint pattern: either the wildcard ✱ or
+// an equality with a concrete domain value (Section 3.1).
+type Comp struct {
+	Star bool
+	Val  int
+}
+
+// Star is the wildcard pattern component.
+var Star = Comp{Star: true}
+
+// Eq returns an equality pattern component.
+func Eq(v int) Comp { return Comp{Val: v} }
+
+func (c Comp) String() string {
+	if c.Star {
+		return "*"
+	}
+	return fmt.Sprintf("=%d", c.Val)
+}
+
+// Pattern is a (possibly empty) sequence of components: the prefix of a
+// constraint before its interval component (Section 4.2).
+type Pattern []Comp
+
+func (p Pattern) String() string {
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+// EqCount returns the number of equality components (the pattern "size"
+// used by the treewidth analysis in Appendix G).
+func (p Pattern) EqCount() int {
+	n := 0
+	for _, c := range p {
+		if !c.Star {
+			n++
+		}
+	}
+	return n
+}
+
+// LastEqPos returns the 1-based position of the last equality component,
+// or 0 when the pattern is all wildcards (the i0 of Algorithm 3 line 11).
+func (p Pattern) LastEqPos() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if !p[i].Star {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Matches reports whether the tuple prefix matches the pattern: at every
+// position the pattern is either a wildcard or equals the tuple value.
+// Used with len(prefix) == len(p).
+func (p Pattern) Matches(prefix []int) bool {
+	if len(prefix) < len(p) {
+		return false
+	}
+	for i, c := range p {
+		if !c.Star && c.Val != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SpecializationOf reports p ⪯ q: p is obtained from q by turning some
+// wildcards into equalities (Section 4.2). Both must have equal length.
+func (p Pattern) SpecializationOf(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range q {
+		if q[i].Star {
+			continue
+		}
+		if p[i].Star || p[i].Val != q[i].Val {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet returns p ∧ q: the most general common specialization, which has an
+// equality wherever either operand does. Both patterns must be
+// generalizations of a common tuple prefix, so equality values never
+// conflict; Meet panics otherwise (it would indicate a CDS bug).
+func Meet(p, q Pattern) Pattern {
+	if len(p) != len(q) {
+		panic("cds: Meet of patterns with different lengths")
+	}
+	out := make(Pattern, len(p))
+	for i := range p {
+		switch {
+		case p[i].Star:
+			out[i] = q[i]
+		case q[i].Star:
+			out[i] = p[i]
+		case p[i].Val == q[i].Val:
+			out[i] = p[i]
+		default:
+			panic(fmt.Sprintf("cds: Meet conflict at position %d: %v vs %v", i, p[i], q[i]))
+		}
+	}
+	return out
+}
+
+// Constraint is a constraint vector ⟨prefix, (Lo, Hi)⟩: every tuple that
+// matches Prefix and whose next coordinate lies strictly inside the open
+// interval (Lo, Hi) is ruled out. Trailing wildcards are implicit
+// (Section 3.1). Lo/Hi may be the ±∞ sentinels of package ordered.
+type Constraint struct {
+	Prefix Pattern
+	Lo, Hi int
+}
+
+// Empty reports whether the open interval contains no integer.
+func (c Constraint) Empty() bool { return ordered.OpenToRange(c.Lo, c.Hi).Empty() }
+
+// Covers reports whether the tuple (its first len(Prefix)+1 coordinates)
+// satisfies the constraint.
+func (c Constraint) Covers(t []int) bool {
+	if len(t) <= len(c.Prefix) {
+		return false
+	}
+	if !c.Prefix.Matches(t) {
+		return false
+	}
+	v := t[len(c.Prefix)]
+	return c.Lo < v && v < c.Hi
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s(%s,%s)", c.Prefix, fmtEnd(c.Lo), fmtEnd(c.Hi))
+}
+
+func fmtEnd(v int) string {
+	switch {
+	case v <= ordered.NegInf:
+		return "-inf"
+	case v >= ordered.PosInf:
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

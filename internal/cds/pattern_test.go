@@ -1,0 +1,127 @@
+package cds
+
+import (
+	"testing"
+
+	"minesweeper/internal/ordered"
+)
+
+func TestCompString(t *testing.T) {
+	if Star.String() != "*" || Eq(7).String() != "=7" {
+		t.Fatal("Comp.String wrong")
+	}
+}
+
+func TestPatternBasics(t *testing.T) {
+	p := Pattern{Eq(2), Star, Eq(7)}
+	if p.EqCount() != 2 {
+		t.Fatalf("EqCount = %d", p.EqCount())
+	}
+	if p.LastEqPos() != 3 {
+		t.Fatalf("LastEqPos = %d", p.LastEqPos())
+	}
+	if (Pattern{Star, Star}).LastEqPos() != 0 {
+		t.Fatal("all-star LastEqPos should be 0")
+	}
+	if (Pattern{}).LastEqPos() != 0 {
+		t.Fatal("empty LastEqPos should be 0")
+	}
+	if p.String() != "<=2,*,=7>" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	p := Pattern{Eq(2), Star, Eq(7)}
+	if !p.Matches([]int{2, 99, 7}) {
+		t.Fatal("should match")
+	}
+	if p.Matches([]int{2, 99, 8}) || p.Matches([]int{3, 99, 7}) {
+		t.Fatal("should not match")
+	}
+	if p.Matches([]int{2, 99}) {
+		t.Fatal("short prefix should not match")
+	}
+	if !p.Matches([]int{2, 99, 7, 123}) {
+		t.Fatal("longer prefix matches on its prefix")
+	}
+	if !(Pattern{}).Matches(nil) {
+		t.Fatal("empty pattern matches everything")
+	}
+}
+
+func TestSpecialization(t *testing.T) {
+	// Figure 4 of the paper: <3,*,10> ⪯ <*,*,10>.
+	u := Pattern{Eq(3), Star, Eq(10)}
+	v := Pattern{Star, Star, Eq(10)}
+	if !u.SpecializationOf(v) {
+		t.Fatal("<3,*,10> should specialize <*,*,10>")
+	}
+	if v.SpecializationOf(u) {
+		t.Fatal("<*,*,10> should not specialize <3,*,10>")
+	}
+	if !u.SpecializationOf(u) {
+		t.Fatal("reflexivity")
+	}
+	if u.SpecializationOf(Pattern{Eq(3), Star}) {
+		t.Fatal("length mismatch must be false")
+	}
+	w := Pattern{Eq(4), Star, Eq(10)}
+	if u.SpecializationOf(w) || w.SpecializationOf(u) {
+		t.Fatal("conflicting equalities are incomparable")
+	}
+}
+
+func TestMeet(t *testing.T) {
+	a := Pattern{Eq(1), Star, Star}
+	b := Pattern{Star, Eq(5), Star}
+	m := Meet(a, b)
+	want := Pattern{Eq(1), Eq(5), Star}
+	if !patternsEqual(m, want) {
+		t.Fatalf("Meet = %v", m)
+	}
+	if !m.SpecializationOf(a) || !m.SpecializationOf(b) {
+		t.Fatal("meet must specialize both")
+	}
+	// Meet with identical equalities.
+	m2 := Meet(a, Pattern{Eq(1), Eq(2), Star})
+	if !patternsEqual(m2, Pattern{Eq(1), Eq(2), Star}) {
+		t.Fatalf("Meet = %v", m2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting meet must panic")
+		}
+	}()
+	Meet(Pattern{Eq(1)}, Pattern{Eq(2)})
+}
+
+func TestConstraintCovers(t *testing.T) {
+	c := Constraint{Prefix: Pattern{Eq(2)}, Lo: 5, Hi: 9}
+	if !c.Covers([]int{2, 7}) || !c.Covers([]int{2, 6, 99}) {
+		t.Fatal("should cover")
+	}
+	if c.Covers([]int{2, 5}) || c.Covers([]int{2, 9}) || c.Covers([]int{3, 7}) {
+		t.Fatal("open endpoints / wrong prefix must not cover")
+	}
+	if c.Covers([]int{2}) {
+		t.Fatal("short tuple must not cover")
+	}
+	inf := Constraint{Prefix: Pattern{}, Lo: ordered.NegInf, Hi: 3}
+	if !inf.Covers([]int{-1}) || !inf.Covers([]int{2}) || inf.Covers([]int{3}) {
+		t.Fatal("sentinel interval coverage wrong")
+	}
+	if !(Constraint{Prefix: Pattern{}, Lo: 4, Hi: 5}).Empty() {
+		t.Fatal("(4,5) must be empty")
+	}
+	if (Constraint{Prefix: Pattern{}, Lo: 4, Hi: 6}).Empty() {
+		t.Fatal("(4,6) contains 5")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Prefix: Pattern{Eq(1), Star}, Lo: ordered.NegInf, Hi: 7}
+	if got := c.String(); got != "<=1,*>(-inf,7)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,204 @@
+package cds
+
+import (
+	"math/rand"
+	"testing"
+
+	"minesweeper/internal/ordered"
+)
+
+// TestShadowChainIncomparablePatterns exercises the Appendix G shadow
+// construction directly: constraints whose patterns are pairwise
+// incomparable (the situation that cannot arise for β-acyclic GAOs).
+func TestShadowChainIncomparablePatterns(t *testing.T) {
+	tr := NewTree(3)
+	tk := track(tr)
+	// ⟨a,*,·⟩ and ⟨*,b,·⟩ are incomparable at depth 2.
+	tr.InsConstraint(Constraint{Prefix: Pattern{Eq(1), Star}, Lo: ordered.NegInf, Hi: 5})
+	tr.InsConstraint(Constraint{Prefix: Pattern{Star, Eq(2)}, Lo: 4, Hi: ordered.PosInf})
+	// For prefix (1,2): union covers (-∞,5) ∪ (4,∞) = everything.
+	// For any other prefix at most one applies.
+	probe := tr.GetProbePoint()
+	if probe == nil {
+		t.Fatal("space not exhausted")
+	}
+	if !tk.activeWRT(probe) {
+		t.Fatalf("probe %v violates constraints", probe)
+	}
+	if probe[0] == 1 && probe[1] == 2 {
+		t.Fatalf("prefix (1,2) should be dead, got %v", probe)
+	}
+}
+
+// TestShadowChainMergesAcrossThreePatterns: the Prop 5.3 depth-pattern —
+// three incomparable single-equality patterns whose union kills the
+// prefix — must backtrack with the meet pattern ⟨a,b⟩... and then rule
+// out (a,b) wholesale.
+func TestShadowChainMergesAcrossThreePatterns(t *testing.T) {
+	tr := NewTree(4)
+	tk := track(tr)
+	ni, pi := ordered.NegInf, ordered.PosInf
+	// Bound every attribute to {0,1,2}.
+	for d := 0; d < 4; d++ {
+		prefix := make(Pattern, d)
+		for j := range prefix {
+			prefix[j] = Star
+		}
+		tr.InsConstraint(Constraint{Prefix: prefix, Lo: ni, Hi: 0})
+		tr.InsConstraint(Constraint{Prefix: prefix, Lo: 2, Hi: pi})
+	}
+	// Under prefix (0,1,2): three incomparable constraint sources whose
+	// union covers the whole v4 axis.
+	tr.InsConstraint(Constraint{Prefix: Pattern{Eq(0), Star, Star}, Lo: ni, Hi: 1})
+	tr.InsConstraint(Constraint{Prefix: Pattern{Star, Eq(1), Star}, Lo: 0, Hi: 2})
+	tr.InsConstraint(Constraint{Prefix: Pattern{Star, Star, Eq(2)}, Lo: 1, Hi: pi})
+	probes := 0
+	for i := 0; i < 200; i++ {
+		probe := tr.GetProbePoint()
+		if probe == nil {
+			if probes == 0 {
+				t.Fatal("no probes at all")
+			}
+			return
+		}
+		probes++
+		if !tk.activeWRT(probe) {
+			t.Fatalf("probe %v violates constraints", probe)
+		}
+		if probe[0] == 0 && probe[1] == 1 && probe[2] == 2 {
+			t.Fatalf("dead prefix probed: %v", probe)
+		}
+		// Kill the probe to force progress.
+		tr.InsConstraint(Constraint{
+			Prefix: Pattern{Eq(probe[0]), Eq(probe[1]), Eq(probe[2])},
+			Lo:     probe[3] - 1, Hi: probe[3] + 1,
+		})
+	}
+	t.Fatal("no convergence after 200 probes")
+}
+
+// TestShadowMemoIsSound: memo constraints inserted at shadow patterns
+// must never rule out genuinely active tuples. We run randomized
+// workloads twice — memo on and off — and the sets of probe points seen
+// (after killing each probe identically) must be identical.
+func TestShadowMemoIsSound(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		seqOn := enumerateProbes(t, trial, true)
+		seqOff := enumerateProbes(t, trial, false)
+		if len(seqOn) != len(seqOff) {
+			t.Fatalf("trial %d: memo=on saw %d probes, memo=off %d", trial, len(seqOn), len(seqOff))
+		}
+		for i := range seqOn {
+			for j := range seqOn[i] {
+				if seqOn[i][j] != seqOff[i][j] {
+					t.Fatalf("trial %d: probe %d differs: %v vs %v", trial, i, seqOn[i], seqOff[i])
+				}
+			}
+		}
+	}
+}
+
+// enumerateProbes seeds a tree with random constraints, then exhausts the
+// probe space (killing each probe point-wise), returning the sequence.
+func enumerateProbes(t *testing.T, seed int, memo bool) [][]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const n, dom = 3, 5
+	tr := NewTree(n)
+	tr.SetMemo(memo)
+	ni, pi := ordered.NegInf, ordered.PosInf
+	// Bound the space.
+	for d := 0; d < n; d++ {
+		prefix := make(Pattern, d)
+		for j := range prefix {
+			prefix[j] = Star
+		}
+		tr.InsConstraint(Constraint{Prefix: prefix, Lo: ni, Hi: 0})
+		tr.InsConstraint(Constraint{Prefix: prefix, Lo: dom - 1, Hi: pi})
+	}
+	// Random constraints.
+	for i := 0; i < 25; i++ {
+		p := rng.Intn(n)
+		prefix := make(Pattern, p)
+		for j := range prefix {
+			if rng.Intn(2) == 0 {
+				prefix[j] = Star
+			} else {
+				prefix[j] = Eq(rng.Intn(dom))
+			}
+		}
+		lo := rng.Intn(dom) - 1
+		tr.InsConstraint(Constraint{Prefix: prefix, Lo: lo, Hi: lo + 1 + rng.Intn(3)})
+	}
+	var seq [][]int
+	for len(seq) < 1000 {
+		probe := tr.GetProbePoint()
+		if probe == nil {
+			return seq
+		}
+		seq = append(seq, probe)
+		prefix := make(Pattern, n-1)
+		for j := range prefix {
+			prefix[j] = Eq(probe[j])
+		}
+		tr.InsConstraint(Constraint{Prefix: prefix, Lo: probe[n-1] - 1, Hi: probe[n-1] + 1})
+	}
+	t.Fatal("probe enumeration did not converge")
+	return nil
+}
+
+// TestChainCaseIsExactAlgorithm4: when all filter patterns form a chain
+// (β-acyclic situation), every node must be its own shadow — no shadow
+// nodes materialized.
+func TestChainCaseIsExactAlgorithm4(t *testing.T) {
+	tr := NewTree(3)
+	// Chain at depth 2: ⟨*,*⟩ ⊐ ⟨*,5⟩ ⊐ ⟨4,5⟩. Open intervals:
+	// (-2,2) covers {-1,0,1}, (1,3) covers {2}, (2,4) covers {3}.
+	tr.InsConstraint(Constraint{Prefix: Pattern{Star, Star}, Lo: -2, Hi: 2})
+	tr.InsConstraint(Constraint{Prefix: Pattern{Star, Eq(5)}, Lo: 1, Hi: 3})
+	tr.InsConstraint(Constraint{Prefix: Pattern{Eq(4), Eq(5)}, Lo: 2, Hi: 4})
+	g := tr.filter([]int{4, 5})
+	if len(g) != 3 {
+		t.Fatalf("filter size = %d", len(g))
+	}
+	chain := tr.buildChain(g)
+	for _, e := range chain {
+		if e.shadow != e.orig {
+			t.Fatalf("chain case materialized shadow for %v", e.orig.pattern)
+		}
+	}
+	// Bottom must be the most specialized pattern.
+	if got := chain[0].orig.pattern; !patternsEqual(got, Pattern{Eq(4), Eq(5)}) {
+		t.Fatalf("bottom = %v", got)
+	}
+	// The walk must return 4 (0,1 covered by ⟨*,*⟩; 2 by ⟨*,5⟩; 3 by ⟨4,5⟩).
+	if v := tr.nextChainVal(-1, chain, 0); v != 4 {
+		t.Fatalf("nextChainVal = %d, want 4", v)
+	}
+}
+
+// TestShadowNodesMaterialized: incomparable patterns must produce shadow
+// nodes distinct from the originals.
+func TestShadowNodesMaterialized(t *testing.T) {
+	tr := NewTree(3)
+	tr.InsConstraint(Constraint{Prefix: Pattern{Eq(1), Star}, Lo: 0, Hi: 9})
+	tr.InsConstraint(Constraint{Prefix: Pattern{Star, Eq(2)}, Lo: 5, Hi: 20})
+	g := tr.filter([]int{1, 2})
+	if len(g) != 2 {
+		t.Fatalf("filter = %d nodes", len(g))
+	}
+	chain := tr.buildChain(g)
+	// Bottom entry's shadow must be the meet ⟨1,2⟩, a fresh node.
+	bottom := chain[0]
+	if !patternsEqual(bottom.shadow.pattern, Pattern{Eq(1), Eq(2)}) {
+		t.Fatalf("bottom shadow = %v", bottom.shadow.pattern)
+	}
+	if bottom.shadow == bottom.orig {
+		t.Fatal("bottom shadow should be a distinct node")
+	}
+	// Top entry is its own shadow.
+	top := chain[len(chain)-1]
+	if top.shadow != top.orig {
+		t.Fatal("top of the chain must be self-shadowed")
+	}
+}

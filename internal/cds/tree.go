@@ -1,0 +1,378 @@
+package cds
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
+)
+
+// node is one ConstraintTree node. A node at depth d is identified by the
+// pattern of length d spelled by the labels on the path from the root
+// (Section 4.2); it owns
+//
+//   - equalities: labelled children, one per equality value (the sorted
+//     list of Figure 1), plus at most one wildcard child, and
+//   - intervals: the disjoint open intervals ruled out for attribute d
+//     under this pattern.
+//
+// Invariant: no equality child label is covered by intervals — inserting
+// an interval deletes the children it swallows (Algorithm 5).
+type node struct {
+	depth     int
+	pattern   Pattern // path from the root; shared backing, never mutated
+	eq        *ordered.SortedList[*node]
+	star      *node
+	intervals *ordered.RangeSet
+}
+
+func newNode(depth int, pattern Pattern) *node {
+	return &node{
+		depth:     depth,
+		pattern:   pattern,
+		eq:        ordered.NewSortedList[*node](),
+		intervals: ordered.NewRangeSet(),
+	}
+}
+
+// Tree is the ConstraintTree CDS. It supports InsConstraint (Algorithm 5)
+// and GetProbePoint (Algorithms 3/4, generalized per Algorithms 6/7).
+// A Tree is built for a fixed number of attributes n; probe points are
+// full n-tuples in GAO order.
+type Tree struct {
+	n     int
+	root  *node
+	stats *certificate.Stats
+	memo  bool
+
+	// trace, when non-nil, receives every inserted constraint
+	// (outer-algorithm and internal memoization alike); used by tests to
+	// verify that probe points are active w.r.t. everything stored.
+	trace func(Constraint)
+}
+
+// NewTree returns an empty CDS over n ≥ 1 attributes with inferred-
+// constraint memoization enabled (the lazy-inference strategy of
+// Section 4.1).
+func NewTree(n int) *Tree {
+	return &Tree{n: n, root: newNode(0, Pattern{}), memo: true}
+}
+
+// SetMemo toggles inferred-constraint memoization (Algorithm 4 line 13 /
+// Algorithm 7 line 11). Disabling it preserves correctness but forfeits
+// the amortized bounds of Lemma 4.3 — Example 4.1's Ω(N³) blow-up; it
+// exists for the ablation benchmarks.
+func (t *Tree) SetMemo(on bool) { t.memo = on }
+
+// Attrs returns the number of attributes n.
+func (t *Tree) Attrs() int { return t.n }
+
+// SetStats attaches per-run cost counters (may be nil).
+func (t *Tree) SetStats(s *certificate.Stats) { t.stats = s }
+
+// SetTrace attaches a hook receiving every constraint stored (for tests).
+func (t *Tree) SetTrace(fn func(Constraint)) { t.trace = fn }
+
+func (t *Tree) countOp() {
+	if t.stats != nil {
+		t.stats.CDSOps++
+	}
+}
+func (t *Tree) countOps(k int) {
+	if t.stats != nil {
+		t.stats.CDSOps += int64(k)
+	}
+}
+
+// ensure returns the node for the given pattern, materializing the path.
+// It does not check interval subsumption; see InsConstraint for that.
+func (t *Tree) ensure(p Pattern) *node {
+	v := t.root
+	for i, c := range p {
+		t.countOp()
+		if c.Star {
+			if v.star == nil {
+				v.star = newNode(i+1, p[:i+1:i+1])
+			}
+			v = v.star
+			continue
+		}
+		child, ok := v.eq.Find(c.Val)
+		if !ok {
+			child = newNode(i+1, p[:i+1:i+1])
+			v.eq.Insert(c.Val, child)
+		}
+		v = child
+	}
+	return v
+}
+
+// insertInterval stores the open interval (lo, hi) at v and deletes the
+// equality children it swallows, maintaining the node invariant.
+func (t *Tree) insertInterval(v *node, lo, hi int) {
+	t.countOp()
+	v.intervals.InsertOpen(lo, hi)
+	removed := v.eq.DeleteInterval(lo, hi)
+	t.countOps(len(removed))
+}
+
+// InsConstraint inserts a constraint vector (Algorithm 5). If a prefix
+// equality value is already covered by an ancestor's intervals the
+// constraint is subsumed and dropped. Empty intervals are ignored.
+// Amortized O(n log W) (Proposition 3.1).
+func (t *Tree) InsConstraint(c Constraint) {
+	if len(c.Prefix) >= t.n {
+		panic("cds: constraint prefix too long for attribute count")
+	}
+	if c.Empty() {
+		return
+	}
+	if t.trace != nil {
+		t.trace(c)
+	}
+	if t.stats != nil {
+		t.stats.Constraints++
+	}
+	v := t.root
+	for i, comp := range c.Prefix {
+		t.countOp()
+		if !comp.Star && v.intervals.Covers(comp.Val) {
+			return // subsumed by an existing broader constraint
+		}
+		if comp.Star {
+			if v.star == nil {
+				v.star = newNode(i+1, c.Prefix[:i+1:i+1])
+			}
+			v = v.star
+		} else {
+			child, ok := v.eq.Find(comp.Val)
+			if !ok {
+				child = newNode(i+1, c.Prefix[:i+1:i+1])
+				v.eq.Insert(comp.Val, child)
+			}
+			v = child
+		}
+	}
+	t.insertInterval(v, c.Lo, c.Hi)
+}
+
+// filter collects the principal filter G(t1..ti): every node at depth i
+// whose pattern generalizes the prefix, keeping only nodes with at least
+// one stored interval (Algorithm 3 line 3). The walk follows both the
+// star child and the matching equality child at every level.
+func (t *Tree) filter(prefix []int) []*node {
+	level := []*node{t.root}
+	for _, tv := range prefix {
+		next := make([]*node, 0, len(level)*2)
+		for _, u := range level {
+			t.countOp()
+			if u.star != nil {
+				next = append(next, u.star)
+			}
+			if child, ok := u.eq.Find(tv); ok {
+				next = append(next, child)
+			}
+		}
+		level = next
+		if len(level) == 0 {
+			break
+		}
+	}
+	out := level[:0]
+	for _, u := range level {
+		if !u.intervals.Empty() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// chainEntry pairs a filter node with its shadow (Appendix G). For
+// β-acyclic GAOs the filter is a chain (Proposition 4.2) and every node is
+// its own shadow, so the walk degenerates to Algorithm 4 exactly.
+type chainEntry struct {
+	orig   *node
+	shadow *node
+}
+
+// buildChain linearizes G (most specialized first — sorting by equality
+// count descending is a valid linearization since strict specialization
+// strictly increases the count), computes the shadow patterns
+// P̄(u_j) = ∧_{l ≥ j} P(u_l), and materializes shadow nodes.
+func (t *Tree) buildChain(g []*node) []chainEntry {
+	order := make([]*node, len(g))
+	copy(order, g)
+	// Insertion sort by EqCount descending (G is small: ≤ 2^depth, in
+	// practice ≤ m+1 patterns).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].pattern.EqCount() > order[j-1].pattern.EqCount(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	entries := make([]chainEntry, len(order))
+	for j := range order {
+		entries[j] = chainEntry{orig: order[j]}
+	}
+	// Shadows are the suffix meets P̄(u_j) = ∧_{l ≥ j} P(u_l).
+	suffix := make([]Pattern, len(order))
+	for j := len(order) - 1; j >= 0; j-- {
+		if j == len(order)-1 {
+			suffix[j] = order[j].pattern
+		} else {
+			suffix[j] = Meet(order[j].pattern, suffix[j+1])
+		}
+	}
+	for j := range entries {
+		if patternsEqual(suffix[j], entries[j].orig.pattern) {
+			entries[j].shadow = entries[j].orig
+		} else {
+			entries[j].shadow = t.ensure(suffix[j])
+		}
+	}
+	return entries
+}
+
+func patternsEqual(a, b Pattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextPair returns the smallest y ≥ x not covered at the shadow node nor
+// at its original node, memoizing the skipped stretch at the shadow
+// (Algorithm 4 on the two-element chain {ū, u} used by Algorithm 7).
+func (t *Tree) nextPair(x int, e chainEntry) int {
+	if e.shadow == e.orig {
+		t.countOp()
+		return e.orig.intervals.Next(x)
+	}
+	y := x
+	for {
+		t.countOps(2)
+		z := e.orig.intervals.Next(y)
+		y = e.shadow.intervals.Next(z)
+		if y == z {
+			break
+		}
+	}
+	if y > x && t.memo {
+		t.insertInterval(e.shadow, x-1, y)
+		if t.trace != nil {
+			t.trace(Constraint{Prefix: e.shadow.pattern, Lo: x - 1, Hi: y})
+		}
+	}
+	return y
+}
+
+// nextChainVal returns the smallest y ≥ x free at every entry of
+// chain[j:], inserting inferred constraints at shadows along the way
+// (Algorithms 4 and 7: nextChainVal / nextShadowChainVal).
+func (t *Tree) nextChainVal(x int, chain []chainEntry, j int) int {
+	if j == len(chain)-1 {
+		return t.nextPair(x, chain[j])
+	}
+	y := x
+	for {
+		z := t.nextChainVal(y, chain, j+1)
+		y = t.nextPair(z, chain[j])
+		if y == z {
+			break
+		}
+	}
+	// Memoize at this level's shadow: everything in (x-1, y) is ruled out
+	// for tuples matching the shadow pattern.
+	if !t.memo {
+		return y
+	}
+	if y > x && chain[j].shadow != chain[j].orig {
+		t.insertInterval(chain[j].shadow, x-1, y)
+		if t.trace != nil {
+			t.trace(Constraint{Prefix: chain[j].shadow.pattern, Lo: x - 1, Hi: y})
+		}
+	} else if y > x {
+		t.insertInterval(chain[j].orig, x-1, y)
+		if t.trace != nil {
+			t.trace(Constraint{Prefix: chain[j].orig.pattern, Lo: x - 1, Hi: y})
+		}
+	}
+	return y
+}
+
+// GetProbePoint returns a tuple t active with respect to every stored
+// constraint, or nil when the constraints cover the whole output space
+// (Algorithm 3, generalized per Algorithm 6). Values are found
+// coordinate by coordinate, backtracking with inferred constraints when a
+// prefix admits no continuation.
+func (t *Tree) GetProbePoint() []int {
+	tv := make([]int, t.n)
+	i := 0
+	for i < t.n {
+		g := t.filter(tv[:i])
+		if len(g) == 0 {
+			tv[i] = -1
+			i++
+			continue
+		}
+		chain := t.buildChain(g)
+		val := t.nextChainVal(-1, chain, 0)
+		if val < ordered.PosInf {
+			tv[i] = val
+			i++
+			continue
+		}
+		// No value available: back-track (Algorithm 3 lines 11–16).
+		bottom := chain[0].shadow.pattern
+		i0 := bottom.LastEqPos()
+		if i0 == 0 {
+			return nil
+		}
+		if t.stats != nil {
+			t.stats.Backtracks++
+		}
+		pv := bottom[i0-1].Val
+		t.InsConstraint(Constraint{
+			Prefix: bottom[:i0-1],
+			Lo:     pv - 1,
+			Hi:     pv + 1,
+		})
+		i = i0 - 1
+	}
+	if t.stats != nil {
+		t.stats.ProbePoints++
+	}
+	out := make([]int, t.n)
+	copy(out, tv)
+	return out
+}
+
+// CoversTuple reports whether some stored constraint rules out the full
+// tuple — i.e. the tuple is NOT active. Used by tests and debug checks;
+// walks all generalization paths, O(2^n log W) worst case.
+func (t *Tree) CoversTuple(tuple []int) bool {
+	level := []*node{t.root}
+	for i := 0; i < t.n && len(level) > 0; i++ {
+		for _, u := range level {
+			if u.intervals.Covers(tuple[i]) {
+				return true
+			}
+		}
+		if i == t.n-1 {
+			break
+		}
+		next := make([]*node, 0, len(level)*2)
+		for _, u := range level {
+			if u.star != nil {
+				next = append(next, u.star)
+			}
+			if child, ok := u.eq.Find(tuple[i]); ok {
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return false
+}

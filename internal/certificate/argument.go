@@ -1,0 +1,174 @@
+package certificate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is an index-tuple variable R[x] (Section 2.2 of the paper): a
+// symbolic reference to the value stored at index tuple x of relation
+// Rel. Index components are 0-based. Instances give Vars concrete values.
+type Var struct {
+	Rel   string
+	Index []int
+}
+
+func (v Var) String() string {
+	parts := make([]string, len(v.Index))
+	for i, x := range v.Index {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return fmt.Sprintf("%s[%s]", v.Rel, strings.Join(parts, ","))
+}
+
+func (v Var) key() string { return v.String() }
+
+// Op is a comparison operator θ ∈ {<, =, >}.
+type Op int
+
+// Comparison operators.
+const (
+	Lt Op = iota
+	Eq
+	Gt
+)
+
+func (o Op) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Eq:
+		return "="
+	case Gt:
+		return ">"
+	}
+	return "?"
+}
+
+// Comparison is one symbolic comparison R[x] θ S[y] between two variables
+// on the same attribute (equation (3) of the paper).
+type Comparison struct {
+	Left  Var
+	Op    Op
+	Right Var
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Instance resolves variables to concrete domain values. ok is false when
+// the index tuple does not exist in the instance.
+type Instance interface {
+	VarValue(v Var) (val int, ok bool)
+}
+
+// InstanceFunc adapts a function to the Instance interface.
+type InstanceFunc func(v Var) (int, bool)
+
+// VarValue implements Instance.
+func (f InstanceFunc) VarValue(v Var) (int, bool) { return f(v) }
+
+// Argument is a set of comparisons (Definition 2.2). An argument is a
+// *certificate* when every pair of instances satisfying it has identical
+// witness sets (Definition 2.3); this package provides the constructive
+// side — building arguments that are certificates by construction
+// (Proposition 2.6) — and satisfaction checking.
+type Argument []Comparison
+
+// Size returns the number of comparisons (the |C| of the analysis).
+func (a Argument) Size() int { return len(a) }
+
+// SatisfiedBy reports whether the instance satisfies every comparison.
+// It errors when the instance does not define a referenced variable
+// (arguments only transfer between instances with identical index shape;
+// see Example 2.4's discussion of I(N) vs I(N+1)).
+func (a Argument) SatisfiedBy(inst Instance) (bool, error) {
+	for _, c := range a {
+		lv, ok := inst.VarValue(c.Left)
+		if !ok {
+			return false, fmt.Errorf("certificate: instance does not define %s", c.Left)
+		}
+		rv, ok := inst.VarValue(c.Right)
+		if !ok {
+			return false, fmt.Errorf("certificate: instance does not define %s", c.Right)
+		}
+		switch c.Op {
+		case Lt:
+			if !(lv < rv) {
+				return false, nil
+			}
+		case Eq:
+			if lv != rv {
+				return false, nil
+			}
+		case Gt:
+			if !(lv > rv) {
+				return false, nil
+			}
+		default:
+			return false, fmt.Errorf("certificate: bad operator %v", c.Op)
+		}
+	}
+	return true, nil
+}
+
+func (a Argument) String() string {
+	parts := make([]string, len(a))
+	for i, c := range a {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// AttrVar pairs a variable with its value in a concrete instance; the
+// input to the Proposition 2.6 construction. All AttrVars passed together
+// must belong to the same attribute.
+type AttrVar struct {
+	V     Var
+	Value int
+}
+
+// BuildProp26 constructs the certificate of Proposition 2.6 for one
+// attribute: given every Ai-variable of the instance with its value, it
+// emits (a) equality chains linking all variables sharing a value and
+// (b) an inequality chain across the distinct values. Applied to every
+// attribute, the union is a certificate of size ≤ r·N: it pins down the
+// entire relative order of the instance, so any instance satisfying it
+// has exactly the same witnesses.
+func BuildProp26(vars []AttrVar) Argument {
+	if len(vars) == 0 {
+		return nil
+	}
+	byValue := map[int][]Var{}
+	var values []int
+	for _, av := range vars {
+		if _, seen := byValue[av.Value]; !seen {
+			values = append(values, av.Value)
+		}
+		byValue[av.Value] = append(byValue[av.Value], av.V)
+	}
+	sort.Ints(values)
+	var out Argument
+	// (a) equality chains within each value class. Skip the redundant
+	// links between same-relation variables that the search tree already
+	// forces equal (same value at the same node is a single variable, so
+	// duplicates only arise from distinct index tuples).
+	for _, val := range values {
+		class := byValue[val]
+		sort.Slice(class, func(i, j int) bool { return class[i].key() < class[j].key() })
+		for i := 1; i < len(class); i++ {
+			out = append(out, Comparison{Left: class[i-1], Op: Eq, Right: class[i]})
+		}
+	}
+	// (b) inequality chain across representatives of distinct values.
+	for i := 1; i < len(values); i++ {
+		out = append(out, Comparison{
+			Left:  byValue[values[i-1]][0],
+			Op:    Lt,
+			Right: byValue[values[i]][0],
+		})
+	}
+	return out
+}

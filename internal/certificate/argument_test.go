@@ -1,0 +1,141 @@
+package certificate
+
+import (
+	"strings"
+	"testing"
+)
+
+func mapInstance(m map[string]int) Instance {
+	return InstanceFunc(func(v Var) (int, bool) {
+		val, ok := m[v.key()]
+		return val, ok
+	})
+}
+
+func TestVarString(t *testing.T) {
+	v := Var{Rel: "R", Index: []int{0, 2}}
+	if v.String() != "R[0,2]" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Lt.String() != "<" || Eq.String() != "=" || Gt.String() != ">" || Op(9).String() != "?" {
+		t.Fatal("Op.String wrong")
+	}
+}
+
+func TestSatisfiedBy(t *testing.T) {
+	a := Argument{
+		{Left: Var{Rel: "R", Index: []int{0}}, Op: Lt, Right: Var{Rel: "S", Index: []int{0}}},
+		{Left: Var{Rel: "S", Index: []int{0}}, Op: Eq, Right: Var{Rel: "T", Index: []int{0}}},
+	}
+	ok, err := a.SatisfiedBy(mapInstance(map[string]int{"R[0]": 1, "S[0]": 5, "T[0]": 5}))
+	if err != nil || !ok {
+		t.Fatalf("should satisfy: %v %v", ok, err)
+	}
+	ok, err = a.SatisfiedBy(mapInstance(map[string]int{"R[0]": 9, "S[0]": 5, "T[0]": 5}))
+	if err != nil || ok {
+		t.Fatalf("Lt violated but satisfied")
+	}
+	ok, err = a.SatisfiedBy(mapInstance(map[string]int{"R[0]": 1, "S[0]": 5, "T[0]": 6}))
+	if err != nil || ok {
+		t.Fatalf("Eq violated but satisfied")
+	}
+	// Gt.
+	g := Argument{{Left: Var{Rel: "R", Index: []int{0}}, Op: Gt, Right: Var{Rel: "S", Index: []int{0}}}}
+	ok, _ = g.SatisfiedBy(mapInstance(map[string]int{"R[0]": 9, "S[0]": 5}))
+	if !ok {
+		t.Fatal("Gt should hold")
+	}
+	// Missing variable errors (the Example 2.4 shape mismatch).
+	if _, err := a.SatisfiedBy(mapInstance(map[string]int{"R[0]": 1})); err == nil {
+		t.Fatal("missing variable must error")
+	}
+}
+
+func TestBuildProp26(t *testing.T) {
+	vars := []AttrVar{
+		{V: Var{Rel: "R", Index: []int{0}}, Value: 5},
+		{V: Var{Rel: "S", Index: []int{1}}, Value: 5},
+		{V: Var{Rel: "S", Index: []int{0}}, Value: 2},
+		{V: Var{Rel: "T", Index: []int{0}}, Value: 9},
+	}
+	arg := BuildProp26(vars)
+	// One equality (the two value-5 vars) + two inequalities (2<5, 5<9).
+	eqs, lts := 0, 0
+	for _, c := range arg {
+		switch c.Op {
+		case Eq:
+			eqs++
+		case Lt:
+			lts++
+		}
+	}
+	if eqs != 1 || lts != 2 {
+		t.Fatalf("eqs=%d lts=%d: %v", eqs, lts, arg)
+	}
+	inst := mapInstance(map[string]int{"R[0]": 5, "S[1]": 5, "S[0]": 2, "T[0]": 9})
+	ok, err := arg.SatisfiedBy(inst)
+	if err != nil || !ok {
+		t.Fatalf("own instance must satisfy: %v %v", ok, err)
+	}
+	// Order-preserving transform still satisfies (value-obliviousness).
+	shifted := mapInstance(map[string]int{"R[0]": 50, "S[1]": 50, "S[0]": 20, "T[0]": 90})
+	okShift, errShift := arg.SatisfiedBy(shifted)
+	if errShift != nil || !okShift {
+		t.Fatalf("order-preserving shift must satisfy: %v %v", okShift, errShift)
+	}
+	// Order-breaking swap must fail.
+	swapped := mapInstance(map[string]int{"R[0]": 5, "S[1]": 5, "S[0]": 7, "T[0]": 9})
+	okSwap, errSwap := arg.SatisfiedBy(swapped)
+	if errSwap != nil || okSwap {
+		t.Fatalf("order-breaking instance must not satisfy")
+	}
+}
+
+func TestBuildProp26Empty(t *testing.T) {
+	if got := BuildProp26(nil); got != nil {
+		t.Fatalf("empty input should give empty argument, got %v", got)
+	}
+}
+
+func TestBuildProp26SingleValue(t *testing.T) {
+	vars := []AttrVar{
+		{V: Var{Rel: "R", Index: []int{0}}, Value: 3},
+		{V: Var{Rel: "S", Index: []int{0}}, Value: 3},
+		{V: Var{Rel: "T", Index: []int{0}}, Value: 3},
+	}
+	arg := BuildProp26(vars)
+	if len(arg) != 2 {
+		t.Fatalf("3 equal vars need 2 equalities, got %v", arg)
+	}
+	for _, c := range arg {
+		if c.Op != Eq {
+			t.Fatalf("expected only equalities: %v", arg)
+		}
+	}
+}
+
+func TestArgumentString(t *testing.T) {
+	a := Argument{{Left: Var{Rel: "R", Index: []int{0}}, Op: Lt, Right: Var{Rel: "S", Index: []int{1}}}}
+	if got := a.String(); !strings.Contains(got, "R[0] < S[1]") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{FindGaps: 1, Comparisons: 2, ProbePoints: 3, Constraints: 4, CDSOps: 5, Outputs: 6, Backtracks: 7}
+	b := Stats{FindGaps: 10, Comparisons: 20, ProbePoints: 30, Constraints: 40, CDSOps: 50, Outputs: 60, Backtracks: 70}
+	a.Add(&b)
+	if a.FindGaps != 11 || a.Comparisons != 22 || a.ProbePoints != 33 ||
+		a.Constraints != 44 || a.CDSOps != 55 || a.Outputs != 66 || a.Backtracks != 77 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.CertificateEstimate() != 11 {
+		t.Fatal("CertificateEstimate wrong")
+	}
+	if !strings.Contains(a.String(), "findgaps=11") {
+		t.Fatalf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,60 @@
+// Package certificate provides the cost-accounting machinery for the
+// certificate-complexity analysis of the paper (Section 2.2, Section 5.2).
+//
+// The paper measures the certificate size |C| of a live run by counting
+// FindGap operations (Section 5.2: "The certificate size is measured by
+// counting the number of FindGap operations during computing join
+// queries"). Every engine in this library threads a *Stats through its
+// index accesses and CDS operations so that the quantities bounded by the
+// analysis — probe points, constraint insertions, FindGap calls,
+// comparisons — are observable.
+package certificate
+
+import "fmt"
+
+// Stats accumulates the cost counters of one join execution. The zero
+// value is ready to use. Stats is not safe for concurrent use; every
+// engine run owns its own instance.
+type Stats struct {
+	// FindGaps counts index FindGap operations — the paper's empirical
+	// proxy for the certificate size |C| (Section 5.2, Figure 2).
+	FindGaps int64
+	// Comparisons counts value comparisons performed inside index
+	// searches; certificates are sets of such comparisons (Def. 2.2).
+	Comparisons int64
+	// ProbePoints counts getProbePoint calls answered with a tuple
+	// (the outer-loop iterations of Algorithm 2, bounded by O(2^r|C|+Z)).
+	ProbePoints int64
+	// Constraints counts constraint vectors handed to the CDS
+	// (bounded by O(m 4^r |C| + Z) in Theorem 3.2).
+	Constraints int64
+	// CDSOps counts elementary CDS steps (interval-list operations and
+	// chain hops inside getProbePoint), the T(CDS) term of Theorem 3.2.
+	CDSOps int64
+	// Outputs counts result tuples (the Z term).
+	Outputs int64
+	// Backtracks counts getProbePoint back-tracking steps
+	// (line 16 of Algorithm 3).
+	Backtracks int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.FindGaps += o.FindGaps
+	s.Comparisons += o.Comparisons
+	s.ProbePoints += o.ProbePoints
+	s.Constraints += o.Constraints
+	s.CDSOps += o.CDSOps
+	s.Outputs += o.Outputs
+	s.Backtracks += o.Backtracks
+}
+
+// CertificateEstimate returns the paper's Figure-2 measurement of |C|:
+// the number of FindGap operations issued during the run.
+func (s *Stats) CertificateEstimate() int64 { return s.FindGaps }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"findgaps=%d cmp=%d probes=%d constraints=%d cdsops=%d outputs=%d backtracks=%d",
+		s.FindGaps, s.Comparisons, s.ProbePoints, s.Constraints, s.CDSOps, s.Outputs, s.Backtracks)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
+	"minesweeper/internal/reltree"
+)
+
+// bowtieCDS is the two-level constraint tree of Appendix I.2: a root
+// interval list over X, a wildcard branch over Y, and one equality branch
+// per X value. Inferred ⟨x,(a,b)⟩ constraints memoize the ping-pong
+// between the =x branch and the *-branch.
+type bowtieCDS struct {
+	rootX *ordered.RangeSet
+	starY *ordered.RangeSet
+	eqY   map[int]*ordered.RangeSet
+	stats *certificate.Stats
+}
+
+func newBowtieCDS(stats *certificate.Stats) *bowtieCDS {
+	return &bowtieCDS{
+		rootX: ordered.NewRangeSet(),
+		starY: ordered.NewRangeSet(),
+		eqY:   map[int]*ordered.RangeSet{},
+		stats: stats,
+	}
+}
+
+func (c *bowtieCDS) op() {
+	if c.stats != nil {
+		c.stats.CDSOps++
+	}
+}
+
+func (c *bowtieCDS) insConstraint() {
+	if c.stats != nil {
+		c.stats.Constraints++
+	}
+}
+
+func (c *bowtieCDS) eq(x int) *ordered.RangeSet {
+	rs, ok := c.eqY[x]
+	if !ok {
+		rs = ordered.NewRangeSet()
+		c.eqY[x] = rs
+	}
+	return rs
+}
+
+// getProbePoint returns an active (x, y) or ok=false when the space is
+// exhausted (Appendix I.2's probe strategy with memoized merges).
+func (c *bowtieCDS) getProbePoint() (x, y int, ok bool) {
+	for {
+		c.op()
+		x = c.rootX.Next(-1)
+		if x >= ordered.PosInf {
+			return 0, 0, false
+		}
+		eq := c.eq(x)
+		c.op()
+		y = ordered.NextUnion(eq, c.starY, -1)
+		if y < ordered.PosInf {
+			// Memoize the merged prefix into the =x branch so the
+			// ping-pong below y is never repeated for this x
+			// (the inferred-constraint trick of Example 4.1).
+			if y > 0 {
+				eq.InsertOpen(-1, y)
+				c.insConstraint()
+			}
+			if c.stats != nil {
+				c.stats.ProbePoints++
+			}
+			return x, y, true
+		}
+		// No Y left under =x. If the *-branch alone covers all of Y the
+		// whole output space is dead — the bottom pattern of the filter
+		// is all-wildcard, i0 = 0 in Algorithm 3's backtrack — so report
+		// exhaustion. Otherwise fold the dead branch into a root
+		// constraint ⟨(x-1,x+1),*⟩ and move to the next x.
+		c.op()
+		if c.starY.Next(-1) >= ordered.PosInf {
+			return 0, 0, false
+		}
+		c.insConstraint()
+		c.rootX.InsertOpen(x-1, x+1)
+		delete(c.eqY, x)
+	}
+}
+
+// Bowtie evaluates Q⋈⋈ = R(X) ⋈ S(X,Y) ⋈ T(Y) with Algorithm 9
+// (Appendix I). r and t are the unary relations, s the binary one
+// (pairs). Output pairs are emitted in lexicographic order. Runtime is
+// O((|C|+Z) log N) plus CDS time (Theorem I.4).
+func Bowtie(r []int, s [][]int, t []int, stats *certificate.Stats) ([][]int, error) {
+	rTuples := make([][]int, len(r))
+	for i, v := range r {
+		rTuples[i] = []int{v}
+	}
+	tTuples := make([][]int, len(t))
+	for i, v := range t {
+		tTuples[i] = []int{v}
+	}
+	rT, err := reltree.New("R", 1, rTuples)
+	if err != nil {
+		return nil, err
+	}
+	sT, err := reltree.New("S", 2, s)
+	if err != nil {
+		return nil, err
+	}
+	tT, err := reltree.New("T", 1, tTuples)
+	if err != nil {
+		return nil, err
+	}
+	rT.SetStats(stats)
+	sT.SetStats(stats)
+	tT.SetStats(stats)
+
+	cds := newBowtieCDS(stats)
+	var out [][]int
+	for {
+		x, y, ok := cds.getProbePoint()
+		if !ok {
+			return out, nil
+		}
+		// Gap exploration of Algorithm 9 (see Figure 8).
+		ilR, ihR := rT.FindGap(nil, x)
+		ilT, ihT := tT.FindGap(nil, y)
+		ilS, ihS := sT.FindGap(nil, x)
+
+		rHit := ilR == ihR
+		sxHit := ilS == ihS
+		tHit := ilT == ihT
+
+		syHit := false
+		if sT.InRange(nil, ihS) {
+			ihl, ihh := sT.FindGap([]int{ihS}, y)
+			syHit = ihl == ihh
+			cds.insConstraint()
+			cds.eq(sT.Value([]int{ihS})).InsertOpen(
+				sT.Value([]int{ihS, ihl}), sT.Value([]int{ihS, ihh}))
+		}
+		if rHit && sxHit && tHit && syHit {
+			out = append(out, []int{x, y})
+			if stats != nil {
+				stats.Outputs++
+			}
+			cds.insConstraint()
+			cds.eq(x).InsertOpen(y-1, y+1)
+			continue
+		}
+		// ⟨(R[iℓ],R[ih]),*⟩ and ⟨(S[iℓ],S[ih]),*⟩ on X.
+		cds.insConstraint()
+		cds.rootX.InsertOpen(rT.Value([]int{ilR}), rT.Value([]int{ihR}))
+		cds.insConstraint()
+		cds.rootX.InsertOpen(sT.Value([]int{ilS}), sT.Value([]int{ihS}))
+		// ⟨*,(T[iℓ],T[ih])⟩ on Y.
+		cds.insConstraint()
+		cds.starY.InsertOpen(tT.Value([]int{ilT}), tT.Value([]int{ihT}))
+		// ⟨S[iℓS], (gap around y)⟩ — the low-side exploration that keeps
+		// Minesweeper aligned with certificate comparisons (see the
+		// hidden-gap discussion after Algorithm 9).
+		if !sxHit && sT.InRange(nil, ilS) {
+			ill, ilh := sT.FindGap([]int{ilS}, y)
+			cds.insConstraint()
+			cds.eq(sT.Value([]int{ilS})).InsertOpen(
+				sT.Value([]int{ilS, ill}), sT.Value([]int{ilS, ilh}))
+		}
+	}
+}

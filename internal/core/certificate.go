@@ -1,0 +1,83 @@
+package core
+
+import (
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/reltree"
+)
+
+// BuildFullCertificate constructs the explicit certificate of
+// Proposition 2.6 for the problem instance: for every GAO attribute it
+// gathers all index-tuple variables on that attribute across all atoms
+// (each search-tree node is one variable) and chains them with the
+// equalities and inequalities of the construction. The result is a
+// certificate of size ≤ r·N witnessing the instance's entire relative
+// order — the worst-case upper bound that instance-specific optimal
+// certificates improve upon.
+func BuildFullCertificate(p *Problem) certificate.Argument {
+	n := len(p.GAO)
+	perAttr := make([][]certificate.AttrVar, n)
+	for ai := range p.Atoms {
+		atom := &p.Atoms[ai]
+		collectVars(atom, func(index []int, depth, value int) {
+			attr := atom.Positions[depth]
+			perAttr[attr] = append(perAttr[attr], certificate.AttrVar{
+				V:     certificate.Var{Rel: atom.Name, Index: append([]int(nil), index...)},
+				Value: value,
+			})
+		})
+	}
+	var out certificate.Argument
+	for _, vars := range perAttr {
+		out = append(out, certificate.BuildProp26(vars)...)
+	}
+	return out
+}
+
+// collectVars walks an atom's search tree emitting every variable: the
+// index tuple addressing it, its depth (0-based attribute position within
+// the atom) and its stored value.
+func collectVars(a *Atom, emit func(index []int, depth, value int)) {
+	k := a.Tree.Arity()
+	var idx []int
+	var walk func(depth int)
+	walk = func(depth int) {
+		fan := a.Tree.Fanout(idx)
+		for i := 0; i < fan; i++ {
+			idx = append(idx, i)
+			emit(idx, depth, a.Tree.Value(idx))
+			if depth+1 < k {
+				walk(depth + 1)
+			}
+			idx = idx[:len(idx)-1]
+		}
+	}
+	walk(0)
+	_ = k
+}
+
+// ProblemInstance adapts a Problem to the certificate.Instance interface,
+// optionally applying a value transform (for the perturbation arguments
+// of Propositions 2.5/2.6's proofs, e.g. v ↦ 2v+1).
+func ProblemInstance(p *Problem, transform func(int) int) certificate.Instance {
+	byName := map[string]*reltree.Tree{}
+	for i := range p.Atoms {
+		byName[p.Atoms[i].Name] = p.Atoms[i].Tree
+	}
+	return certificate.InstanceFunc(func(v certificate.Var) (int, bool) {
+		tree, ok := byName[v.Rel]
+		if !ok || len(v.Index) == 0 || len(v.Index) > tree.Arity() {
+			return 0, false
+		}
+		// All components must be in range for the variable to exist.
+		for j := range v.Index {
+			if !tree.InRange(v.Index[:j], v.Index[j]) {
+				return 0, false
+			}
+		}
+		val := tree.Value(v.Index)
+		if transform != nil {
+			val = transform(val)
+		}
+		return val, true
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"minesweeper/internal/certificate"
+)
+
+func TestBuildFullCertificateSizeBound(t *testing.T) {
+	// Proposition 2.6: |C| ≤ r·N for the constructed certificate.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		var r, s [][]int
+		for i := 0; i < 30; i++ {
+			r = append(r, []int{rng.Intn(10), rng.Intn(10)})
+			s = append(s, []int{rng.Intn(10), rng.Intn(10)})
+		}
+		p := mustProblem(t, []string{"A", "B", "C"}, []AtomSpec{
+			{Name: "R", Attrs: []string{"A", "B"}, Tuples: r},
+			{Name: "S", Attrs: []string{"B", "C"}, Tuples: s},
+		})
+		arg := BuildFullCertificate(p)
+		rMax := 2
+		n := p.InputSize()
+		if arg.Size() > rMax*n {
+			t.Fatalf("trial %d: |C| = %d exceeds r·N = %d", trial, arg.Size(), rMax*n)
+		}
+	}
+}
+
+func TestFullCertificateSatisfiedAndOrderOblivious(t *testing.T) {
+	p := mustProblem(t, []string{"A", "B"}, []AtomSpec{
+		{Name: "R", Attrs: []string{"A"}, Tuples: [][]int{{1}, {4}, {7}}},
+		{Name: "S", Attrs: []string{"A", "B"}, Tuples: [][]int{{1, 5}, {4, 2}, {9, 9}}},
+	})
+	arg := BuildFullCertificate(p)
+	// The instance satisfies its own certificate.
+	ok, err := arg.SatisfiedBy(ProblemInstance(p, nil))
+	if err != nil || !ok {
+		t.Fatalf("own instance: %v %v", ok, err)
+	}
+	// Any order-preserving transform still satisfies it — certificates are
+	// value-oblivious (the 2v+1 perturbation of Proposition 2.5's proof).
+	ok, err = arg.SatisfiedBy(ProblemInstance(p, func(v int) int { return 2*v + 1 }))
+	if err != nil || !ok {
+		t.Fatalf("order-preserving transform: %v %v", ok, err)
+	}
+	// An order-breaking transform must violate it.
+	ok, err = arg.SatisfiedBy(ProblemInstance(p, func(v int) int { return -v }))
+	if err != nil || ok {
+		t.Fatalf("order-breaking transform should violate: %v %v", ok, err)
+	}
+}
+
+func TestFullCertificateCrossRelationEqualities(t *testing.T) {
+	// Shared values across relations must be linked by equalities: the
+	// certificate must mention both relations.
+	p := mustProblem(t, []string{"A"}, []AtomSpec{
+		{Name: "R", Attrs: []string{"A"}, Tuples: [][]int{{3}}},
+		{Name: "S", Attrs: []string{"A"}, Tuples: [][]int{{3}}},
+	})
+	arg := BuildFullCertificate(p)
+	if arg.Size() != 1 {
+		t.Fatalf("want exactly one equality, got %v", arg)
+	}
+	c := arg[0]
+	if c.Op != certificate.Eq {
+		t.Fatalf("want equality, got %v", c)
+	}
+	rels := map[string]bool{c.Left.Rel: true, c.Right.Rel: true}
+	if len(rels) != 2 {
+		t.Fatalf("equality should span relations: %v", c)
+	}
+}
+
+func TestProblemInstanceMissingVar(t *testing.T) {
+	p := mustProblem(t, []string{"A"}, []AtomSpec{
+		{Name: "R", Attrs: []string{"A"}, Tuples: [][]int{{3}}},
+	})
+	inst := ProblemInstance(p, nil)
+	if _, ok := inst.VarValue(certificate.Var{Rel: "R", Index: []int{5}}); ok {
+		t.Fatal("out-of-range index must be undefined")
+	}
+	if _, ok := inst.VarValue(certificate.Var{Rel: "X", Index: []int{0}}); ok {
+		t.Fatal("unknown relation must be undefined")
+	}
+	if _, ok := inst.VarValue(certificate.Var{Rel: "R", Index: nil}); ok {
+		t.Fatal("empty index tuple must be undefined")
+	}
+	if v, ok := inst.VarValue(certificate.Var{Rel: "R", Index: []int{0}}); !ok || v != 3 {
+		t.Fatalf("R[0] = %d, %v", v, ok)
+	}
+}
+
+// TestCertificateDistinguishesWitnessChanges: perturbing a single value
+// in a way that changes the witness set must break certificate
+// satisfaction (the soundness direction tested concretely).
+func TestCertificateDistinguishesWitnessChanges(t *testing.T) {
+	p := mustProblem(t, []string{"A"}, []AtomSpec{
+		{Name: "R", Attrs: []string{"A"}, Tuples: [][]int{{2}, {5}}},
+		{Name: "S", Attrs: []string{"A"}, Tuples: [][]int{{5}}},
+	})
+	arg := BuildFullCertificate(p)
+	// Instance J: move S[0] from 5 to 2 — now the witness is (R[0],S[0])
+	// instead of (R[1],S[0]).
+	inst := certificate.InstanceFunc(func(v certificate.Var) (int, bool) {
+		base := ProblemInstance(p, nil)
+		if v.Rel == "S" && len(v.Index) == 1 && v.Index[0] == 0 {
+			return 2, true
+		}
+		return base.VarValue(v)
+	})
+	ok, err := arg.SatisfiedBy(inst)
+	if err != nil || ok {
+		t.Fatalf("witness-changing perturbation must violate certificate: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
+	"minesweeper/internal/reltree"
+)
+
+// IntersectSets computes the m-way set intersection query
+// Q∩ = S1(A) ⋈ … ⋈ Sm(A) with Minesweeper specialized per Algorithm 8
+// (Appendix H). The CDS degenerates to a single interval list over the
+// lone attribute; every iteration either reports an output value or
+// inserts a gap charged to a certificate comparison, so the runtime is
+// O((|C|+Z) m log N) (Theorem H.4) — near instance optimal.
+//
+// Input sets may be unsorted and contain duplicates. The result is the
+// sorted intersection.
+func IntersectSets(sets [][]int, stats *certificate.Stats) ([]int, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: IntersectSets needs at least one set")
+	}
+	trees := make([]*reltree.Tree, len(sets))
+	for i, s := range sets {
+		tuples := make([][]int, len(s))
+		for j, v := range s {
+			tuples[j] = []int{v}
+		}
+		tr, err := reltree.New(fmt.Sprintf("S%d", i+1), 1, tuples)
+		if err != nil {
+			return nil, err
+		}
+		tr.SetStats(stats)
+		trees[i] = tr
+	}
+	cds := ordered.NewRangeSet()
+	var out []int
+	for {
+		t := cds.Next(-1)
+		if t >= ordered.PosInf {
+			return out, nil
+		}
+		if stats != nil {
+			stats.ProbePoints++
+		}
+		output := true
+		for _, tr := range trees {
+			lo, hi := tr.FindGap(nil, t)
+			if lo == hi {
+				continue // t present in this set
+			}
+			output = false
+			loVal := tr.Value([]int{lo})
+			hiVal := tr.Value([]int{hi})
+			cds.InsertOpen(loVal, hiVal)
+			if stats != nil {
+				stats.Constraints++
+				stats.CDSOps++
+			}
+		}
+		if output {
+			out = append(out, t)
+			if stats != nil {
+				stats.Outputs++
+				stats.Constraints++
+			}
+			cds.InsertOpen(t-1, t+1)
+		}
+	}
+}
+
+// IntersectSetsMerge is the second CDS strategy discussed in Appendix
+// H.2: always probing the least unruled value means the CDS only ever
+// needs the single interval (-∞, t), and the algorithm degenerates into
+// the minimum-comparison m-way merge of Hwang–Lin / Demaine et al. [20]
+// — constant-time CDS operations at the price of giving up interval
+// merging. Provided for the ablation comparison with IntersectSets.
+func IntersectSetsMerge(sets [][]int, stats *certificate.Stats) ([]int, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: IntersectSetsMerge needs at least one set")
+	}
+	trees := make([]*reltree.Tree, len(sets))
+	for i, s := range sets {
+		tuples := make([][]int, len(s))
+		for j, v := range s {
+			tuples[j] = []int{v}
+		}
+		tr, err := reltree.New(fmt.Sprintf("S%d", i+1), 1, tuples)
+		if err != nil {
+			return nil, err
+		}
+		tr.SetStats(stats)
+		trees[i] = tr
+	}
+	var out []int
+	t := -1 // the CDS is exactly the interval (-∞, t+1): probe t+1 next
+	for {
+		probe := t + 1
+		if stats != nil {
+			stats.ProbePoints++
+		}
+		output := true
+		next := probe
+		for _, tr := range trees {
+			lo, hi := tr.FindGap(nil, probe)
+			if lo == hi {
+				continue
+			}
+			output = false
+			hiVal := tr.Value([]int{hi})
+			if hiVal >= ordered.PosInf {
+				return out, nil // some set is exhausted above probe
+			}
+			// Advance the single frontier to the largest lower bound seen.
+			if hiVal-1 > next {
+				next = hiVal - 1
+			}
+			if stats != nil {
+				stats.CDSOps++
+			}
+		}
+		if output {
+			out = append(out, probe)
+			if stats != nil {
+				stats.Outputs++
+			}
+			t = probe
+		} else {
+			t = next
+		}
+	}
+}

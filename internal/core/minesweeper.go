@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"minesweeper/internal/cds"
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
+)
+
+// Minesweeper evaluates the join with Algorithm 2 of the paper, calling
+// emit for every output tuple (in GAO order). The stats receiver may be
+// nil. Probe points come from the ConstraintTree CDS, whose chain-based
+// getProbePoint is near-optimal for β-acyclic GAOs (Theorem 2.7) and
+// falls back to the shadow-chain walk for general GAOs (Theorem 5.1).
+func Minesweeper(p *Problem, stats *certificate.Stats, emit func([]int)) error {
+	return MinesweeperStream(p, stats, func(t []int) bool {
+		emit(t)
+		return true
+	})
+}
+
+// MinesweeperStream is Minesweeper with early termination: emit returns
+// false to stop the evaluation after the current tuple. Because
+// Minesweeper discovers outputs one probe point at a time (it never
+// builds intermediate results), stopping after k tuples costs only the
+// work for those k probes plus the constraints learned so far — the
+// anytime behaviour that worst-case-optimal algorithms lack.
+func MinesweeperStream(p *Problem, stats *certificate.Stats, emit func([]int) bool) error {
+	n := len(p.GAO)
+	tree := cds.NewTree(n)
+	tree.SetStats(stats)
+	p.Attach(stats)
+	defer p.Detach()
+
+	// explorations[i] caches the per-atom gap exploration of the current
+	// probe point.
+	explorations := make([]*gapNode, len(p.Atoms))
+	for t := tree.GetProbePoint(); t != nil; t = tree.GetProbePoint() {
+		output := true
+		for i := range p.Atoms {
+			explorations[i] = exploreAtom(&p.Atoms[i], t)
+			if !explorations[i].allHighMatch {
+				output = false
+			}
+		}
+		if output {
+			if stats != nil {
+				stats.Outputs++
+			}
+			keep := emit(append([]int(nil), t...))
+			// Rule the output tuple out: ⟨t1,…,t_{n-1},(t_n−1, t_n+1)⟩.
+			prefix := make(cds.Pattern, n-1)
+			for j := 0; j < n-1; j++ {
+				prefix[j] = cds.Eq(t[j])
+			}
+			tree.InsConstraint(cds.Constraint{Prefix: prefix, Lo: t[n-1] - 1, Hi: t[n-1] + 1})
+			if !keep {
+				return nil
+			}
+			continue
+		}
+		// Insert every discovered gap (Algorithm 2 lines 15–20).
+		covered := false
+		for i := range p.Atoms {
+			atom := &p.Atoms[i]
+			insertGaps(tree, atom, n, explorations[i], func(c cds.Constraint) {
+				if p.Debug && c.Covers(t) {
+					covered = true
+				}
+				tree.InsConstraint(c)
+			})
+		}
+		if p.Debug && !covered {
+			return fmt.Errorf("core: probe point %v not covered by any discovered gap — Minesweeper would not terminate", t)
+		}
+	}
+	return nil
+}
+
+// gapNode is the exploration tree of one atom around the current probe
+// point: node at depth p holds the FindGap result for the index prefix
+// reached by one of the {ℓ,h}^p vectors of Algorithm 2. When lo == hi the
+// ℓ- and h-branches coincide and are shared.
+type gapNode struct {
+	lo, hi       int
+	loVal, hiVal int
+	loChild      *gapNode
+	hiChild      *gapNode
+	allHighMatch bool // all-h path below (and including) this level hits t exactly
+}
+
+// exploreAtom performs the {ℓ,h}^p FindGap sweep of Algorithm 2 lines
+// 4–10 for one atom around probe point t.
+func exploreAtom(a *Atom, t []int) *gapNode {
+	k := a.Tree.Arity()
+	idx := make([]int, 0, k)
+	var rec func(p int) *gapNode
+	rec = func(p int) *gapNode {
+		target := t[a.Positions[p]]
+		lo, hi := a.Tree.FindGap(idx, target)
+		nd := &gapNode{lo: lo, hi: hi}
+		nd.loVal = a.Tree.Value(append(idx, lo))
+		nd.hiVal = a.Tree.Value(append(idx, hi))
+		exact := lo == hi // target present at this level
+		if p == k-1 {
+			nd.allHighMatch = exact
+			return nd
+		}
+		if a.Tree.InRange(idx, lo) {
+			idx = append(idx, lo)
+			nd.loChild = rec(p + 1)
+			idx = idx[:len(idx)-1]
+		}
+		if exact {
+			nd.hiChild = nd.loChild
+		} else if a.Tree.InRange(idx, hi) {
+			idx = append(idx, hi)
+			nd.hiChild = rec(p + 1)
+			idx = idx[:len(idx)-1]
+		}
+		nd.allHighMatch = exact && nd.hiChild != nil && nd.hiChild.allHighMatch
+		return nd
+	}
+	return rec(0)
+}
+
+// insertGaps walks the exploration tree and emits one constraint per node
+// (Algorithm 2 lines 15–20): the pattern fixes the values along the index
+// path at the atom's attribute positions, wildcards elsewhere, and the
+// interval is the discovered gap at the next attribute position.
+func insertGaps(tree *cds.Tree, a *Atom, n int, root *gapNode, ins func(cds.Constraint)) {
+	// pathVals[j] = value of the j-th index along the current path.
+	pathVals := make([]int, 0, a.Tree.Arity())
+	var walk func(nd *gapNode, p int)
+	walk = func(nd *gapNode, p int) {
+		if nd == nil {
+			return
+		}
+		if nd.loVal < nd.hiVal { // non-empty gap
+			prefixLen := a.Positions[p]
+			prefix := make(cds.Pattern, prefixLen)
+			for j := range prefix {
+				prefix[j] = cds.Star
+			}
+			for j := 0; j < p; j++ {
+				prefix[a.Positions[j]] = cds.Eq(pathVals[j])
+			}
+			ins(cds.Constraint{Prefix: prefix, Lo: nd.loVal, Hi: nd.hiVal})
+		}
+		if p == a.Tree.Arity()-1 {
+			return
+		}
+		if nd.loChild != nil && nd.loVal > ordered.NegInf {
+			pathVals = append(pathVals, nd.loVal)
+			walk(nd.loChild, p+1)
+			pathVals = pathVals[:len(pathVals)-1]
+		}
+		if nd.hiChild != nil && nd.hiChild != nd.loChild && nd.hiVal < ordered.PosInf {
+			pathVals = append(pathVals, nd.hiVal)
+			walk(nd.hiChild, p+1)
+			pathVals = pathVals[:len(pathVals)-1]
+		}
+	}
+	walk(root, 0)
+}
+
+// MinesweeperAll runs Minesweeper and collects the output tuples.
+func MinesweeperAll(p *Problem, stats *certificate.Stats) ([][]int, error) {
+	var out [][]int
+	err := Minesweeper(p, stats, func(t []int) { out = append(out, t) })
+	return out, err
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"minesweeper/internal/certificate"
+)
+
+// TriangleParallel evaluates the triangle query with the dyadic-CDS
+// engine across the given number of workers, partitioning the A domain
+// into contiguous ranges (each worker receives the R- and T-tuples whose
+// A value falls in its range plus the full S relation, so partitions are
+// independent and their outputs disjoint). This mirrors the paper's
+// multi-threaded LogicBlox runs (Section 5.2). Stats from all workers are
+// summed; outputs arrive sorted. workers ≤ 0 defaults to 1.
+func TriangleParallel(r, s, t [][]int, workers int, stats *certificate.Stats) ([][]int, error) {
+	if workers <= 1 {
+		out, err := Triangle(r, s, t, stats)
+		if err != nil {
+			return nil, err
+		}
+		sortTriples(out)
+		return out, nil
+	}
+	// Partition boundaries: distinct A values of R ∪ T, split evenly.
+	avals := map[int]bool{}
+	for _, tup := range r {
+		avals[tup[0]] = true
+	}
+	for _, tup := range t {
+		avals[tup[0]] = true
+	}
+	if len(avals) == 0 {
+		return nil, nil
+	}
+	distinct := make([]int, 0, len(avals))
+	for v := range avals {
+		distinct = append(distinct, v)
+	}
+	sort.Ints(distinct)
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	// ranges[w] = [lo, hi] inclusive bounds on A for worker w.
+	type arange struct{ lo, hi int }
+	ranges := make([]arange, 0, workers)
+	per := (len(distinct) + workers - 1) / workers
+	for i := 0; i < len(distinct); i += per {
+		j := i + per
+		if j > len(distinct) {
+			j = len(distinct)
+		}
+		ranges = append(ranges, arange{distinct[i], distinct[j-1]})
+	}
+	parts := make([][][]int, len(ranges))
+	statsParts := make([]certificate.Stats, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for w := range ranges {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[w] = fmt.Errorf("core: triangle worker %d panicked: %v", w, p)
+				}
+			}()
+			rg := ranges[w]
+			var rw, tw [][]int
+			for _, tup := range r {
+				if rg.lo <= tup[0] && tup[0] <= rg.hi {
+					rw = append(rw, tup)
+				}
+			}
+			for _, tup := range t {
+				if rg.lo <= tup[0] && tup[0] <= rg.hi {
+					tw = append(tw, tup)
+				}
+			}
+			if len(rw) == 0 || len(tw) == 0 {
+				return
+			}
+			parts[w], errs[w] = Triangle(rw, s, tw, &statsParts[w])
+		}(w)
+	}
+	wg.Wait()
+	var out [][]int
+	for w := range ranges {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, parts[w]...)
+		if stats != nil {
+			stats.Add(&statsParts[w])
+		}
+	}
+	sortTriples(out)
+	return out, nil
+}
+
+// MinesweeperParallel evaluates an arbitrary join with Minesweeper across
+// workers by partitioning the domain of the first GAO attribute into
+// contiguous ranges: every atom containing that attribute is filtered to
+// the range, other atoms are shared, so the sub-joins are independent and
+// their outputs disjoint. Worker stats are summed; outputs come back
+// sorted. workers ≤ 1 falls back to the sequential engine.
+func MinesweeperParallel(gao []string, atoms []AtomSpec, workers int, stats *certificate.Stats) ([][]int, error) {
+	seqProblem := func(as []AtomSpec) (*Problem, error) { return NewProblem(gao, as) }
+	if workers <= 1 {
+		p, err := seqProblem(atoms)
+		if err != nil {
+			return nil, err
+		}
+		out, err := MinesweeperAll(p, stats)
+		if err != nil {
+			return nil, err
+		}
+		sortTriples(out)
+		return out, nil
+	}
+	first := gao[0]
+	// Column index of the first attribute per atom (-1 when absent).
+	cols := make([]int, len(atoms))
+	avals := map[int]bool{}
+	for i, spec := range atoms {
+		cols[i] = -1
+		for j, a := range spec.Attrs {
+			if a == first {
+				cols[i] = j
+			}
+		}
+		if cols[i] >= 0 {
+			for _, tup := range spec.Tuples {
+				avals[tup[cols[i]]] = true
+			}
+		}
+	}
+	if len(avals) == 0 {
+		return nil, nil // some atom on the first attribute is empty
+	}
+	distinct := make([]int, 0, len(avals))
+	for v := range avals {
+		distinct = append(distinct, v)
+	}
+	sort.Ints(distinct)
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	per := (len(distinct) + workers - 1) / workers
+	type arange struct{ lo, hi int }
+	var ranges []arange
+	for i := 0; i < len(distinct); i += per {
+		j := i + per
+		if j > len(distinct) {
+			j = len(distinct)
+		}
+		ranges = append(ranges, arange{distinct[i], distinct[j-1]})
+	}
+	parts := make([][][]int, len(ranges))
+	statsParts := make([]certificate.Stats, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for w := range ranges {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[w] = fmt.Errorf("core: minesweeper worker %d panicked: %v", w, p)
+				}
+			}()
+			rg := ranges[w]
+			sub := make([]AtomSpec, len(atoms))
+			for i, spec := range atoms {
+				sub[i] = spec
+				if cols[i] < 0 {
+					continue
+				}
+				var filtered [][]int
+				for _, tup := range spec.Tuples {
+					if rg.lo <= tup[cols[i]] && tup[cols[i]] <= rg.hi {
+						filtered = append(filtered, tup)
+					}
+				}
+				sub[i].Tuples = filtered
+			}
+			p, err := seqProblem(sub)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			parts[w], errs[w] = MinesweeperAll(p, &statsParts[w])
+		}(w)
+	}
+	wg.Wait()
+	var out [][]int
+	for w := range ranges {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, parts[w]...)
+		if stats != nil {
+			stats.Add(&statsParts[w])
+		}
+	}
+	sortTriples(out)
+	return out, nil
+}
+
+func sortTriples(ts [][]int) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

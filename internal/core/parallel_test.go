@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"minesweeper/internal/certificate"
+)
+
+func TestTriangleParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		dom := 3 + rng.Intn(10)
+		mk := func() [][]int {
+			var out [][]int
+			for i := 0; i < rng.Intn(40); i++ {
+				out = append(out, []int{rng.Intn(dom), rng.Intn(dom)})
+			}
+			return out
+		}
+		r, s, ty := mk(), mk(), mk()
+		seq, err := Triangle(r, s, ty, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortTriples(seq)
+		for _, workers := range []int{1, 2, 3, 8, 100} {
+			par, err := TriangleParallel(r, s, ty, workers, nil)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if len(seq) == 0 && len(par) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("trial %d workers %d:\npar %v\nseq %v", trial, workers, par, seq)
+			}
+		}
+	}
+}
+
+func TestTriangleParallelEmpty(t *testing.T) {
+	out, err := TriangleParallel(nil, nil, nil, 4, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+	out, err = TriangleParallel([][]int{{1, 2}}, nil, nil, 4, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestTriangleParallelStatsMerged(t *testing.T) {
+	var r, s, ty [][]int
+	for i := 0; i < 30; i++ {
+		r = append(r, []int{i, (i + 1) % 30})
+		s = append(s, []int{i, (i + 2) % 30})
+		ty = append(ty, []int{i, (i + 3) % 30})
+	}
+	var stats certificate.Stats
+	if _, err := TriangleParallel(r, s, ty, 4, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FindGaps == 0 || stats.ProbePoints == 0 {
+		t.Fatalf("stats not merged: %+v", stats)
+	}
+}
+
+func TestTriangleParallelDefaultsToSequential(t *testing.T) {
+	edges := [][]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}}
+	for _, w := range []int{0, -5, 1} {
+		out, err := TriangleParallel(edges, edges, edges, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 6 {
+			t.Fatalf("workers=%d: got %d triangles", w, len(out))
+		}
+	}
+}
+
+func TestMinesweeperParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	gao := []string{"A", "B", "C"}
+	for trial := 0; trial < 20; trial++ {
+		dom := 3 + rng.Intn(8)
+		mk := func(name string, attrs []string) AtomSpec {
+			var tuples [][]int
+			for i := 0; i < rng.Intn(30); i++ {
+				tup := make([]int, len(attrs))
+				for j := range tup {
+					tup[j] = rng.Intn(dom)
+				}
+				tuples = append(tuples, tup)
+			}
+			return AtomSpec{Name: name, Attrs: attrs, Tuples: tuples}
+		}
+		atoms := []AtomSpec{
+			mk("R", []string{"A", "B"}),
+			mk("S", []string{"B", "C"}),
+			mk("T", []string{"A", "C"}),
+		}
+		seq, err := MinesweeperParallel(gao, atoms, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 50} {
+			par, err := MinesweeperParallel(gao, atoms, workers, nil)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if len(seq) == 0 && len(par) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("trial %d workers %d:\npar %v\nseq %v", trial, workers, par, seq)
+			}
+		}
+	}
+}
+
+func TestMinesweeperParallelSharedAtoms(t *testing.T) {
+	// Atoms without the first GAO attribute are shared across workers.
+	gao := []string{"A", "B"}
+	atoms := []AtomSpec{
+		{Name: "R", Attrs: []string{"A", "B"}, Tuples: [][]int{{1, 5}, {2, 6}, {3, 5}, {9, 6}}},
+		{Name: "U", Attrs: []string{"B"}, Tuples: [][]int{{5}, {6}}},
+	}
+	seq, err := MinesweeperParallel(gao, atoms, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MinesweeperParallel(gao, atoms, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatalf("par %v vs seq %v", par, seq)
+	}
+	if len(seq) != 4 {
+		t.Fatalf("expected 4 tuples, got %v", seq)
+	}
+}
+
+func TestMinesweeperParallelEmptyFirstAttr(t *testing.T) {
+	gao := []string{"A", "B"}
+	atoms := []AtomSpec{
+		{Name: "R", Attrs: []string{"A", "B"}},
+		{Name: "U", Attrs: []string{"B"}, Tuples: [][]int{{5}}},
+	}
+	out, err := MinesweeperParallel(gao, atoms, 4, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

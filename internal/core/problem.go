@@ -1,0 +1,141 @@
+// Package core implements the Minesweeper join algorithm of the paper:
+// the generic outer algorithm (Algorithm 2) driving the constraint data
+// structure, plus the specialized instantiations worked out in the
+// appendices — m-way set intersection (Algorithm 8, Appendix H), the
+// bow-tie query (Algorithm 9, Appendix I) and the triangle query with the
+// dyadic-tree CDS (Algorithm 10, Appendix L).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/reltree"
+)
+
+// AtomSpec describes one atom of a natural join query: a named relation
+// with an attribute list and its tuples (columns parallel to Attrs).
+// The same underlying data may appear in several atoms under different
+// attribute bindings (self-joins).
+type AtomSpec struct {
+	Name   string
+	Attrs  []string
+	Tuples [][]int
+}
+
+// Atom is an atom prepared for execution: its index tree is built in
+// GAO-consistent column order and Positions maps the tree's levels to
+// GAO positions (the paper's function s, strictly increasing).
+type Atom struct {
+	Name      string
+	Tree      *reltree.Tree
+	Positions []int
+}
+
+// Problem is a join query bound to a global attribute order, with all
+// relations indexed consistently with the GAO (Section 2.1).
+type Problem struct {
+	GAO   []string
+	Atoms []Atom
+	// Debug enables the per-iteration soundness check that each non-output
+	// probe point is covered by a freshly inserted constraint (the
+	// termination invariant of Theorem 3.2's proof). O(2^n log W) per probe.
+	Debug bool
+}
+
+// NewProblem validates the query, permutes every atom's columns into
+// GAO-consistent order, and builds the search-tree indexes.
+func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
+	pos := make(map[string]int, len(gao))
+	for i, a := range gao {
+		if _, dup := pos[a]; dup {
+			return nil, fmt.Errorf("core: GAO repeats attribute %q", a)
+		}
+		pos[a] = i
+	}
+	covered := make([]bool, len(gao))
+	p := &Problem{GAO: gao}
+	names := map[string]bool{}
+	for _, spec := range atoms {
+		if len(spec.Attrs) == 0 {
+			return nil, fmt.Errorf("core: atom %q has no attributes", spec.Name)
+		}
+		if names[spec.Name] {
+			return nil, fmt.Errorf("core: duplicate atom name %q (atom names key the certificate variables)", spec.Name)
+		}
+		names[spec.Name] = true
+		seen := map[string]bool{}
+		type col struct {
+			gaoPos, srcCol int
+		}
+		cols := make([]col, 0, len(spec.Attrs))
+		for j, a := range spec.Attrs {
+			gp, ok := pos[a]
+			if !ok {
+				return nil, fmt.Errorf("core: atom %q: attribute %q not in GAO", spec.Name, a)
+			}
+			if seen[a] {
+				return nil, fmt.Errorf("core: atom %q repeats attribute %q", spec.Name, a)
+			}
+			seen[a] = true
+			covered[gp] = true
+			cols = append(cols, col{gp, j})
+		}
+		sort.Slice(cols, func(i, j int) bool { return cols[i].gaoPos < cols[j].gaoPos })
+		positions := make([]int, len(cols))
+		perm := make([]int, len(cols))
+		for i, c := range cols {
+			positions[i] = c.gaoPos
+			perm[i] = c.srcCol
+		}
+		permuted := make([][]int, len(spec.Tuples))
+		for i, tup := range spec.Tuples {
+			if len(tup) != len(spec.Attrs) {
+				return nil, fmt.Errorf("core: atom %q: tuple %d has %d values, want %d", spec.Name, i, len(tup), len(spec.Attrs))
+			}
+			row := make([]int, len(perm))
+			for j, src := range perm {
+				row[j] = tup[src]
+			}
+			permuted[i] = row
+		}
+		tree, err := reltree.New(spec.Name, len(cols), permuted)
+		if err != nil {
+			return nil, err
+		}
+		p.Atoms = append(p.Atoms, Atom{Name: spec.Name, Tree: tree, Positions: positions})
+	}
+	for i, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: GAO attribute %q appears in no atom", gao[i])
+		}
+	}
+	return p, nil
+}
+
+// Attach wires per-run stats into every index tree.
+func (p *Problem) Attach(s *certificate.Stats) {
+	for _, a := range p.Atoms {
+		a.Tree.SetStats(s)
+	}
+}
+
+// Detach removes the stats receivers.
+func (p *Problem) Detach() {
+	for _, a := range p.Atoms {
+		a.Tree.SetStats(nil)
+	}
+}
+
+// InputSize returns N: the total number of tuples across atoms.
+func (p *Problem) InputSize() int {
+	n := 0
+	for _, a := range p.Atoms {
+		n += a.Tree.Size()
+	}
+	return n
+}

@@ -1,0 +1,304 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"minesweeper/internal/core"
+	"minesweeper/internal/hypergraph"
+)
+
+func TestPowerLawGraphShape(t *testing.T) {
+	g := PowerLawGraph(500, 4, false, 1)
+	if g.N != 500 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if len(g.Edges) == 0 {
+		t.Fatal("no edges")
+	}
+	deg := map[int]int{}
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			t.Fatal("self loop")
+		}
+		k := [2]int{e[0], e[1]}
+		if seen[k] {
+			t.Fatal("duplicate edge")
+		}
+		seen[k] = true
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N {
+			t.Fatal("vertex out of range")
+		}
+		deg[e[1]]++
+	}
+	// Heavy tail: the max in-degree should far exceed the average.
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 3*avg {
+		t.Fatalf("degree distribution too flat: max %d avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestPowerLawSymmetric(t *testing.T) {
+	g := PowerLawGraph(200, 3, true, 2)
+	set := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		set[[2]int{e[0], e[1]}] = true
+	}
+	for _, e := range g.Edges {
+		if !set[[2]int{e[1], e[0]}] {
+			t.Fatalf("missing reverse of %v", e)
+		}
+	}
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	a := PowerLawGraph(300, 5, false, 7)
+	b := PowerLawGraph(300, 5, false, 7)
+	if !reflect.DeepEqual(a.Edges, b.Edges) {
+		t.Fatal("same seed must give same graph")
+	}
+	c := PowerLawGraph(300, 5, false, 8)
+	if reflect.DeepEqual(a.Edges, c.Edges) {
+		t.Fatal("different seed should differ")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyiGraph(100, 400, 3)
+	if len(g.Edges) != 400 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+}
+
+func TestSampleVertices(t *testing.T) {
+	s := SampleVertices(10000, 0.01, 5)
+	if len(s) < 50 || len(s) > 200 {
+		t.Fatalf("sample size %d implausible for p=0.01", len(s))
+	}
+	if len(SampleVertices(100, 0, 5)) != 0 {
+		t.Fatal("p=0 must be empty")
+	}
+	if got := len(SampleVertices(100, 1, 5)); got != 100 {
+		t.Fatalf("p=1 must keep all, got %d", got)
+	}
+}
+
+func TestFigure2QueriesAreWellFormedAndBetaAcyclic(t *testing.T) {
+	g := PowerLawGraph(300, 4, true, 9)
+	samples := make([][][]int, 4)
+	for i := range samples {
+		samples[i] = SampleVertices(g.N, 0.05, int64(i))
+	}
+	builders := []func(*Graph, [][][]int) ([]string, []core.AtomSpec){
+		StarQuery, PathQuery, TreeQuery,
+	}
+	for bi, build := range builders {
+		gao, atoms := build(g, samples)
+		if _, err := core.NewProblem(gao, atoms); err != nil {
+			t.Fatalf("builder %d: %v", bi, err)
+		}
+		edges := make([][]string, len(atoms))
+		for i, a := range atoms {
+			edges[i] = a.Attrs
+		}
+		h := hypergraph.New(edges)
+		if !h.IsBetaAcyclic() {
+			t.Fatalf("builder %d: query not β-acyclic", bi)
+		}
+		neo, ok := h.NestedEliminationOrder()
+		if !ok {
+			t.Fatalf("builder %d: no nested elimination order", bi)
+		}
+		if len(neo) != len(gao) {
+			t.Fatalf("builder %d: NEO %v", bi, neo)
+		}
+	}
+}
+
+func TestAppendixJPathInstance(t *testing.T) {
+	const m, M = 5, 6
+	gao, atoms := AppendixJPath(m, M)
+	if len(gao) != m+1 || len(atoms) != m {
+		t.Fatalf("shape: %d attrs %d atoms", len(gao), len(atoms))
+	}
+	p, err := core.NewProblem(gao, atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query is β-acyclic and the natural order is a nested
+	// elimination order.
+	edges := make([][]string, len(atoms))
+	for i, a := range atoms {
+		edges[i] = a.Attrs
+	}
+	h := hypergraph.New(edges)
+	if ok, err := h.IsNestedEliminationOrder(gao); err != nil || !ok {
+		t.Fatalf("natural order not nested: %v %v", ok, err)
+	}
+	// The join must be empty (the certificate inference of Appendix J).
+	out, err := core.MinesweeperAll(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("Appendix J instance must have empty join, got %d tuples", len(out))
+	}
+	// Each relation has ~ (m-2)·(M-1)² + 1 tuples.
+	want := (m-2)*(M-1)*(M-1) + 1
+	for _, a := range p.Atoms {
+		if a.Tree.Size() != want {
+			t.Fatalf("relation %s has %d tuples, want %d", a.Name, a.Tree.Size(), want)
+		}
+	}
+}
+
+func TestCliqueInstance(t *testing.T) {
+	gao, atoms := CliqueInstance(2, 4)
+	if len(gao) != 3 || len(atoms) != 3 {
+		t.Fatalf("w=2 shape wrong: %d %d", len(gao), len(atoms))
+	}
+	p, err := core.NewProblem(gao, atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.MinesweeperAll(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("clique instance must be empty, got %v", out)
+	}
+}
+
+func TestExampleB3BothGAOs(t *testing.T) {
+	atoms := ExampleB3(4)
+	for _, gao := range [][]string{{"A", "B", "C"}, {"C", "A", "B"}} {
+		p, err := core.NewProblem(gao, atoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.MinesweeperAll(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("GAO %v: join must be empty (even vs odd C)", gao)
+		}
+	}
+}
+
+func TestSetFamilies(t *testing.T) {
+	inter := InterleavedSets(3, 5)
+	if len(inter) != 3 || len(inter[0]) != 5 {
+		t.Fatal("interleaved shape wrong")
+	}
+	if inter[0][1] != 3 || inter[1][0] != 1 {
+		t.Fatalf("interleaving wrong: %v", inter)
+	}
+	blocks := BlockSets(3, 5)
+	if blocks[1][0] != 5 || blocks[2][4] != 14 {
+		t.Fatalf("blocks wrong: %v", blocks)
+	}
+}
+
+func TestTriangleHard(t *testing.T) {
+	r, s, ty := TriangleHard(10)
+	if len(r) != 100 || len(s) != 10 || len(ty) != 10 {
+		t.Fatal("shape wrong")
+	}
+	out, err := core.Triangle(r, s, ty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("hard triangle instance must be empty, got %v", out)
+	}
+}
+
+func TestTriangleGraphSymmetric(t *testing.T) {
+	g := &Graph{N: 4, Edges: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	r, s, ty := TriangleGraph(g)
+	if len(r) != 6 {
+		t.Fatalf("symmetric closure size = %d", len(r))
+	}
+	out, err := core.Triangle(r, s, ty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangle {0,1,2} appears as 6 ordered witnesses.
+	if len(out) != 6 {
+		t.Fatalf("got %d ordered triangles, want 6", len(out))
+	}
+	_ = s
+}
+
+func TestPresetsBuild(t *testing.T) {
+	for _, preset := range Presets {
+		small := preset
+		small.N = 400 // keep unit tests fast
+		g, samples := small.Build()
+		if g.N != 400 || len(g.Edges) == 0 {
+			t.Fatalf("%s: bad graph", preset.Name)
+		}
+		if len(samples) != 4 {
+			t.Fatalf("%s: %d samples", preset.Name, len(samples))
+		}
+	}
+}
+
+func TestExampleB6(t *testing.T) {
+	atoms := ExampleB6(5)
+	for _, gao := range [][]string{{"A", "B"}, {"B", "A"}} {
+		p, err := core.NewProblem(gao, atoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.MinesweeperAll(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("GAO %v: join must be empty (A-ranges disjoint)", gao)
+		}
+	}
+}
+
+func TestLayeredPathInstance(t *testing.T) {
+	gao, atoms := LayeredPathInstance(3, 4)
+	if len(gao) != 4 || len(atoms) != 3 {
+		t.Fatalf("shape: %d attrs %d atoms", len(gao), len(atoms))
+	}
+	p, err := core.NewProblem(gao, atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-edge path query on a 3-layer DAG: empty.
+	out, err := core.MinesweeperAll(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("expected empty, got %d", len(out))
+	}
+	// The 2-edge query on the same graph is NOT empty.
+	gao2, atoms2 := LayeredPathInstance(3, 4)
+	p2, err := core.NewProblem(gao2[:3], atoms2[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := core.MinesweeperAll(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 4*4*4 {
+		t.Fatalf("2-edge paths = %d, want 64", len(out2))
+	}
+}

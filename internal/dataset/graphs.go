@@ -1,0 +1,182 @@
+// Package dataset generates the workloads of the paper's evaluation and
+// analysis: synthetic social graphs standing in for the SNAP datasets of
+// Section 5.2 (com-Orkut, soc-Epinions1, soc-LiveJournal1 — the module is
+// offline, so we produce scaled power-law graphs with matching qualitative
+// shape), the star/3-path/tree queries of Figure 2, and the adversarial
+// instance families used by the lower-bound arguments: the Appendix J path
+// family on which worst-case-optimal algorithms are ω(|C|), the clique
+// family of Proposition 5.3, the GAO-sensitivity instances of Examples
+// B.3/B.4, and intersection/bow-tie/triangle families.
+//
+// All generators are deterministic given their seed.
+package dataset
+
+import (
+	"math/rand"
+
+	"minesweeper/internal/core"
+)
+
+// Graph is a directed edge list over vertices [0, N).
+type Graph struct {
+	N     int
+	Edges [][]int // each {src, dst}
+}
+
+// PowerLawGraph generates a graph with a heavy-tailed degree distribution
+// by preferential attachment: each new vertex draws outDeg targets
+// proportionally to current degree (plus one). When symmetric is set the
+// reverse of every edge is added, modelling an undirected network such as
+// com-Orkut; otherwise edges stay directed, like soc-Epinions1 and
+// soc-LiveJournal1.
+func PowerLawGraph(n, outDeg int, symmetric bool, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n}
+	if n == 0 {
+		return g
+	}
+	// endpoint pool: vertices appear once per incident edge, giving
+	// degree-proportional sampling.
+	pool := make([]int, 0, 2*n*outDeg)
+	pool = append(pool, 0)
+	seen := map[[2]int]bool{}
+	addEdge := func(u, v int) {
+		k := [2]int{u, v}
+		if u == v || seen[k] {
+			return
+		}
+		seen[k] = true
+		g.Edges = append(g.Edges, []int{u, v})
+		pool = append(pool, u, v)
+		if symmetric {
+			rk := [2]int{v, u}
+			if !seen[rk] {
+				seen[rk] = true
+				g.Edges = append(g.Edges, []int{v, u})
+			}
+		}
+	}
+	for v := 1; v < n; v++ {
+		d := outDeg
+		if d > v {
+			d = v
+		}
+		for i := 0; i < d; i++ {
+			u := pool[rng.Intn(len(pool))]
+			addEdge(v, u)
+		}
+		pool = append(pool, v)
+	}
+	return g
+}
+
+// ErdosRenyiGraph generates a uniform random directed graph with the given
+// number of edges (without self loops or duplicates).
+func ErdosRenyiGraph(n, edges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n}
+	seen := map[[2]int]bool{}
+	for len(g.Edges) < edges {
+		u, v := rng.Intn(n), rng.Intn(n)
+		k := [2]int{u, v}
+		if u == v || seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.Edges = append(g.Edges, []int{u, v})
+	}
+	return g
+}
+
+// SampleVertices returns the unary relation of vertices kept independently
+// with probability p — the 0.001 vertex sampling of Section 5.2.
+func SampleVertices(n int, p float64, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]int
+	for v := 0; v < n; v++ {
+		if rng.Float64() < p {
+			out = append(out, []int{v})
+		}
+	}
+	return out
+}
+
+// GraphPreset identifies one of the scaled dataset stand-ins.
+type GraphPreset struct {
+	Name      string
+	N         int
+	OutDeg    int
+	Symmetric bool
+	Seed      int64
+	SampleP   float64
+}
+
+// Presets mirrors the three datasets of Figure 2 at laptop scale:
+// an Orkut-like dense undirected graph, an Epinions-like small directed
+// trust graph, and a LiveJournal-like directed graph. Sampling keeps the
+// Ri relations sparse exactly as in the paper (p = 0.001, raised for the
+// smallest graph so the sample is non-empty).
+var Presets = []GraphPreset{
+	{Name: "com-Orkut(sim)", N: 12000, OutDeg: 16, Symmetric: true, Seed: 101, SampleP: 0.001},
+	{Name: "soc-Epinions1(sim)", N: 6000, OutDeg: 6, Symmetric: false, Seed: 102, SampleP: 0.002},
+	{Name: "soc-LiveJournal1(sim)", N: 15000, OutDeg: 9, Symmetric: false, Seed: 103, SampleP: 0.001},
+}
+
+// Build materializes a preset's graph and vertex samples.
+func (p GraphPreset) Build() (*Graph, [][][]int) {
+	g := PowerLawGraph(p.N, p.OutDeg, p.Symmetric, p.Seed)
+	samples := make([][][]int, 4)
+	for i := range samples {
+		samples[i] = SampleVertices(p.N, p.SampleP, p.Seed+int64(i)+1)
+	}
+	return g, samples
+}
+
+// StarQuery builds the star query of Section 5.2:
+// Q = R1(A) ⋈ S(A,B) ⋈ S(A,C) ⋈ S(A,D) ⋈ R2(B) ⋈ R3(C) ⋈ R4(D).
+func StarQuery(g *Graph, samples [][][]int) (gao []string, atoms []core.AtomSpec) {
+	gao = []string{"A", "B", "C", "D"}
+	atoms = []core.AtomSpec{
+		{Name: "R1", Attrs: []string{"A"}, Tuples: samples[0]},
+		{Name: "S_AB", Attrs: []string{"A", "B"}, Tuples: g.Edges},
+		{Name: "S_AC", Attrs: []string{"A", "C"}, Tuples: g.Edges},
+		{Name: "S_AD", Attrs: []string{"A", "D"}, Tuples: g.Edges},
+		{Name: "R2", Attrs: []string{"B"}, Tuples: samples[1]},
+		{Name: "R3", Attrs: []string{"C"}, Tuples: samples[2]},
+		{Name: "R4", Attrs: []string{"D"}, Tuples: samples[3]},
+	}
+	return
+}
+
+// PathQuery builds the 3-path query of Section 5.2:
+// Q = S(A,B) ⋈ S(B,C) ⋈ S(C,D) ⋈ R5(A) ⋈ R6(B) ⋈ R7(C) ⋈ R8(D).
+func PathQuery(g *Graph, samples [][][]int) (gao []string, atoms []core.AtomSpec) {
+	gao = []string{"A", "B", "C", "D"}
+	atoms = []core.AtomSpec{
+		{Name: "S_AB", Attrs: []string{"A", "B"}, Tuples: g.Edges},
+		{Name: "S_BC", Attrs: []string{"B", "C"}, Tuples: g.Edges},
+		{Name: "S_CD", Attrs: []string{"C", "D"}, Tuples: g.Edges},
+		{Name: "R5", Attrs: []string{"A"}, Tuples: samples[0]},
+		{Name: "R6", Attrs: []string{"B"}, Tuples: samples[1]},
+		{Name: "R7", Attrs: []string{"C"}, Tuples: samples[2]},
+		{Name: "R8", Attrs: []string{"D"}, Tuples: samples[3]},
+	}
+	return
+}
+
+// TreeQuery builds the tree query of Section 5.2:
+// Q = S(A,B) ⋈ S(B,C) ⋈ S(B,D) ⋈ S(D,E) ⋈ R9(A) ⋈ R10(C) ⋈ R11(D) ⋈ R12(E).
+func TreeQuery(g *Graph, samples [][][]int) (gao []string, atoms []core.AtomSpec) {
+	gao = []string{"A", "B", "C", "D", "E"}
+	atoms = []core.AtomSpec{
+		{Name: "S_AB", Attrs: []string{"A", "B"}, Tuples: g.Edges},
+		{Name: "S_BC", Attrs: []string{"B", "C"}, Tuples: g.Edges},
+		{Name: "S_BD", Attrs: []string{"B", "D"}, Tuples: g.Edges},
+		{Name: "S_DE", Attrs: []string{"D", "E"}, Tuples: g.Edges},
+		{Name: "R9", Attrs: []string{"A"}, Tuples: samples[0]},
+		{Name: "R10", Attrs: []string{"C"}, Tuples: samples[1]},
+		{Name: "R11", Attrs: []string{"D"}, Tuples: samples[2]},
+		{Name: "R12", Attrs: []string{"E"}, Tuples: samples[3]},
+	}
+	return
+}

@@ -1,0 +1,247 @@
+package dataset
+
+import "minesweeper/internal/core"
+
+// AppendixJPath builds the β-acyclic hard family of Appendix J:
+// Q = ⋈_{i=1}^{m} R_i(A_i, A_{i+1}) where each R_i has m "chunks" over
+// blocks of size M. Chunk j ≠ i, i-1 is the full block square
+// [(j-1)M+2, jM]², chunk i is the single tuple ((i-1)M+1, (i-1)M+1), and
+// chunk i-1 is empty (indices 1-based, wrapping m+1→1 as in the paper;
+// for R_1 the m-th chunk is empty).
+//
+// The output is empty with an O(mM) certificate, yet Yannakakis, NPRR and
+// Leapfrog all take Ω(mM²): each relation has Θ(mM²) tuples surviving
+// pairwise semijoins, and the WCOJ algorithms enumerate Ω(M²) partial
+// paths per chunk.
+func AppendixJPath(m, M int) (gao []string, atoms []core.AtomSpec) {
+	gao = make([]string, m+1)
+	for i := range gao {
+		gao[i] = attr(i)
+	}
+	for i := 1; i <= m; i++ {
+		var tuples [][]int
+		for j := 1; j <= m; j++ {
+			switch j {
+			case i: // single-tuple chunk
+				v := (i-1)*M + 1
+				tuples = append(tuples, []int{v, v})
+			case i - 1, wrap(i-1, m): // empty chunk (wraps m+1 → 1)
+				// R_1's empty chunk is chunk m.
+			default:
+				lo := (j-1)*M + 2
+				hi := j * M
+				for a := lo; a <= hi; a++ {
+					for b := lo; b <= hi; b++ {
+						tuples = append(tuples, []int{a, b})
+					}
+				}
+			}
+		}
+		atoms = append(atoms, core.AtomSpec{
+			Name:   "R" + itoa(i),
+			Attrs:  []string{attr(i - 1), attr(i)},
+			Tuples: tuples,
+		})
+	}
+	return
+}
+
+func wrap(j, m int) int {
+	if j <= 0 {
+		return j + m
+	}
+	return j
+}
+
+func attr(i int) string { return "A" + itoa(i+1) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// CliqueInstance builds the Proposition 5.3 family for the query
+// Q_w = (⋈_{i<j} R_{i,j}(v_i, v_j)) ⋈ U(v_1 … v_{w+1}) on domain [m]:
+// U = [m]^{w+1} is replaced by the same-footprint projection constraints
+// the proof uses — R_{i,j} = [m]² for i,j ≤ w, R_{i,w+1} = [m]×{1} for
+// i < w, and R_{w,w+1} = [m]×{2}. The output is empty, |C| = O(wm), yet
+// Minesweeper must spend Ω(m^w): the treewidth-exponent lower bound.
+//
+// U itself (size m^{w+1}) is omitted — it adds no constraints beyond the
+// R_{i,j} and would swamp memory; the probe-point behaviour that the
+// proposition analyses is produced entirely by the binary relations.
+func CliqueInstance(w, m int) (gao []string, atoms []core.AtomSpec) {
+	k := w + 1
+	gao = make([]string, k)
+	for i := range gao {
+		gao[i] = "v" + itoa(i+1)
+	}
+	full := make([][]int, 0, m*m)
+	for a := 1; a <= m; a++ {
+		for b := 1; b <= m; b++ {
+			full = append(full, []int{a, b})
+		}
+	}
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			var tuples [][]int
+			switch {
+			case j < k:
+				tuples = full
+			case i < w: // R_{i, w+1} = [m] × {1}
+				for a := 1; a <= m; a++ {
+					tuples = append(tuples, []int{a, 1})
+				}
+			default: // R_{w, w+1} = [m] × {2}
+				for a := 1; a <= m; a++ {
+					tuples = append(tuples, []int{a, 2})
+				}
+			}
+			atoms = append(atoms, core.AtomSpec{
+				Name:   "R" + itoa(i) + "_" + itoa(j),
+				Attrs:  []string{gao[i-1], gao[j-1]},
+				Tuples: tuples,
+			})
+		}
+	}
+	return
+}
+
+// ExampleB3 builds the GAO-sensitivity instance of Examples B.3/B.4:
+// Q = R(A,C) ⋈ S(B,C) with R = [n] × {2k} and S = [n] × {2k-1}.
+// Under GAO (A,B,C) the optimal certificate is Θ(n²); under (C,A,B) it is
+// O(n) — same data, different order.
+func ExampleB3(n int) (atoms []core.AtomSpec) {
+	var r, s [][]int
+	for a := 1; a <= n; a++ {
+		for k := 1; k <= n; k++ {
+			r = append(r, []int{a, 2 * k})
+			s = append(s, []int{a, 2*k - 1})
+		}
+	}
+	return []core.AtomSpec{
+		{Name: "R", Attrs: []string{"A", "C"}, Tuples: r},
+		{Name: "S", Attrs: []string{"B", "C"}, Tuples: s},
+	}
+}
+
+// ExampleB6 builds the instance of Example B.6: Q = R(A,B) ⋈ S(A,B) with
+// R = {(i,i)} and S = {(N+i,i)}. Under GAO (A,B) the optimal certificate
+// is O(1) (R[N] < S[1]); under (B,A) it is Ω(N).
+func ExampleB6(n int) (atoms []core.AtomSpec) {
+	var r, s [][]int
+	for i := 1; i <= n; i++ {
+		r = append(r, []int{i, i})
+		s = append(s, []int{n + i, i})
+	}
+	return []core.AtomSpec{
+		{Name: "R", Attrs: []string{"A", "B"}, Tuples: r},
+		{Name: "S", Attrs: []string{"A", "B"}, Tuples: s},
+	}
+}
+
+// LayeredPathInstance builds the Section 4.4 phenomenon for ℓ-path
+// queries: a layered DAG with `layers` complete bipartite levels of
+// `width` vertices each. The longest path has layers-1 edges, so the
+// (layers)-edge path query is empty — yet the graph has width^layers
+// partial paths that binding-at-a-time worst-case-optimal algorithms
+// enumerate. Returns the GAO and atoms of the (layers)-edge path query
+// over the single edge relation.
+func LayeredPathInstance(layers, width int) (gao []string, atoms []core.AtomSpec) {
+	var edges [][]int
+	for l := 0; l < layers-1; l++ {
+		base, next := l*width, (l+1)*width
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				edges = append(edges, []int{base + i, next + j})
+			}
+		}
+	}
+	gao = make([]string, layers+1)
+	for i := range gao {
+		gao[i] = attr(i)
+	}
+	for i := 0; i < layers; i++ {
+		atoms = append(atoms, core.AtomSpec{
+			Name:   "E" + itoa(i+1),
+			Attrs:  []string{attr(i), attr(i + 1)},
+			Tuples: edges,
+		})
+	}
+	return
+}
+
+// InterleavedSets builds m sorted sets whose every element alternates
+// (set i holds {m·k + i}), so the intersection is empty but any
+// certificate needs Ω(mN) comparisons — the worst case for adaptive
+// intersection.
+func InterleavedSets(m, n int) [][]int {
+	sets := make([][]int, m)
+	for i := range sets {
+		for k := 0; k < n; k++ {
+			sets[i] = append(sets[i], m*k+i)
+		}
+	}
+	return sets
+}
+
+// BlockSets builds m sets of n elements arranged in disjoint blocks, so
+// the intersection is empty with an O(m) certificate (Example B.1 style).
+func BlockSets(m, n int) [][]int {
+	sets := make([][]int, m)
+	for i := range sets {
+		base := i * n
+		for k := 0; k < n; k++ {
+			sets[i] = append(sets[i], base+k)
+		}
+	}
+	return sets
+}
+
+// TriangleHard builds the instance family where the generic CDS explores
+// Ω(K²) (a,b)-pairs while the dyadic CDS of Theorem 5.4 explores O(K):
+// R = [K]², S = {(b, K+1+b)}, T = {(a, 2K+10+a)} — every (a,b) survives R
+// but no (b,c) of S matches any (a,c) of T, so the output is empty and
+// the certificate is O(K).
+func TriangleHard(k int) (r, s, t [][]int) {
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			r = append(r, []int{a, b})
+		}
+	}
+	for b := 0; b < k; b++ {
+		s = append(s, []int{b, k + 1 + b})
+	}
+	for a := 0; a < k; a++ {
+		t = append(t, []int{a, 2*k + 10 + a})
+	}
+	return
+}
+
+// TriangleGraph converts a graph into the three symmetric binary
+// relations of Q△ for triangle listing.
+func TriangleGraph(g *Graph) (r, s, t [][]int) {
+	sym := make([][]int, 0, 2*len(g.Edges))
+	seen := map[[2]int]bool{}
+	add := func(a, b int) {
+		k := [2]int{a, b}
+		if !seen[k] {
+			seen[k] = true
+			sym = append(sym, []int{a, b})
+		}
+	}
+	for _, e := range g.Edges {
+		add(e[0], e[1])
+		add(e[1], e[0])
+	}
+	return sym, sym, sym
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minesweeper/internal/cds"
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
+)
+
+// runExample41 drives the CDS directly with the constraint families (i)-(iv)
+// of Example 4.1 plus bounding constraints, then exhausts getProbePoint,
+// returning the accumulated stats. Total CDS work must be ~N² thanks to
+// inferred-constraint memoization (the brute-force strategy is Ω(N³));
+// pass memo=false for the ablated variant.
+func runExample41(n int, memo bool) (*certificate.Stats, error) {
+	tr := cds.NewTree(3)
+	tr.SetMemo(memo)
+	var stats certificate.Stats
+	tr.SetStats(&stats)
+	star, ni, pi := cds.Star, ordered.NegInf, ordered.PosInf
+	// (i) ⟨a,b,(-∞,1)⟩
+	for a := 1; a <= n; a++ {
+		for b := 1; b <= n; b++ {
+			tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{cds.Eq(a), cds.Eq(b)}, Lo: ni, Hi: 1})
+		}
+	}
+	// (ii) ⟨*,b,(2i-2,2i)⟩
+	for b := 1; b <= n; b++ {
+		for i := 1; i <= n; i++ {
+			tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{star, cds.Eq(b)}, Lo: 2*i - 2, Hi: 2 * i})
+		}
+	}
+	// (iii) ⟨*,*,(2i-1,2i+1)⟩ and (iv) ⟨*,*,(2N,∞)⟩
+	for i := 1; i <= n; i++ {
+		tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{star, star}, Lo: 2*i - 1, Hi: 2*i + 1})
+	}
+	tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{star, star}, Lo: 2 * n, Hi: pi})
+	tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{star, star}, Lo: ni, Hi: 1})
+	// Bound A and B to [1, N].
+	tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{}, Lo: ni, Hi: 1})
+	tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{}, Lo: n, Hi: pi})
+	tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{star}, Lo: ni, Hi: 1})
+	tr.InsConstraint(cds.Constraint{Prefix: cds.Pattern{star}, Lo: n, Hi: pi})
+
+	guard := 10*n*n + 100
+	for i := 0; ; i++ {
+		if i > guard {
+			return nil, fmt.Errorf("experiments: Example 4.1 CDS did not converge within %d probes", guard)
+		}
+		probe := tr.GetProbePoint()
+		if probe == nil {
+			return &stats, nil
+		}
+		// No (a,b,c) with a,b ∈ [N] is active by construction.
+		if probe[0] >= 1 && probe[0] <= n && probe[1] >= 1 && probe[1] <= n {
+			return nil, fmt.Errorf("experiments: impossible active probe %v", probe)
+		}
+	}
+}

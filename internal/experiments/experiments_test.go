@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseCount reverses fmtCount for assertions.
+func parseCount(t *testing.T, s string) float64 {
+	t.Helper()
+	mult := 1.0
+	if strings.HasSuffix(s, "M") {
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	} else if strings.HasSuffix(s, "K") {
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parseCount(%q): %v", s, err)
+	}
+	return v * mult
+}
+
+func TestAllRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range All() {
+		if names[e.Name] {
+			t.Fatalf("duplicate experiment %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.Run == nil {
+			t.Fatalf("experiment %q has nil runner", e.Name)
+		}
+	}
+	for _, want := range []string{"fig2", "betaacyclic", "appj", "intersect", "bowtie", "triangle", "treewidth", "memo", "gao"} {
+		if !names[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestEveryExperimentRunsSmall(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tab, err := e.Run(Small)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if tab.ID == "" || tab.Title == "" || len(tab.Headers) == 0 {
+				t.Fatalf("%s: incomplete table metadata", e.Name)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.Name)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Headers) {
+					t.Fatalf("%s: row %d has %d cells, want %d", e.Name, i, len(row), len(tab.Headers))
+				}
+			}
+		})
+	}
+}
+
+// TestFigure2Shape verifies the paper's headline phenomenon at small
+// scale: the measured certificate is much smaller than the input on every
+// dataset × query combination.
+func TestFigure2Shape(t *testing.T) {
+	tab, err := Figure2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("expected 9 rows (3 queries × 3 datasets), got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		n := parseCount(t, row[2])
+		c := parseCount(t, row[3])
+		if c <= 0 || n <= 0 {
+			t.Fatalf("degenerate row %v", row)
+		}
+		if c*2 > n {
+			t.Errorf("row %v: |C|=%v not well below N=%v", row, c, n)
+		}
+	}
+}
+
+// TestBetaAcyclicLinearity: probe counts on the Appendix J family must
+// grow sub-quadratically in M (the theorem says linearly; allow slack).
+func TestBetaAcyclicLinearity(t *testing.T) {
+	tab, err := BetaAcyclicScaling(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	m0 := parseCount(t, first[1])
+	m1 := parseCount(t, last[1])
+	p0 := parseCount(t, first[4])
+	p1 := parseCount(t, last[4])
+	growth := (p1 / p0) / (m1 / m0)
+	if growth > 3 {
+		t.Fatalf("probe growth %.2fx per M-doubling factor: not linear (rows %v → %v)", growth, first, last)
+	}
+}
+
+// TestTriangleSeparation: the generic/special CDS-work ratio must widen
+// as K grows (Θ(K²) vs Õ(K)).
+func TestTriangleSeparation(t *testing.T) {
+	tab, err := TriangleCDSComparison(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSpecial := parseCount(t, tab.Rows[0][2])
+	firstGeneric := parseCount(t, tab.Rows[0][3])
+	lastSpecial := parseCount(t, tab.Rows[len(tab.Rows)-1][2])
+	lastGeneric := parseCount(t, tab.Rows[len(tab.Rows)-1][3])
+	if !(lastGeneric/lastSpecial > firstGeneric/firstSpecial) {
+		t.Fatalf("separation not widening: first %v/%v, last %v/%v",
+			firstGeneric, firstSpecial, lastGeneric, lastSpecial)
+	}
+}
+
+// TestTreewidthGrowth: within w=2 rows, CDS backtracks grow superlinearly
+// in m (Proposition 5.3's Ω(m^w) cost), while full probes stay ~linear.
+func TestTreewidthGrowth(t *testing.T) {
+	tab, err := TreewidthFamily(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 [][]string
+	for _, row := range tab.Rows {
+		if row[0] == "2" {
+			w2 = append(w2, row)
+		}
+	}
+	if len(w2) < 2 {
+		t.Fatal("need at least two w=2 rows")
+	}
+	m0 := parseCount(t, w2[0][1])
+	m1 := parseCount(t, w2[len(w2)-1][1])
+	b0 := parseCount(t, w2[0][5])
+	b1 := parseCount(t, w2[len(w2)-1][5])
+	if b1/b0 < 1.5*(m1/m0) {
+		t.Fatalf("backtracks grow like m, expected ~m²: %v → %v for m %v → %v", b0, b1, m0, m1)
+	}
+	p0 := parseCount(t, w2[0][4])
+	p1 := parseCount(t, w2[len(w2)-1][4])
+	if p1/p0 > 2.5*(m1/m0) {
+		t.Fatalf("probes %v → %v grew superlinearly in m %v → %v; expected ~m", p0, p1, m0, m1)
+	}
+}
+
+// TestGAODependenceShape: under (C,A,B) the FindGap count must be far
+// below the (A,B,C) count at the largest n.
+func TestGAODependenceShape(t *testing.T) {
+	tab, err := GAODependence(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows
+	last2 := rows[len(rows)-2:]
+	abc := parseCount(t, last2[0][3])
+	cab := parseCount(t, last2[1][3])
+	if !(cab*2 < abc) {
+		t.Fatalf("(C,A,B) findgaps %v not well below (A,B,C) %v", cab, abc)
+	}
+}
+
+// TestBowtieFlat: probes must not grow with N on the O(1)-certificate
+// family.
+func TestBowtieFlat(t *testing.T) {
+	tab, err := BowtieAdaptivity(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := parseCount(t, tab.Rows[0][2])
+	p1 := parseCount(t, tab.Rows[len(tab.Rows)-1][2])
+	if p1 > 2*p0+4 {
+		t.Fatalf("bow-tie probes grew with N: %v → %v", p0, p1)
+	}
+}
+
+// TestIntersectionContrast: interleaved probes must dwarf block probes.
+func TestIntersectionContrast(t *testing.T) {
+	tab, err := IntersectionAdaptivity(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFam := map[string]float64{}
+	for _, row := range tab.Rows {
+		byFam[row[0]] += parseCount(t, row[3])
+	}
+	if !(byFam["blocks"]*10 < byFam["interleaved"]) {
+		t.Fatalf("blocks=%v interleaved=%v: expected >10x contrast", byFam["blocks"], byFam["interleaved"])
+	}
+}
+
+// TestMemoizationQuadratic: with memoization, ops/N² must stay flat; the
+// ablated CDS must grow strictly faster than quadratic.
+func TestMemoizationQuadratic(t *testing.T) {
+	tab, err := MemoizationEffect(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("unparseable cell %q", tab.Rows[row][col])
+		}
+		return v
+	}
+	firstMemo, lastMemo := cell(0, 2), cell(len(tab.Rows)-1, 2)
+	if lastMemo > 6*firstMemo {
+		t.Fatalf("memo ops/N² grew from %.1f to %.1f: memoization not quadratic", firstMemo, lastMemo)
+	}
+	firstRaw, lastRaw := cell(0, 4), cell(len(tab.Rows)-1, 4)
+	if lastRaw < 1.5*firstRaw {
+		t.Fatalf("ablated ops/N² flat (%.1f → %.1f): ablation not superquadratic?", firstRaw, lastRaw)
+	}
+}
+
+// TestGAOQualityShape: the non-nested order must cost more CDS work.
+func TestGAOQualityShape(t *testing.T) {
+	tab, err := GAOQuality(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][2] != "true" || tab.Rows[1][2] != "false" {
+		t.Fatalf("nestedness flags wrong: %v", tab.Rows)
+	}
+	nestedOps := parseCount(t, tab.Rows[0][5])
+	badOps := parseCount(t, tab.Rows[1][5])
+	if badOps <= nestedOps {
+		t.Fatalf("non-nested order should cost more CDS work: %v vs %v", badOps, nestedOps)
+	}
+}
+
+// TestLayeredPathShape: Minesweeper's work must stay far below NPRR's on
+// the no-ℓ-path family.
+func TestLayeredPathShape(t *testing.T) {
+	tab, err := LayeredPathComparison(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEngine := map[string]float64{}
+	for _, row := range tab.Rows {
+		byEngine[row[3]] += parseCount(t, row[5])
+	}
+	if !(byEngine["minesweeper"]*10 < byEngine["nprr"]) {
+		t.Fatalf("minesweeper=%v nprr=%v: expected >10x gap", byEngine["minesweeper"], byEngine["nprr"])
+	}
+}

@@ -1,0 +1,168 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TreeDecomposition is a tree decomposition (Definition A.2 of the
+// paper): Bags[i] is the vertex set of node i, Parent[i] the tree edge
+// (-1 for the root). Width is max bag size − 1.
+type TreeDecomposition struct {
+	Bags   [][]string
+	Parent []int
+	Width  int
+}
+
+// DecompositionFromOrder builds the tree decomposition induced by an
+// elimination order (the standard construction behind Proposition A.7):
+// processing the order back to front, vertex v_k gets the bag
+// {v_k} ∪ U(P_k); the bag's parent is the bag of the last-eliminated
+// vertex inside U(P_k). The width of the decomposition equals the
+// elimination width of the order.
+func (h *Hypergraph) DecompositionFromOrder(gao []string) (*TreeDecomposition, error) {
+	_, universes, err := h.PrefixPosets(gao)
+	if err != nil {
+		return nil, err
+	}
+	n := len(gao)
+	pos := make(map[string]int, n)
+	for i, v := range gao {
+		pos[v] = i
+	}
+	td := &TreeDecomposition{
+		Bags:   make([][]string, n),
+		Parent: make([]int, n),
+	}
+	for k := 0; k < n; k++ {
+		bag := append([]string{gao[k]}, universes[k]...)
+		sort.Strings(bag)
+		td.Bags[k] = bag
+		if len(bag)-1 > td.Width {
+			td.Width = len(bag) - 1
+		}
+		// Parent: the earliest-eliminated vertex in U(P_k), i.e. the one
+		// with the largest GAO position below k... U(P_k) ⊆ {v_1..v_{k-1}},
+		// and the bag connects to the bag of the latest of them.
+		parent := -1
+		for _, u := range universes[k] {
+			if parent == -1 || pos[u] > parent {
+				parent = pos[u]
+			}
+		}
+		td.Parent[k] = parent
+	}
+	return td, nil
+}
+
+// Validate checks the two tree-decomposition properties of
+// Definition A.2: every hyperedge is contained in some bag, and for every
+// vertex the bags containing it form a connected subtree. It returns nil
+// when both hold.
+func (td *TreeDecomposition) Validate(h *Hypergraph) error {
+	// (a) edge coverage.
+	for _, e := range h.Edges {
+		covered := false
+		for _, bag := range td.Bags {
+			if subset(e, bag) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("hypergraph: edge %v not contained in any bag", e)
+		}
+	}
+	// (b) connectivity: for each vertex, the bags containing it must form
+	// a connected subtree. Walk up from every containing bag towards the
+	// root; the walk must reach the topmost containing bag while staying
+	// inside containing bags.
+	for _, v := range h.Vertices {
+		var holders []int
+		for i, bag := range td.Bags {
+			if contains(bag, v) {
+				holders = append(holders, i)
+			}
+		}
+		if len(holders) == 0 {
+			return fmt.Errorf("hypergraph: vertex %q in no bag", v)
+		}
+		holds := map[int]bool{}
+		for _, i := range holders {
+			holds[i] = true
+		}
+		depth := func(i int) int {
+			d := 0
+			for td.Parent[i] != -1 {
+				i = td.Parent[i]
+				d++
+			}
+			return d
+		}
+		top := holders[0]
+		for _, i := range holders[1:] {
+			if depth(i) < depth(top) {
+				top = i
+			}
+		}
+		for _, i := range holders {
+			for i != top {
+				p := td.Parent[i]
+				if p == -1 {
+					return fmt.Errorf("hypergraph: vertex %q: bag %d does not reach top holder", v, i)
+				}
+				if depth(p) < depth(top) {
+					return fmt.Errorf("hypergraph: vertex %q: bags disconnected", v)
+				}
+				if !holds[p] {
+					return fmt.Errorf("hypergraph: vertex %q: bag chain broken at %d", v, p)
+				}
+				i = p
+			}
+		}
+	}
+	return nil
+}
+
+// OptimalWidthOrder exhaustively searches all elimination orders and
+// returns one of minimum elimination width — by Proposition A.7 this
+// width is the treewidth of the hypergraph. Exponential in the number of
+// vertices; intended for queries (n ≤ ~9), not data.
+func (h *Hypergraph) OptimalWidthOrder() (gao []string, width int, err error) {
+	n := len(h.Vertices)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > 9 {
+		return nil, 0, fmt.Errorf("hypergraph: OptimalWidthOrder limited to ≤ 9 vertices, have %d", n)
+	}
+	best := append([]string(nil), h.Vertices...)
+	bestW := 1 << 30
+	perm := append([]string(nil), h.Vertices...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			w, err := h.EliminationWidth(perm)
+			if err == nil && w < bestW {
+				bestW = w
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best, bestW, nil
+}
+
+// Treewidth returns the treewidth of the hypergraph by exhaustive
+// elimination-order search (Proposition A.7). Same size limit as
+// OptimalWidthOrder.
+func (h *Hypergraph) Treewidth() (int, error) {
+	_, w, err := h.OptimalWidthOrder()
+	return w, err
+}

@@ -1,0 +1,151 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecompositionFromOrderTriangle(t *testing.T) {
+	h := New(triangle)
+	td, err := h.DecompositionFromOrder([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Width != 2 {
+		t.Fatalf("width = %d, want 2", td.Width)
+	}
+	if err := td.Validate(h); err != nil {
+		t.Fatalf("invalid decomposition: %v", err)
+	}
+}
+
+func TestDecompositionFromOrderPath(t *testing.T) {
+	h := New(path5)
+	gao := []string{"A1", "A2", "A3", "A4", "A5"}
+	td, err := h.DecompositionFromOrder(gao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Width != 1 {
+		t.Fatalf("path width = %d, want 1", td.Width)
+	}
+	if err := td.Validate(h); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Every bag has ≤ 2 vertices.
+	for i, bag := range td.Bags {
+		if len(bag) > 2 {
+			t.Fatalf("bag %d = %v", i, bag)
+		}
+	}
+}
+
+func TestDecompositionWidthMatchesEliminationWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	names := []string{"A", "B", "C", "D", "E"}
+	for trial := 0; trial < 60; trial++ {
+		var edges [][]string
+		ne := 1 + rng.Intn(5)
+		for i := 0; i < ne; i++ {
+			var e []string
+			for _, v := range names {
+				if rng.Intn(2) == 0 {
+					e = append(e, v)
+				}
+			}
+			if len(e) == 0 {
+				e = append(e, names[rng.Intn(len(names))])
+			}
+			edges = append(edges, e)
+		}
+		h := New(edges)
+		// Random permutation of the hypergraph's vertices.
+		gao := append([]string(nil), h.Vertices...)
+		rng.Shuffle(len(gao), func(i, j int) { gao[i], gao[j] = gao[j], gao[i] })
+		td, err := h.DecompositionFromOrder(gao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := h.EliminationWidth(gao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td.Width != w {
+			t.Fatalf("trial %d: decomposition width %d != elimination width %d (gao %v, edges %v)",
+				trial, td.Width, w, gao, edges)
+		}
+		if err := td.Validate(h); err != nil {
+			t.Fatalf("trial %d: %v (gao %v, edges %v)", trial, err, gao, edges)
+		}
+	}
+}
+
+func TestOptimalWidthOrder(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][]string
+		want  int
+	}{
+		{"triangle", triangle, 2},
+		{"path5", path5, 1},
+		{"bowtie", bowtie, 1},
+		{"4clique", [][]string{{"A", "B"}, {"A", "C"}, {"A", "D"}, {"B", "C"}, {"B", "D"}, {"C", "D"}}, 3},
+		{"4cycle", [][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "A"}}, 2},
+		{"single edge", [][]string{{"A", "B", "C"}}, 2},
+	}
+	for _, c := range cases {
+		h := New(c.edges)
+		gao, w, err := h.OptimalWidthOrder()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if w != c.want {
+			t.Fatalf("%s: treewidth = %d, want %d (order %v)", c.name, w, c.want, gao)
+		}
+		tw, err := h.Treewidth()
+		if err != nil || tw != c.want {
+			t.Fatalf("%s: Treewidth = %d, %v", c.name, tw, err)
+		}
+	}
+}
+
+func TestOptimalWidthOrderTooLarge(t *testing.T) {
+	var edges [][]string
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J"}
+	for i := 0; i < len(names)-1; i++ {
+		edges = append(edges, []string{names[i], names[i+1]})
+	}
+	if _, _, err := New(edges).OptimalWidthOrder(); err == nil {
+		t.Fatal("10 vertices must be rejected")
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	for trial := 0; trial < 40; trial++ {
+		var edges [][]string
+		ne := 2 + rng.Intn(5)
+		for i := 0; i < ne; i++ {
+			var e []string
+			for _, v := range names {
+				if rng.Intn(3) == 0 {
+					e = append(e, v)
+				}
+			}
+			if len(e) == 0 {
+				e = append(e, names[rng.Intn(len(names))])
+			}
+			edges = append(edges, e)
+		}
+		h := New(edges)
+		_, optW, err := h.OptimalWidthOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, greedyW := h.GreedyWidthOrder()
+		if greedyW < optW {
+			t.Fatalf("trial %d: greedy width %d below optimal %d?!", trial, greedyW, optW)
+		}
+	}
+}

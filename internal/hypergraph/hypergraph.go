@@ -1,0 +1,403 @@
+// Package hypergraph implements the query-structure theory of Appendix A
+// of the paper: α-acyclicity via GYO reduction with join-tree extraction,
+// β-acyclicity via Brouwer–Kolen nest points, nested elimination orders
+// (Definition A.5, Proposition A.6), prefix posets, and the elimination
+// width of a global attribute order (Proposition A.7), together with a
+// greedy search for low-width GAOs.
+//
+// Vertices are attribute names (strings); hyperedges are the attribute
+// sets of the query's atoms.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph is a query hypergraph: Vertices lists all attributes in a
+// canonical order, Edges holds one attribute set per atom (parallel to the
+// query's atom list; duplicates allowed).
+type Hypergraph struct {
+	Vertices []string
+	Edges    [][]string // each edge: sorted, distinct attribute names
+}
+
+// New builds a hypergraph from the given edges. Vertex order is the order
+// of first appearance. Edges are normalized (sorted, deduplicated) but
+// edge multiplicity and order are preserved.
+func New(edges [][]string) *Hypergraph {
+	h := &Hypergraph{}
+	seen := map[string]bool{}
+	for _, e := range edges {
+		set := map[string]bool{}
+		var norm []string
+		for _, v := range e {
+			if !set[v] {
+				set[v] = true
+				norm = append(norm, v)
+			}
+			if !seen[v] {
+				seen[v] = true
+				h.Vertices = append(h.Vertices, v)
+			}
+		}
+		sort.Strings(norm)
+		h.Edges = append(h.Edges, norm)
+	}
+	return h
+}
+
+func contains(edge []string, v string) bool {
+	i := sort.SearchStrings(edge, v)
+	return i < len(edge) && edge[i] == v
+}
+
+// subset reports a ⊆ b for sorted slices.
+func subset(a, b []string) bool {
+	i := 0
+	for _, v := range a {
+		for i < len(b) && b[i] < v {
+			i++
+		}
+		if i >= len(b) || b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func without(edge []string, v string) []string {
+	out := make([]string, 0, len(edge))
+	for _, u := range edge {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// JoinTree is the result of a successful GYO reduction: Parent[i] is the
+// atom index that atom i was folded into (-1 for the root). It is a valid
+// join tree: for every attribute, the atoms containing it form a connected
+// subtree.
+type JoinTree struct {
+	Parent []int
+	Root   int
+}
+
+// GYO runs the Graham–Yu–Özsoyoğlu reduction (Abiteboul et al., p.128).
+// It reports whether the hypergraph is α-acyclic and, if so, returns a
+// join tree over the original edge indexes.
+//
+// The reduction repeatedly removes an "ear": an edge E such that every
+// vertex of E is either exclusive to E or contained in a single witness
+// edge F ≠ E. E's tree parent is F. The hypergraph is α-acyclic iff the
+// reduction ends with at most one edge.
+func (h *Hypergraph) GYO() (*JoinTree, bool) {
+	n := len(h.Edges)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	// count[v] = number of alive edges containing v.
+	count := map[string]int{}
+	for i, e := range h.Edges {
+		_ = i
+		for _, v := range e {
+			count[v]++
+		}
+	}
+	removeEdge := func(i, witness int) {
+		alive[i] = false
+		parent[i] = witness
+		remaining--
+		for _, v := range h.Edges[i] {
+			count[v]--
+		}
+	}
+	for remaining > 1 {
+		progressed := false
+		for i := 0; i < n && remaining > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Non-exclusive part of edge i.
+			var core []string
+			for _, v := range h.Edges[i] {
+				if count[v] > 1 {
+					core = append(core, v)
+				}
+			}
+			// Find a witness edge containing core.
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if subset(core, h.Edges[j]) {
+					removeEdge(i, j)
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			return nil, false
+		}
+	}
+	root := -1
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			root = i
+			break
+		}
+	}
+	if root == -1 { // no edges at all
+		root = 0
+		if n == 0 {
+			return &JoinTree{Parent: parent, Root: -1}, true
+		}
+	}
+	// Edges folded into dead edges: path-compress to alive ancestors is not
+	// needed — parents recorded at removal time are alive at that moment,
+	// and the removal order makes the parent pointers acyclic.
+	return &JoinTree{Parent: parent, Root: root}, true
+}
+
+// IsAlphaAcyclic reports whether the hypergraph is α-acyclic.
+func (h *Hypergraph) IsAlphaAcyclic() bool {
+	_, ok := h.GYO()
+	return ok
+}
+
+// isNestPoint reports whether vertex v is a nest point: the edges
+// containing v form a chain under ⊆ (Brouwer–Kolen).
+func (h *Hypergraph) isNestPoint(edges [][]string, v string) bool {
+	var incident [][]string
+	for _, e := range edges {
+		if contains(e, v) {
+			incident = append(incident, e)
+		}
+	}
+	sort.Slice(incident, func(i, j int) bool { return len(incident[i]) < len(incident[j]) })
+	for i := 1; i < len(incident); i++ {
+		if !subset(incident[i-1], incident[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NestedEliminationOrder returns a GAO v1,…,vn whose prefix posets are all
+// chains (Definition A.5), or ok=false when none exists. By
+// Proposition A.6 such an order exists iff the hypergraph is β-acyclic;
+// the order is built back-to-front by repeatedly extracting a nest point
+// (Brouwer–Kolen guarantees β-acyclic hypergraphs have one).
+func (h *Hypergraph) NestedEliminationOrder() (order []string, ok bool) {
+	edges := make([][]string, len(h.Edges))
+	copy(edges, h.Edges)
+	vertices := append([]string(nil), h.Vertices...)
+	rev := make([]string, 0, len(vertices))
+	for len(vertices) > 0 {
+		found := -1
+		for i, v := range vertices {
+			if h.isNestPoint(edges, v) {
+				found = i
+				break
+			}
+		}
+		if found == -1 {
+			return nil, false
+		}
+		v := vertices[found]
+		rev = append(rev, v)
+		vertices = append(vertices[:found], vertices[found+1:]...)
+		for i, e := range edges {
+			edges[i] = without(e, v)
+		}
+	}
+	order = make([]string, len(rev))
+	for i, v := range rev {
+		order[len(rev)-1-i] = v
+	}
+	return order, true
+}
+
+// IsBetaAcyclic reports whether the hypergraph is β-acyclic
+// (every sub-hypergraph is α-acyclic; equivalently a nested elimination
+// order exists, Proposition A.6).
+func (h *Hypergraph) IsBetaAcyclic() bool {
+	_, ok := h.NestedEliminationOrder()
+	return ok
+}
+
+// PrefixPosets computes, for the given GAO, the prefix posets P_k and
+// their universes U(P_k) of Appendix A.2. The returned posets[k] is the
+// list of sets F∩{v1..vk−1} (with v_k removed) for edges F of H_k
+// containing v_k; universes[k] is their union. Index 0 corresponds to v1.
+func (h *Hypergraph) PrefixPosets(gao []string) (posets [][][]string, universes [][]string, err error) {
+	n := len(gao)
+	pos := make(map[string]int, n)
+	for i, v := range gao {
+		if _, dup := pos[v]; dup {
+			return nil, nil, fmt.Errorf("hypergraph: GAO repeats attribute %q", v)
+		}
+		pos[v] = i
+	}
+	for _, v := range h.Vertices {
+		if _, ok := pos[v]; !ok {
+			return nil, nil, fmt.Errorf("hypergraph: GAO missing attribute %q", v)
+		}
+	}
+	if n != len(h.Vertices) {
+		return nil, nil, fmt.Errorf("hypergraph: GAO has %d attributes, hypergraph has %d", n, len(h.Vertices))
+	}
+	// Work on the recursive hypergraph sequence H_n … H_1.
+	edges := make([][]string, len(h.Edges))
+	copy(edges, h.Edges)
+	posets = make([][][]string, n)
+	universes = make([][]string, n)
+	for j := n - 1; j >= 0; j-- {
+		vj := gao[j]
+		var pj [][]string
+		uset := map[string]bool{}
+		for _, e := range edges {
+			if contains(e, vj) {
+				f := without(e, vj)
+				pj = append(pj, f)
+				for _, u := range f {
+					uset[u] = true
+				}
+			}
+		}
+		var universe []string
+		for u := range uset {
+			universe = append(universe, u)
+		}
+		sort.Strings(universe)
+		posets[j] = pj
+		universes[j] = universe
+		// H_{j-1}: drop vj from every edge and add U(P_j).
+		next := make([][]string, 0, len(edges)+1)
+		for _, e := range edges {
+			next = append(next, without(e, vj))
+		}
+		next = append(next, universe)
+		edges = next
+	}
+	return posets, universes, nil
+}
+
+// EliminationWidth returns max_k |U(P_k)| for the given GAO
+// (Proposition A.7: minimizing this over GAOs gives the treewidth).
+func (h *Hypergraph) EliminationWidth(gao []string) (int, error) {
+	_, universes, err := h.PrefixPosets(gao)
+	if err != nil {
+		return 0, err
+	}
+	w := 0
+	for _, u := range universes {
+		if len(u) > w {
+			w = len(u)
+		}
+	}
+	return w, nil
+}
+
+// IsNestedEliminationOrder reports whether the GAO's prefix posets are all
+// chains (Definition A.5).
+func (h *Hypergraph) IsNestedEliminationOrder(gao []string) (bool, error) {
+	posets, _, err := h.PrefixPosets(gao)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range posets {
+		if !isChain(p) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func isChain(sets [][]string) bool {
+	sorted := make([][]string, len(sets))
+	copy(sorted, sets)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) < len(sorted[j]) })
+	for i := 1; i < len(sorted); i++ {
+		if !subset(sorted[i-1], sorted[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyWidthOrder returns a GAO found by the min-width greedy heuristic:
+// the order is built back-to-front, at each step eliminating the vertex
+// whose current U(P) is smallest, preferring nest points (so β-acyclic
+// hypergraphs automatically get a nested elimination order). The returned
+// width is the order's elimination width.
+func (h *Hypergraph) GreedyWidthOrder() (gao []string, width int) {
+	edges := make([][]string, len(h.Edges))
+	copy(edges, h.Edges)
+	vertices := append([]string(nil), h.Vertices...)
+	rev := make([]string, 0, len(vertices))
+	for len(vertices) > 0 {
+		best, bestCost := -1, 1<<30
+		bestNest := false
+		for i, v := range vertices {
+			uset := map[string]bool{}
+			for _, e := range edges {
+				if contains(e, v) {
+					for _, u := range e {
+						if u != v {
+							uset[u] = true
+						}
+					}
+				}
+			}
+			nest := h.isNestPoint(edges, v)
+			cost := len(uset)
+			if best == -1 || (nest && !bestNest) || (nest == bestNest && cost < bestCost) {
+				best, bestCost, bestNest = i, cost, nest
+			}
+		}
+		v := vertices[best]
+		rev = append(rev, v)
+		vertices = append(vertices[:best], vertices[best+1:]...)
+		// Add the fill edge U(P) before deleting v, as in PrefixPosets.
+		uset := map[string]bool{}
+		for _, e := range edges {
+			if contains(e, v) {
+				for _, u := range e {
+					if u != v {
+						uset[u] = true
+					}
+				}
+			}
+		}
+		var fill []string
+		for u := range uset {
+			fill = append(fill, u)
+		}
+		sort.Strings(fill)
+		next := make([][]string, 0, len(edges)+1)
+		for _, e := range edges {
+			next = append(next, without(e, v))
+		}
+		next = append(next, fill)
+		edges = next
+	}
+	gao = make([]string, len(rev))
+	for i, v := range rev {
+		gao[len(rev)-1-i] = v
+	}
+	w, err := h.EliminationWidth(gao)
+	if err != nil {
+		panic(err) // unreachable: gao is a permutation of h.Vertices
+	}
+	return gao, w
+}

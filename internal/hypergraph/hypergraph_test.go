@@ -1,0 +1,372 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Queries from the paper, used throughout.
+var (
+	// Q∆ = R(A,B) ⋈ S(A,C) ⋈ T(B,C): α-cyclic and β-cyclic (Example A.1).
+	triangle = [][]string{{"A", "B"}, {"A", "C"}, {"B", "C"}}
+	// Q∆+U: adding U(A,B,C) makes it α-acyclic but still β-cyclic.
+	triangleU = [][]string{{"A", "B"}, {"A", "C"}, {"B", "C"}, {"A", "B", "C"}}
+	// Bow-tie R(X) ⋈ S(X,Y) ⋈ T(Y): β-acyclic (Appendix I).
+	bowtie = [][]string{{"X"}, {"X", "Y"}, {"Y"}}
+	// Path query R1(A1,A2) ⋈ … ⋈ R4(A4,A5): β-acyclic (Appendix J).
+	path5 = [][]string{{"A1", "A2"}, {"A2", "A3"}, {"A3", "A4"}, {"A4", "A5"}}
+	// Example B.7: R(A,B,C) ⋈ S(A,C) ⋈ T(B,C): β-acyclic,
+	// (C,A,B) is a nested elimination order but (A,B,C) is not.
+	exB7 = [][]string{{"A", "B", "C"}, {"A", "C"}, {"B", "C"}}
+	// Star query of Section 5.2.
+	star = [][]string{{"A"}, {"A", "B"}, {"A", "C"}, {"A", "D"}, {"B"}, {"C"}, {"D"}}
+)
+
+func TestNewNormalization(t *testing.T) {
+	h := New([][]string{{"B", "A", "B"}, {"C"}})
+	if !reflect.DeepEqual(h.Edges[0], []string{"A", "B"}) {
+		t.Fatalf("edge 0 = %v", h.Edges[0])
+	}
+	if !reflect.DeepEqual(h.Vertices, []string{"B", "A", "C"}) {
+		t.Fatalf("vertices = %v", h.Vertices)
+	}
+}
+
+func TestAlphaAcyclicity(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][]string
+		want  bool
+	}{
+		{"triangle", triangle, false},
+		{"triangle+U", triangleU, true},
+		{"bowtie", bowtie, true},
+		{"path5", path5, true},
+		{"exB7", exB7, true},
+		{"star", star, true},
+		{"single", [][]string{{"A", "B"}}, true},
+		{"empty", nil, true},
+		{"4cycle", [][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "A"}}, false},
+	}
+	for _, c := range cases {
+		if got := New(c.edges).IsAlphaAcyclic(); got != c.want {
+			t.Errorf("%s: IsAlphaAcyclic = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBetaAcyclicity(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][]string
+		want  bool
+	}{
+		{"triangle", triangle, false},
+		{"triangle+U", triangleU, false}, // α-acyclic but β-cyclic (Example A.1)
+		{"bowtie", bowtie, true},
+		{"path5", path5, true},
+		{"exB7", exB7, true},
+		{"star", star, true},
+		{"tree query", [][]string{{"A", "B"}, {"B", "C"}, {"B", "D"}, {"D", "E"}, {"A"}, {"C"}, {"D"}, {"E"}}, true},
+	}
+	for _, c := range cases {
+		if got := New(c.edges).IsBetaAcyclic(); got != c.want {
+			t.Errorf("%s: IsBetaAcyclic = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestJoinTreeValid(t *testing.T) {
+	for _, edges := range [][][]string{triangleU, bowtie, path5, exB7, star} {
+		h := New(edges)
+		jt, ok := h.GYO()
+		if !ok {
+			t.Fatalf("GYO failed on α-acyclic %v", edges)
+		}
+		validateJoinTree(t, h, jt)
+	}
+	if _, ok := New(triangle).GYO(); ok {
+		t.Fatal("GYO accepted the triangle")
+	}
+}
+
+// validateJoinTree checks the running-intersection property: for every
+// vertex, the set of edges containing it is connected in the tree.
+func validateJoinTree(t *testing.T, h *Hypergraph, jt *JoinTree) {
+	t.Helper()
+	n := len(h.Edges)
+	if jt.Root < 0 || jt.Root >= n {
+		t.Fatalf("bad root %d", jt.Root)
+	}
+	// Check parents form a forest rooted at Root.
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{}
+		j := i
+		for j != jt.Root {
+			if seen[j] {
+				t.Fatalf("cycle in join tree at %d", j)
+			}
+			seen[j] = true
+			j = jt.Parent[j]
+			if j < 0 || j >= n {
+				t.Fatalf("dangling parent pointer from %d", i)
+			}
+		}
+	}
+	for _, v := range h.Vertices {
+		// Collect edges containing v, check connectivity via parents:
+		// walking up from any containing edge, the path to the "highest"
+		// containing edge must stay within containing edges.
+		var holders []int
+		for i, e := range h.Edges {
+			if contains(e, v) {
+				holders = append(holders, i)
+			}
+		}
+		if len(holders) <= 1 {
+			continue
+		}
+		// depth of node
+		depth := func(i int) int {
+			d := 0
+			for i != jt.Root {
+				i = jt.Parent[i]
+				d++
+			}
+			return d
+		}
+		// The topmost holder.
+		top := holders[0]
+		for _, i := range holders[1:] {
+			if depth(i) < depth(top) {
+				top = i
+			}
+		}
+		holds := map[int]bool{}
+		for _, i := range holders {
+			holds[i] = true
+		}
+		for _, i := range holders {
+			for i != top {
+				if !holds[i] {
+					t.Fatalf("vertex %q: connectivity broken at edge %d", v, i)
+				}
+				i = jt.Parent[i]
+				if depth(i) < depth(top) {
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestNestedEliminationOrder(t *testing.T) {
+	for _, edges := range [][][]string{bowtie, path5, exB7, star} {
+		h := New(edges)
+		gao, ok := h.NestedEliminationOrder()
+		if !ok {
+			t.Fatalf("no NEO for β-acyclic %v", edges)
+		}
+		if len(gao) != len(h.Vertices) {
+			t.Fatalf("NEO %v misses vertices of %v", gao, h.Vertices)
+		}
+		nested, err := h.IsNestedEliminationOrder(gao)
+		if err != nil || !nested {
+			t.Fatalf("returned order %v is not a nested elimination order (%v)", gao, err)
+		}
+	}
+	if _, ok := New(triangle).NestedEliminationOrder(); ok {
+		t.Fatal("triangle must have no nested elimination order")
+	}
+	if _, ok := New(triangleU).NestedEliminationOrder(); ok {
+		t.Fatal("triangle+U must have no nested elimination order")
+	}
+}
+
+func TestExampleB7Orders(t *testing.T) {
+	// The paper: for R(A,B,C) ⋈ S(A,C) ⋈ T(B,C), (C,A,B) is a nested
+	// elimination order while (A,B,C) is not.
+	h := New(exB7)
+	nested, err := h.IsNestedEliminationOrder([]string{"C", "A", "B"})
+	if err != nil || !nested {
+		t.Fatalf("(C,A,B) should be nested: %v %v", nested, err)
+	}
+	nested, err = h.IsNestedEliminationOrder([]string{"A", "B", "C"})
+	if err != nil || nested {
+		t.Fatalf("(A,B,C) should not be nested: %v %v", nested, err)
+	}
+}
+
+func TestEliminationWidth(t *testing.T) {
+	// Triangle: every order has width 2.
+	h := New(triangle)
+	for _, gao := range [][]string{{"A", "B", "C"}, {"B", "C", "A"}, {"C", "A", "B"}} {
+		w, err := h.EliminationWidth(gao)
+		if err != nil || w != 2 {
+			t.Fatalf("triangle width(%v) = %d, %v", gao, w, err)
+		}
+	}
+	// Path: width 1 in the natural order.
+	hp := New(path5)
+	w, err := hp.EliminationWidth([]string{"A1", "A2", "A3", "A4", "A5"})
+	if err != nil || w != 1 {
+		t.Fatalf("path width = %d, %v", w, err)
+	}
+	// Example B.7 under (A,B,C): eliminating C last gives U = {A,B}, width 2.
+	hb := New(exB7)
+	w, err = hb.EliminationWidth([]string{"A", "B", "C"})
+	if err != nil || w != 2 {
+		t.Fatalf("exB7 width(A,B,C) = %d, %v", w, err)
+	}
+	w, err = hb.EliminationWidth([]string{"C", "A", "B"})
+	if err != nil || w != 2 {
+		t.Fatalf("exB7 width(C,A,B) = %d, %v", w, err)
+	}
+}
+
+func TestEliminationWidthErrors(t *testing.T) {
+	h := New(triangle)
+	if _, err := h.EliminationWidth([]string{"A", "B"}); err == nil {
+		t.Fatal("short GAO must error")
+	}
+	if _, err := h.EliminationWidth([]string{"A", "B", "B"}); err == nil {
+		t.Fatal("duplicate GAO must error")
+	}
+	if _, err := h.EliminationWidth([]string{"A", "B", "X"}); err == nil {
+		t.Fatal("wrong attribute must error")
+	}
+}
+
+func TestGreedyWidthOrder(t *testing.T) {
+	// On β-acyclic inputs the greedy order must be a nested elimination
+	// order (nest points are preferred).
+	for _, edges := range [][][]string{bowtie, path5, exB7, star} {
+		h := New(edges)
+		gao, w := h.GreedyWidthOrder()
+		nested, err := h.IsNestedEliminationOrder(gao)
+		if err != nil || !nested {
+			t.Fatalf("greedy order %v not nested for %v", gao, edges)
+		}
+		wCheck, _ := h.EliminationWidth(gao)
+		if w != wCheck {
+			t.Fatalf("returned width %d != recomputed %d", w, wCheck)
+		}
+	}
+	// Triangle: greedy must achieve the treewidth 2.
+	gao, w := New(triangle).GreedyWidthOrder()
+	if w != 2 || len(gao) != 3 {
+		t.Fatalf("triangle greedy = %v width %d", gao, w)
+	}
+}
+
+func TestPrefixPosetChainEquivalence(t *testing.T) {
+	// Property (Proposition A.6): a random order over a β-acyclic graph is
+	// nested iff our chain check of the prefix posets says so; and the
+	// hypergraph is β-acyclic iff some permutation is nested. Cross-check
+	// on small random hypergraphs against brute force over permutations.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		nv := 3 + rng.Intn(2) // 3..4 vertices
+		ne := 2 + rng.Intn(3)
+		names := []string{"A", "B", "C", "D"}[:nv]
+		var edges [][]string
+		for i := 0; i < ne; i++ {
+			var e []string
+			for _, v := range names {
+				if rng.Intn(2) == 0 {
+					e = append(e, v)
+				}
+			}
+			if len(e) == 0 {
+				e = append(e, names[rng.Intn(nv)])
+			}
+			edges = append(edges, e)
+		}
+		h := New(edges)
+		anyNested := false
+		perms := permutations(h.Vertices)
+		for _, p := range perms {
+			ok, err := h.IsNestedEliminationOrder(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				anyNested = true
+				break
+			}
+		}
+		if got := h.IsBetaAcyclic(); got != anyNested {
+			t.Fatalf("trial %d edges %v: IsBetaAcyclic=%v but brute force says %v", trial, edges, got, anyNested)
+		}
+	}
+}
+
+func permutations(items []string) [][]string {
+	if len(items) <= 1 {
+		return [][]string{append([]string(nil), items...)}
+	}
+	var out [][]string
+	for i := range items {
+		rest := make([]string, 0, len(items)-1)
+		rest = append(rest, items[:i]...)
+		rest = append(rest, items[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]string{items[i]}, p...))
+		}
+	}
+	return out
+}
+
+func TestBetaImpliesAlpha(t *testing.T) {
+	// β-acyclicity is strictly stronger than α-acyclicity; verify the
+	// implication on random hypergraphs.
+	rng := rand.New(rand.NewSource(17))
+	names := []string{"A", "B", "C", "D", "E"}
+	for trial := 0; trial < 100; trial++ {
+		var edges [][]string
+		ne := 1 + rng.Intn(4)
+		for i := 0; i < ne; i++ {
+			var e []string
+			for _, v := range names {
+				if rng.Intn(3) == 0 {
+					e = append(e, v)
+				}
+			}
+			if len(e) == 0 {
+				e = append(e, names[rng.Intn(len(names))])
+			}
+			edges = append(edges, e)
+		}
+		h := New(edges)
+		if h.IsBetaAcyclic() && !h.IsAlphaAcyclic() {
+			t.Fatalf("edges %v: β-acyclic but not α-acyclic", edges)
+		}
+	}
+}
+
+func TestPrefixPosetsShape(t *testing.T) {
+	h := New(path5)
+	gao := []string{"A1", "A2", "A3", "A4", "A5"}
+	posets, universes, err := h.PrefixPosets(gao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posets) != 5 || len(universes) != 5 {
+		t.Fatalf("lengths: %d %d", len(posets), len(universes))
+	}
+	// Eliminating A5 (last): only R4(A4,A5) contains it; P = {{A4}}; U = {A4}.
+	if !reflect.DeepEqual(universes[4], []string{"A4"}) {
+		t.Fatalf("U(P_5) = %v", universes[4])
+	}
+	// U(P_1) must be empty.
+	if len(universes[0]) != 0 {
+		t.Fatalf("U(P_1) = %v", universes[0])
+	}
+	for k, u := range universes {
+		if !sort.StringsAreSorted(u) {
+			t.Fatalf("universe %d not sorted: %v", k, u)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package ordered
+
+// BTree is a B-tree keyed by int with payloads of type V — the index
+// organization the paper's model is phrased around (Section 2.1 cites
+// B-trees; Ramakrishnan & Gehrke ch. 10). It offers the same operations
+// as SortedList so either can back an ordered index; the B-tree trades
+// pointer-chasing for wide, cache-friendly nodes.
+//
+// The implementation is a classic preemptive-split B-tree of minimum
+// degree BTreeDegree: every node except the root holds between
+// BTreeDegree-1 and 2*BTreeDegree-1 keys.
+type BTree[V any] struct {
+	root *btreeNode[V]
+	size int
+}
+
+// BTreeDegree is the minimum degree t of the tree (max 2t-1 keys/node).
+const BTreeDegree = 16
+
+type btreeNode[V any] struct {
+	keys     []int
+	vals     []V
+	children []*btreeNode[V] // nil for leaves
+}
+
+// NewBTree returns an empty B-tree.
+func NewBTree[V any]() *BTree[V] {
+	return &BTree[V]{root: &btreeNode[V]{}}
+}
+
+// Len returns the number of stored keys.
+func (t *BTree[V]) Len() int { return t.size }
+
+func (n *btreeNode[V]) leaf() bool { return n.children == nil }
+
+// search returns the index of the first key ≥ k.
+func (n *btreeNode[V]) search(k int) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Find returns the payload stored under key.
+func (t *BTree[V]) Find(key int) (V, bool) {
+	n := t.root
+	for {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// FindLub returns the smallest key ≥ v with its payload.
+func (t *BTree[V]) FindLub(v int) (key int, val V, ok bool) {
+	n := t.root
+	var bestKey int
+	var bestVal V
+	found := false
+	for {
+		i := n.search(v)
+		if i < len(n.keys) {
+			bestKey, bestVal, found = n.keys[i], n.vals[i], true
+			if n.keys[i] == v {
+				return bestKey, bestVal, true
+			}
+		}
+		if n.leaf() {
+			if found {
+				return bestKey, bestVal, true
+			}
+			var zero V
+			return 0, zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// FindGlb returns the largest key ≤ v with its payload.
+func (t *BTree[V]) FindGlb(v int) (key int, val V, ok bool) {
+	n := t.root
+	var bestKey int
+	var bestVal V
+	found := false
+	for {
+		i := n.search(v)
+		if i < len(n.keys) && n.keys[i] == v {
+			return v, n.vals[i], true
+		}
+		if i > 0 {
+			bestKey, bestVal, found = n.keys[i-1], n.vals[i-1], true
+		}
+		if n.leaf() {
+			if found {
+				return bestKey, bestVal, true
+			}
+			var zero V
+			return 0, zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Insert stores val under key, replacing any existing payload; reports
+// whether the key is new.
+func (t *BTree[V]) Insert(key int, val V) bool {
+	if len(t.root.keys) == 2*BTreeDegree-1 {
+		old := t.root
+		t.root = &btreeNode[V]{children: []*btreeNode[V]{old}}
+		t.root.splitChild(0)
+	}
+	added := t.root.insertNonFull(key, val)
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// splitChild splits the full child at index i of n.
+func (n *btreeNode[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := BTreeDegree - 1
+	right := &btreeNode[V]{
+		keys: append([]int(nil), child.keys[mid+1:]...),
+		vals: append([]V(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode[V](nil), child.children[mid+1:]...)
+	}
+	upKey, upVal := child.keys[mid], child.vals[mid]
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+	if !child.leaf() {
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, 0)
+	n.vals = append(n.vals, upVal)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	n.keys[i] = upKey
+	n.vals[i] = upVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode[V]) insertNonFull(key int, val V) bool {
+	for {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, 0)
+			var zero V
+			n.vals = append(n.vals, zero)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			n.vals[i] = val
+			return true
+		}
+		if len(n.children[i].keys) == 2*BTreeDegree-1 {
+			n.splitChild(i)
+			if key == n.keys[i] {
+				n.vals[i] = val
+				return false
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Ascend calls fn in ascending key order until it returns false.
+func (t *BTree[V]) Ascend(fn func(key int, val V) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *btreeNode[V]) ascend(fn func(int, V) bool) bool {
+	for i := range n.keys {
+		if !n.leaf() {
+			if !n.children[i].ascend(fn) {
+				return false
+			}
+		}
+		if !fn(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.keys)].ascend(fn)
+	}
+	return true
+}
+
+// Keys returns all keys ascending.
+func (t *BTree[V]) Keys() []int {
+	out := make([]int, 0, t.size)
+	t.Ascend(func(k int, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package ordered
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	b := NewBTree[string]()
+	if b.Len() != 0 {
+		t.Fatal("empty tree has keys")
+	}
+	if !b.Insert(5, "five") || !b.Insert(1, "one") || !b.Insert(9, "nine") {
+		t.Fatal("fresh inserts must report true")
+	}
+	if b.Insert(5, "FIVE") {
+		t.Fatal("replace must report false")
+	}
+	if v, ok := b.Find(5); !ok || v != "FIVE" {
+		t.Fatalf("Find(5) = %q %v", v, ok)
+	}
+	if _, ok := b.Find(7); ok {
+		t.Fatal("Find(7) must miss")
+	}
+	if k, _, ok := b.FindLub(2); !ok || k != 5 {
+		t.Fatalf("FindLub(2) = %d %v", k, ok)
+	}
+	if k, _, ok := b.FindGlb(8); !ok || k != 5 {
+		t.Fatalf("FindGlb(8) = %d %v", k, ok)
+	}
+	if _, _, ok := b.FindLub(10); ok {
+		t.Fatal("FindLub(10) must miss")
+	}
+	if _, _, ok := b.FindGlb(0); ok {
+		t.Fatal("FindGlb(0) must miss")
+	}
+	if got := b.Keys(); len(got) != 3 || got[0] != 1 || got[2] != 9 {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+// TestBTreeAgainstSortedList drives both ordered maps with identical
+// random operations; all queries must agree.
+func TestBTreeAgainstSortedList(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	b := NewBTree[int]()
+	s := NewSortedList[int]()
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(5000)
+		switch rng.Intn(3) {
+		case 0:
+			vb := b.Insert(k, step)
+			vs := s.Insert(k, step)
+			if vb != vs {
+				t.Fatalf("step %d: Insert(%d) disagree", step, k)
+			}
+		case 1:
+			vb, okb := b.Find(k)
+			vs, oks := s.Find(k)
+			if okb != oks || (okb && vb != vs) {
+				t.Fatalf("step %d: Find(%d) = %d,%v vs %d,%v", step, k, vb, okb, vs, oks)
+			}
+		case 2:
+			kb, _, okb := b.FindLub(k)
+			ks, _, oks := s.FindLub(k)
+			if okb != oks || (okb && kb != ks) {
+				t.Fatalf("step %d: FindLub(%d) = %d,%v vs %d,%v", step, k, kb, okb, ks, oks)
+			}
+			kb, _, okb = b.FindGlb(k)
+			ks, _, oks = s.FindGlb(k)
+			if okb != oks || (okb && kb != ks) {
+				t.Fatalf("step %d: FindGlb(%d) disagree", step, k)
+			}
+		}
+		if b.Len() != s.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, b.Len(), s.Len())
+		}
+	}
+}
+
+// TestBTreeNodeInvariants checks B-tree structural invariants after bulk
+// insertion: sorted keys in every node, key-count bounds, uniform depth.
+func TestBTreeNodeInvariants(t *testing.T) {
+	b := NewBTree[struct{}]()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		b.Insert(rng.Intn(200000), struct{}{})
+	}
+	depths := map[int]bool{}
+	var walk func(n *btreeNode[struct{}], depth int, isRoot bool)
+	walk = func(n *btreeNode[struct{}], depth int, isRoot bool) {
+		if !sort.IntsAreSorted(n.keys) {
+			t.Fatal("node keys unsorted")
+		}
+		if len(n.keys) > 2*BTreeDegree-1 {
+			t.Fatalf("node overfull: %d keys", len(n.keys))
+		}
+		if !isRoot && len(n.keys) < BTreeDegree-1 {
+			t.Fatalf("node underfull: %d keys", len(n.keys))
+		}
+		if n.leaf() {
+			depths[depth] = true
+			return
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("child count %d for %d keys", len(n.children), len(n.keys))
+		}
+		for _, c := range n.children {
+			walk(c, depth+1, false)
+		}
+	}
+	walk(b.root, 0, true)
+	if len(depths) != 1 {
+		t.Fatalf("leaves at multiple depths: %v", depths)
+	}
+	if got := b.Keys(); !sort.IntsAreSorted(got) || len(got) != b.Len() {
+		t.Fatal("Keys() inconsistent")
+	}
+}
+
+func TestBTreeQuickSorted(t *testing.T) {
+	f := func(keys []int16) bool {
+		b := NewBTree[struct{}]()
+		seen := map[int]bool{}
+		for _, k := range keys {
+			b.Insert(int(k), struct{}{})
+			seen[int(k)] = true
+		}
+		got := b.Keys()
+		if len(got) != len(seen) {
+			return false
+		}
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		for _, k := range got {
+			if !seen[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeAscendEarlyStop(t *testing.T) {
+	b := NewBTree[int]()
+	for i := 0; i < 100; i++ {
+		b.Insert(i, i)
+	}
+	var got []int
+	b.Ascend(func(k, _ int) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	if len(got) != 5 || got[4] != 4 {
+		t.Fatalf("early stop: %v", got)
+	}
+}

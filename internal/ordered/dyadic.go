@@ -1,0 +1,229 @@
+package ordered
+
+// DyadicTree is the dyadic interval tree of Appendix L.1. It indexes a
+// binary tree over the key domain [0, Capacity): node x covers the dyadic
+// key range [x.Lo, x.Hi], leaves cover single keys, and every node carries a
+// RangeSet over a second (value) domain. The tree maintains the invariant
+//
+//	I(x) = I(x∘0) ∩ I(x∘1)
+//
+// for every internal node x (equation (7) of the paper): a value range is
+// recorded at an internal node exactly when it is covered at every key of
+// the node's dyadic key range. Insertions happen at leaves and "float up"
+// by intersecting with the sibling, giving the O(M log³ N) total insertion
+// bound of Proposition L.1.
+//
+// The triangle-query CDS uses keys for the B attribute and values for the
+// C attribute: a constraint ⟨*, b, (c1,c2)⟩ is a leaf insertion at key b.
+type DyadicTree struct {
+	root     *DyadicNode
+	capacity int
+	inserts  int
+	floatups int
+}
+
+// DyadicNode is a node of a DyadicTree covering keys [Lo, Hi].
+type DyadicNode struct {
+	Lo, Hi      int
+	Set         *RangeSet
+	parent      *DyadicNode
+	left, right *DyadicNode
+	cache       map[int]int // per-probe-context memoization (Algorithm 10's Cache)
+}
+
+// NewDyadicTree returns a tree over keys [0, capacity); capacity is rounded
+// up to a power of two (minimum 1).
+func NewDyadicTree(capacity int) *DyadicTree {
+	c := 1
+	for c < capacity {
+		c *= 2
+	}
+	t := &DyadicTree{capacity: c}
+	t.root = &DyadicNode{Lo: 0, Hi: c - 1, Set: NewRangeSet()}
+	return t
+}
+
+// Capacity returns the (rounded) key capacity.
+func (t *DyadicTree) Capacity() int { return t.capacity }
+
+// Root returns the root node (covering all keys).
+func (t *DyadicTree) Root() *DyadicNode { return t.root }
+
+// Inserts returns the number of leaf insertions performed.
+func (t *DyadicTree) Inserts() int { return t.inserts }
+
+// FloatUps returns the number of range pieces propagated toward the root,
+// the quantity bounded by Proposition L.1.
+func (t *DyadicTree) FloatUps() int { return t.floatups }
+
+// IsLeaf reports whether the node covers a single key.
+func (n *DyadicNode) IsLeaf() bool { return n.Lo == n.Hi }
+
+// Left returns the left child, or nil if it has never been materialized.
+// A missing child is semantically a node with an empty RangeSet.
+func (n *DyadicNode) Left() *DyadicNode { return n.left }
+
+// Right returns the right child, or nil if it has never been materialized.
+func (n *DyadicNode) Right() *DyadicNode { return n.right }
+
+// Cache returns the memoized value stored under probe context key, or
+// def when absent (Algorithm 10's GetCache).
+func (n *DyadicNode) Cache(key, def int) int {
+	if n.cache == nil {
+		return def
+	}
+	if v, ok := n.cache[key]; ok {
+		return v
+	}
+	return def
+}
+
+// SetCache memoizes v under probe context key (Algorithm 10's Cache).
+func (n *DyadicNode) SetCache(key, v int) {
+	if n.cache == nil {
+		n.cache = make(map[int]int)
+	}
+	n.cache[key] = v
+}
+
+func (t *DyadicTree) child(n *DyadicNode, right bool) *DyadicNode {
+	mid := n.Lo + (n.Hi-n.Lo)/2
+	if right {
+		if n.right == nil {
+			n.right = &DyadicNode{Lo: mid + 1, Hi: n.Hi, Set: NewRangeSet(), parent: n}
+		}
+		return n.right
+	}
+	if n.left == nil {
+		n.left = &DyadicNode{Lo: n.Lo, Hi: mid, Set: NewRangeSet(), parent: n}
+	}
+	return n.left
+}
+
+// Leaf returns the leaf node for key, materializing the path to it.
+// Key must lie in [0, Capacity).
+func (t *DyadicTree) Leaf(key int) *DyadicNode {
+	n := t.root
+	for !n.IsLeaf() {
+		mid := n.Lo + (n.Hi-n.Lo)/2
+		n = t.child(n, key > mid)
+	}
+	return n
+}
+
+// Descend returns the child of n whose key range contains key,
+// materializing it if necessary.
+func (t *DyadicTree) Descend(n *DyadicNode, key int) *DyadicNode {
+	mid := n.Lo + (n.Hi-n.Lo)/2
+	return t.child(n, key > mid)
+}
+
+// sibling returns n's sibling, which may be nil (semantically empty).
+func sibling(n *DyadicNode) *DyadicNode {
+	p := n.parent
+	if p == nil {
+		return nil
+	}
+	if p.left == n {
+		return p.right
+	}
+	return p.left
+}
+
+// InsertAtKey records that, for this key, all values in the closed range
+// [lo, hi] are covered. It inserts at the leaf and floats newly covered
+// pieces up the tree, preserving the intersection invariant.
+func (t *DyadicTree) InsertAtKey(key, lo, hi int) {
+	if lo > hi {
+		return
+	}
+	t.inserts++
+	leaf := t.Leaf(key)
+	fresh := insertNew(leaf.Set, Range{lo, hi})
+	t.floatUp(leaf, fresh)
+}
+
+// InsertOpenAtKey records the open interval (l, r) of values at key.
+func (t *DyadicTree) InsertOpenAtKey(key, l, r int) {
+	rg := OpenToRange(l, r)
+	t.InsertAtKey(key, rg.Lo, rg.Hi)
+}
+
+// MarkKeyRangeFull records that for every key of [keyLo, keyHi] the whole
+// value domain is covered. It is used for footnote 15 of the paper: when a
+// wildcard B-interval constraint arrives, every dyadic node inside it
+// becomes fully covered. The given key range is decomposed into O(log N)
+// maximal dyadic nodes; each gets a full value range, then floats up.
+func (t *DyadicTree) MarkKeyRangeFull(keyLo, keyHi int) {
+	if keyLo < 0 {
+		keyLo = 0
+	}
+	if keyHi > t.capacity-1 {
+		keyHi = t.capacity - 1
+	}
+	if keyLo > keyHi {
+		return
+	}
+	t.markFull(t.root, keyLo, keyHi)
+}
+
+func (t *DyadicTree) markFull(n *DyadicNode, keyLo, keyHi int) {
+	if keyHi < n.Lo || keyLo > n.Hi {
+		return
+	}
+	if keyLo <= n.Lo && n.Hi <= keyHi {
+		fresh := insertNew(n.Set, Range{NegInf, PosInf})
+		t.floatUp(n, fresh)
+		return
+	}
+	t.markFull(t.child(n, false), keyLo, keyHi)
+	t.markFull(t.child(n, true), keyLo, keyHi)
+}
+
+// insertNew inserts r into s and returns the sub-ranges of r that were not
+// previously covered (the genuinely new coverage).
+func insertNew(s *RangeSet, r Range) []Range {
+	if r.Empty() {
+		return nil
+	}
+	fresh := s.Gaps(r.Lo, r.Hi)
+	if len(fresh) > 0 {
+		s.Insert(r.Lo, r.Hi)
+	}
+	return fresh
+}
+
+// floatUp propagates freshly covered value ranges at node n toward the
+// root: a piece reaches the parent exactly where the sibling also covers
+// it. Each propagated piece is charged to the insertion that created it.
+func (t *DyadicTree) floatUp(n *DyadicNode, fresh []Range) {
+	for n.parent != nil && len(fresh) > 0 {
+		sib := sibling(n)
+		if sib == nil {
+			return // sibling empty: nothing reaches the parent
+		}
+		var up []Range
+		for _, r := range fresh {
+			for _, piece := range sib.Set.Within(r.Lo, r.Hi) {
+				up = append(up, insertNew(n.parent.Set, piece)...)
+				t.floatups++
+			}
+		}
+		n, fresh = n.parent, up
+	}
+}
+
+// NextSibling returns the next node in pre-order among same-depth subtree
+// roots: the right sibling of the lowest ancestor (including n itself)
+// that is a left child. It returns nil when n is on the all-right spine
+// (Algorithm 10's NextSibling).
+func (t *DyadicTree) NextSibling(n *DyadicNode) *DyadicNode {
+	for n.parent != nil {
+		p := n.parent
+		if p.left == n {
+			return t.child(p, true)
+		}
+		n = p
+	}
+	return nil
+}

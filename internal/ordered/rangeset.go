@@ -1,0 +1,262 @@
+package ordered
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Range is a closed integer range [Lo, Hi] with Lo ≤ Hi.
+// The paper manipulates open intervals (l, r) over ℕ; over an integer
+// domain the open interval (l, r) is exactly the closed range [l+1, r-1],
+// and closed ranges make merging semantics unambiguous: [1,3] and [4,6]
+// are adjacent and merge to [1,6] because no integer separates them,
+// whereas the open intervals (2,5) and (5,9) correctly remain apart
+// because 5 is uncovered.
+type Range struct {
+	Lo, Hi int
+}
+
+// Empty reports whether the range covers no integer.
+func (r Range) Empty() bool { return r.Lo > r.Hi }
+
+// Contains reports whether v lies inside the closed range.
+func (r Range) Contains(v int) bool { return r.Lo <= v && v <= r.Hi }
+
+// Intersect returns the intersection of two ranges (possibly empty).
+func (r Range) Intersect(o Range) Range {
+	lo, hi := r.Lo, r.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Range{lo, hi}
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%s,%s]", fmtVal(r.Lo), fmtVal(r.Hi)) }
+
+func fmtVal(v int) string {
+	switch {
+	case v <= NegInf:
+		return "-inf"
+	case v >= PosInf:
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// OpenToRange converts the paper's open interval (l, r) to a closed integer
+// Range. Sentinel endpoints stay sentinels so that [NegInf, x] means
+// "everything up to x". The result may be empty (when r ≤ l+1).
+func OpenToRange(l, r int) Range {
+	lo, hi := l, r
+	if l > NegInf {
+		lo = l + 1
+	}
+	if r < PosInf {
+		hi = r - 1
+	}
+	return Range{lo, hi}
+}
+
+// RangeSet maintains a set of disjoint, non-adjacent closed integer ranges,
+// implementing the paper's IntervalList (Appendix E.2, Proposition E.3) on
+// top of the AVL SortedList: Insert, Covers and Next all run in O(log n)
+// (Insert amortized, as merged ranges are consumed).
+type RangeSet struct {
+	list    *SortedList[int] // key = Lo, payload = Hi
+	inserts int              // total Insert calls, for accounting
+}
+
+// NewRangeSet returns an empty RangeSet.
+func NewRangeSet() *RangeSet { return &RangeSet{list: NewSortedList[int]()} }
+
+// Len returns the number of maximal ranges currently stored.
+func (s *RangeSet) Len() int { return s.list.Len() }
+
+// Inserts returns the total number of Insert/InsertOpen calls performed,
+// used by the cost accounting in the CDS analysis.
+func (s *RangeSet) Inserts() int { return s.inserts }
+
+// Empty reports whether the set covers no integer.
+func (s *RangeSet) Empty() bool { return s.list.Len() == 0 }
+
+// Insert adds the closed range [lo, hi], merging with overlapping or
+// adjacent ranges. Empty input ranges are ignored.
+func (s *RangeSet) Insert(lo, hi int) {
+	s.inserts++
+	if lo > hi {
+		return
+	}
+	// Merge with a predecessor range that overlaps or is adjacent.
+	if k, v, ok := s.list.FindGlb(lo); ok {
+		adjacent := v >= lo // overlap
+		if !adjacent && v < PosInf && v+1 == lo {
+			adjacent = true
+		}
+		if adjacent {
+			s.list.Delete(k)
+			lo = k
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	// Merge with successor ranges starting at ≤ hi+1.
+	for {
+		k, v, ok := s.list.FindLub(lo)
+		if !ok {
+			break
+		}
+		if hi < PosInf {
+			if k > hi+1 {
+				break
+			}
+		}
+		s.list.Delete(k)
+		if v > hi {
+			hi = v
+		}
+	}
+	s.list.Insert(lo, hi)
+}
+
+// InsertOpen adds the paper-style open interval (l, r).
+func (s *RangeSet) InsertOpen(l, r int) {
+	rg := OpenToRange(l, r)
+	s.Insert(rg.Lo, rg.Hi)
+}
+
+// Covers reports whether v lies in some stored range.
+func (s *RangeSet) Covers(v int) bool {
+	if k, hi, ok := s.list.FindGlb(v); ok {
+		return k <= v && v <= hi
+	}
+	return false
+}
+
+// Next returns the smallest value ≥ v not covered by any stored range
+// (the IntervalList Next operation). If every value from v up to +∞ is
+// covered, it returns PosInf, which callers treat as "no value".
+func (s *RangeSet) Next(v int) int {
+	if _, hi, ok := s.list.FindGlb(v); ok && hi >= v {
+		if hi >= PosInf {
+			return PosInf
+		}
+		return hi + 1
+	}
+	return v
+}
+
+// CoveringRange returns the stored range containing v, if any.
+func (s *RangeSet) CoveringRange(v int) (Range, bool) {
+	if k, hi, ok := s.list.FindGlb(v); ok && hi >= v {
+		return Range{k, hi}, true
+	}
+	return Range{}, false
+}
+
+// Ranges returns all stored maximal ranges in ascending order.
+func (s *RangeSet) Ranges() []Range {
+	out := make([]Range, 0, s.list.Len())
+	s.list.Ascend(func(lo, hi int) bool {
+		out = append(out, Range{lo, hi})
+		return true
+	})
+	return out
+}
+
+// Within returns the parts of [lo, hi] covered by the set, clipped to the
+// query range, in ascending order.
+func (s *RangeSet) Within(lo, hi int) []Range {
+	var out []Range
+	if lo > hi {
+		return nil
+	}
+	// A predecessor range may reach into [lo, hi].
+	if k, v, ok := s.list.FindGlb(lo); ok && v >= lo {
+		r := Range{k, v}.Intersect(Range{lo, hi})
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	s.list.AscendFrom(lo+1, func(k, v int) bool {
+		if k > hi {
+			return false
+		}
+		r := Range{k, v}.Intersect(Range{lo, hi})
+		if !r.Empty() {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Gaps returns the maximal sub-ranges of [lo, hi] not covered by the set,
+// in ascending order.
+func (s *RangeSet) Gaps(lo, hi int) []Range {
+	var out []Range
+	cur := lo
+	for _, r := range s.Within(lo, hi) {
+		if r.Lo > cur {
+			out = append(out, Range{cur, r.Lo - 1})
+		}
+		if r.Hi >= PosInf {
+			return out
+		}
+		cur = r.Hi + 1
+		if cur > hi {
+			return out
+		}
+	}
+	if cur <= hi {
+		out = append(out, Range{cur, hi})
+	}
+	return out
+}
+
+// CoversRange reports whether every integer of [lo, hi] is covered.
+func (s *RangeSet) CoversRange(lo, hi int) bool {
+	if lo > hi {
+		return true
+	}
+	r, ok := s.CoveringRange(lo)
+	return ok && r.Hi >= hi
+}
+
+// NextUnion returns the smallest value ≥ v covered by neither a nor b.
+// It is the NextUnion helper of Algorithm 10, implemented as the
+// alternating MERGE of the two lists; each alternation advances past at
+// least one stored range, so the total work is bounded by the number of
+// ranges skipped.
+func NextUnion(a, b *RangeSet, v int) int {
+	for {
+		v1 := a.Next(v)
+		if v1 >= PosInf {
+			return PosInf
+		}
+		v2 := b.Next(v1)
+		if v2 == v1 {
+			return v1
+		}
+		if v2 >= PosInf {
+			return PosInf
+		}
+		v = v2
+	}
+}
+
+func (s *RangeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range s.Ranges() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,328 @@
+package ordered
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{3, 7}
+	if r.Empty() || !r.Contains(3) || !r.Contains(7) || r.Contains(8) || r.Contains(2) {
+		t.Fatalf("Range{3,7} misbehaves")
+	}
+	if (Range{5, 4}).Empty() != true {
+		t.Fatal("Range{5,4} should be empty")
+	}
+	got := Range{1, 6}.Intersect(Range{4, 9})
+	if got.Lo != 4 || got.Hi != 6 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !(Range{1, 3}).Intersect(Range{5, 9}).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+}
+
+func TestOpenToRange(t *testing.T) {
+	cases := []struct {
+		l, r   int
+		lo, hi int
+	}{
+		{2, 5, 3, 4},
+		{2, 3, 3, 2}, // empty
+		{NegInf, 4, NegInf, 3},
+		{7, PosInf, 8, PosInf},
+		{NegInf, PosInf, NegInf, PosInf},
+	}
+	for _, c := range cases {
+		got := OpenToRange(c.l, c.r)
+		if got.Lo != c.lo || got.Hi != c.hi {
+			t.Errorf("OpenToRange(%d,%d) = %v, want [%d,%d]", c.l, c.r, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRangeSetInsertMerging(t *testing.T) {
+	s := NewRangeSet()
+	s.Insert(5, 9)
+	s.Insert(1, 2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Insert(3, 4) // adjacent to [1,2] -> merge to [1,4], adjacent to [5,9] -> [1,9]
+	if s.Len() != 1 {
+		t.Fatalf("adjacent merge failed: %v", s)
+	}
+	if r := s.Ranges()[0]; r.Lo != 1 || r.Hi != 9 {
+		t.Fatalf("merged = %v", r)
+	}
+	s.Insert(20, 30)
+	s.Insert(25, 40) // overlap
+	if s.Len() != 2 {
+		t.Fatalf("overlap merge failed: %v", s)
+	}
+	if r := s.Ranges()[1]; r.Lo != 20 || r.Hi != 40 {
+		t.Fatalf("merged = %v", r)
+	}
+	s.Insert(0, 100) // swallows everything
+	if s.Len() != 1 || s.Ranges()[0] != (Range{0, 100}) {
+		t.Fatalf("swallow failed: %v", s)
+	}
+	s.Insert(50, 60) // no-op, already covered
+	if s.Len() != 1 || s.Ranges()[0] != (Range{0, 100}) {
+		t.Fatalf("covered insert changed set: %v", s)
+	}
+}
+
+func TestRangeSetOpenIntervalSemantics(t *testing.T) {
+	s := NewRangeSet()
+	// The paper's example: (2,5) and (5,9) must NOT merge (5 uncovered),
+	// while (2,5) and (4,9) must merge into (2,9).
+	s.InsertOpen(2, 5)
+	s.InsertOpen(5, 9)
+	if s.Covers(5) {
+		t.Fatal("5 must stay uncovered")
+	}
+	if !s.Covers(3) || !s.Covers(4) || !s.Covers(6) || !s.Covers(8) || s.Covers(9) || s.Covers(2) {
+		t.Fatalf("open interval coverage wrong: %v", s)
+	}
+	s2 := NewRangeSet()
+	s2.InsertOpen(2, 5)
+	s2.InsertOpen(4, 9)
+	if s2.Len() != 1 || !s2.Covers(4) || !s2.Covers(5) || s2.Covers(9) {
+		t.Fatalf("overlapping open merge wrong: %v", s2)
+	}
+	// Empty open interval is a no-op.
+	s3 := NewRangeSet()
+	s3.InsertOpen(4, 5)
+	if !s3.Empty() {
+		t.Fatalf("(4,5) should be empty: %v", s3)
+	}
+}
+
+func TestRangeSetNext(t *testing.T) {
+	s := NewRangeSet()
+	s.Insert(2, 4)
+	s.Insert(8, 10)
+	cases := [][2]int{{0, 0}, {1, 1}, {2, 5}, {3, 5}, {4, 5}, {5, 5}, {7, 7}, {8, 11}, {10, 11}, {11, 11}}
+	for _, c := range cases {
+		if got := s.Next(c[0]); got != c[1] {
+			t.Errorf("Next(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+	s.Insert(12, PosInf)
+	if got := s.Next(13); got != PosInf {
+		t.Errorf("Next(13) with infinite tail = %d", got)
+	}
+	if got := s.Next(11); got != 11 {
+		t.Errorf("Next(11) = %d", got)
+	}
+	all := NewRangeSet()
+	all.Insert(NegInf, PosInf)
+	if got := all.Next(-1); got != PosInf {
+		t.Errorf("Next on full set = %d", got)
+	}
+}
+
+func TestRangeSetSentinelInsert(t *testing.T) {
+	s := NewRangeSet()
+	s.InsertOpen(NegInf, 0) // covers everything below 0
+	if got := s.Next(NegInf + 5); got != 0 {
+		t.Fatalf("Next below = %d", got)
+	}
+	s.InsertOpen(10, PosInf)
+	if !s.Covers(11) || s.Covers(10) {
+		t.Fatalf("upper sentinel coverage wrong: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Bridging the middle merges all three into one.
+	s.InsertOpen(-1, 11)
+	if s.Len() != 1 {
+		t.Fatalf("bridge merge failed: %v", s)
+	}
+	if got := s.Next(5); got != PosInf {
+		t.Fatalf("Next(5) = %d", got)
+	}
+}
+
+func TestRangeSetWithinGaps(t *testing.T) {
+	s := NewRangeSet()
+	s.Insert(2, 4)
+	s.Insert(8, 10)
+	s.Insert(15, 20)
+	within := s.Within(3, 16)
+	want := []Range{{3, 4}, {8, 10}, {15, 16}}
+	if len(within) != len(want) {
+		t.Fatalf("Within = %v", within)
+	}
+	for i := range want {
+		if within[i] != want[i] {
+			t.Fatalf("Within = %v, want %v", within, want)
+		}
+	}
+	gaps := s.Gaps(0, 12)
+	wantGaps := []Range{{0, 1}, {5, 7}, {11, 12}}
+	if len(gaps) != len(wantGaps) {
+		t.Fatalf("Gaps = %v", gaps)
+	}
+	for i := range wantGaps {
+		if gaps[i] != wantGaps[i] {
+			t.Fatalf("Gaps = %v, want %v", gaps, wantGaps)
+		}
+	}
+	if g := s.Gaps(2, 4); len(g) != 0 {
+		t.Fatalf("Gaps inside covered = %v", g)
+	}
+	if g := s.Gaps(5, 7); len(g) != 1 || g[0] != (Range{5, 7}) {
+		t.Fatalf("Gaps fully uncovered = %v", g)
+	}
+	if !s.CoversRange(2, 4) || s.CoversRange(2, 5) || !s.CoversRange(16, 19) {
+		t.Fatal("CoversRange wrong")
+	}
+	if !s.CoversRange(5, 4) {
+		t.Fatal("empty query range should be trivially covered")
+	}
+}
+
+func TestNextUnion(t *testing.T) {
+	a, b := NewRangeSet(), NewRangeSet()
+	a.Insert(0, 4)
+	b.Insert(5, 9)
+	a.Insert(12, 14)
+	if got := NextUnion(a, b, 0); got != 10 {
+		t.Fatalf("NextUnion = %d, want 10", got)
+	}
+	if got := NextUnion(a, b, 11); got != 11 {
+		t.Fatalf("NextUnion = %d, want 11", got)
+	}
+	if got := NextUnion(a, b, 12); got != 15 {
+		t.Fatalf("NextUnion = %d, want 15", got)
+	}
+	// Fully covered tail.
+	a.Insert(20, PosInf)
+	b.Insert(15, 22)
+	if got := NextUnion(a, b, 15); got != PosInf {
+		t.Fatalf("NextUnion covered tail = %d", got)
+	}
+	// Empty sets pass everything through.
+	e1, e2 := NewRangeSet(), NewRangeSet()
+	if got := NextUnion(e1, e2, 42); got != 42 {
+		t.Fatalf("NextUnion empty = %d", got)
+	}
+}
+
+// TestRangeSetAgainstReference drives random inserts and compares Covers,
+// Next, Gaps, and Within against a brute-force boolean-array reference.
+func TestRangeSetAgainstReference(t *testing.T) {
+	const dom = 120
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		s := NewRangeSet()
+		covered := make([]bool, dom)
+		for op := 0; op < 40; op++ {
+			lo := rng.Intn(dom)
+			hi := lo + rng.Intn(dom-lo)
+			s.Insert(lo, hi)
+			for v := lo; v <= hi; v++ {
+				covered[v] = true
+			}
+			// Invariant: ranges are disjoint, non-adjacent and sorted.
+			prev := Range{NegInf, NegInf}
+			for _, r := range s.Ranges() {
+				if r.Empty() {
+					t.Fatalf("empty stored range %v", r)
+				}
+				if prev.Hi != NegInf && r.Lo <= prev.Hi+1 {
+					t.Fatalf("ranges not canonical: %v after %v", r, prev)
+				}
+				prev = r
+			}
+			for v := 0; v < dom; v++ {
+				if s.Covers(v) != covered[v] {
+					t.Fatalf("Covers(%d) = %v, want %v (%v)", v, s.Covers(v), covered[v], s)
+				}
+			}
+			for v := 0; v < dom; v++ {
+				want := dom + 1 // “none within domain”
+				for u := v; u < dom; u++ {
+					if !covered[u] {
+						want = u
+						break
+					}
+				}
+				got := s.Next(v)
+				if want == dom+1 {
+					if got < dom && got >= v {
+						// reference says everything ≥ v covered inside domain;
+						// got must be ≥ dom
+						t.Fatalf("Next(%d) = %d, want ≥ %d", v, got, dom)
+					}
+				} else if got != want {
+					t.Fatalf("Next(%d) = %d, want %d (%v)", v, got, want, s)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeSetGapsQuick(t *testing.T) {
+	f := func(ranges [][2]uint8, lo8, hi8 uint8) bool {
+		lo, hi := int(lo8), int(hi8)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s := NewRangeSet()
+		covered := map[int]bool{}
+		for _, r := range ranges {
+			a, b := int(r[0]), int(r[1])
+			if a > b {
+				a, b = b, a
+			}
+			s.Insert(a, b)
+			for v := a; v <= b; v++ {
+				covered[v] = true
+			}
+		}
+		// Gaps ∪ Within must partition [lo,hi].
+		marks := map[int]int{}
+		for _, g := range s.Gaps(lo, hi) {
+			for v := g.Lo; v <= g.Hi; v++ {
+				marks[v]++
+				if covered[v] {
+					return false
+				}
+			}
+		}
+		for _, w := range s.Within(lo, hi) {
+			for v := w.Lo; v <= w.Hi; v++ {
+				marks[v]++
+				if !covered[v] {
+					return false
+				}
+			}
+		}
+		for v := lo; v <= hi; v++ {
+			if marks[v] != 1 {
+				return false
+			}
+		}
+		return len(marks) == hi-lo+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeSetString(t *testing.T) {
+	s := NewRangeSet()
+	s.Insert(1, 3)
+	s.Insert(NegInf, -5)
+	s.Insert(10, PosInf)
+	got := s.String()
+	want := "{[-inf,-5] [1,3] [10,+inf]}"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

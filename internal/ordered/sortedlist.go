@@ -1,0 +1,317 @@
+// Package ordered provides the ordered building blocks of the Minesweeper
+// join algorithm: an AVL-tree SortedList (Appendix E.1 of the paper), an
+// IntervalList of disjoint open intervals built on top of it (Appendix E.2),
+// and the dyadic interval tree used by the specialized triangle-query
+// constraint data structure (Appendix L.1).
+//
+// All values are ints. The sentinels NegInf and PosInf stand for the paper's
+// -∞ and +∞; they are never stored inside a SortedList but may appear as
+// interval endpoints.
+package ordered
+
+// NegInf and PosInf are the -∞/+∞ sentinels used throughout the library.
+// They are chosen so that v-1 and v+1 never overflow for any finite domain
+// value v produced by the data generators (domain values are non-negative
+// and far below PosInf).
+const (
+	NegInf = -1 << 60
+	PosInf = 1 << 60
+)
+
+// IsFinite reports whether v is a finite domain value (not a sentinel).
+func IsFinite(v int) bool { return v > NegInf && v < PosInf }
+
+// SortedList stores a set of distinct int keys, each with a payload of type
+// V, in an AVL tree. It supports the operations of Appendix E.1:
+// Find, FindLub (least key ≥ v), Insert, Delete, and DeleteInterval
+// (delete every key strictly inside an open interval). All operations run
+// in O(log n) worst case except DeleteInterval, which is O((k+1) log n) for
+// k deleted keys and therefore O(log n) amortized against their insertions.
+type SortedList[V any] struct {
+	root *avlNode[V]
+	size int
+}
+
+type avlNode[V any] struct {
+	key         int
+	val         V
+	left, right *avlNode[V]
+	height      int
+}
+
+// NewSortedList returns an empty SortedList.
+func NewSortedList[V any]() *SortedList[V] { return &SortedList[V]{} }
+
+// Len returns the number of stored keys.
+func (s *SortedList[V]) Len() int { return s.size }
+
+func height[V any](n *avlNode[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func update[V any](n *avlNode[V]) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func rotateRight[V any](y *avlNode[V]) *avlNode[V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	update(y)
+	update(x)
+	return x
+}
+
+func rotateLeft[V any](x *avlNode[V]) *avlNode[V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	update(x)
+	update(y)
+	return y
+}
+
+func rebalance[V any](n *avlNode[V]) *avlNode[V] {
+	update(n)
+	bf := height(n.left) - height(n.right)
+	switch {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert stores val under key, replacing any existing payload.
+// It reports whether the key was newly inserted.
+func (s *SortedList[V]) Insert(key int, val V) bool {
+	var added bool
+	s.root, added = insertNode(s.root, key, val)
+	if added {
+		s.size++
+	}
+	return added
+}
+
+func insertNode[V any](n *avlNode[V], key int, val V) (*avlNode[V], bool) {
+	if n == nil {
+		return &avlNode[V]{key: key, val: val, height: 1}, true
+	}
+	var added bool
+	switch {
+	case key < n.key:
+		n.left, added = insertNode(n.left, key, val)
+	case key > n.key:
+		n.right, added = insertNode(n.right, key, val)
+	default:
+		n.val = val
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+// Find returns the payload stored under key and whether it exists.
+func (s *SortedList[V]) Find(key int) (V, bool) {
+	n := s.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// FindLub returns the smallest key ≥ v together with its payload.
+// ok is false when every stored key is < v.
+func (s *SortedList[V]) FindLub(v int) (key int, val V, ok bool) {
+	n := s.root
+	var best *avlNode[V]
+	for n != nil {
+		if n.key >= v {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// FindGlb returns the largest key ≤ v together with its payload.
+// ok is false when every stored key is > v.
+func (s *SortedList[V]) FindGlb(v int) (key int, val V, ok bool) {
+	n := s.root
+	var best *avlNode[V]
+	for n != nil {
+		if n.key <= v {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Min returns the smallest stored key. ok is false on an empty list.
+func (s *SortedList[V]) Min() (key int, val V, ok bool) {
+	n := s.root
+	if n == nil {
+		var zero V
+		return 0, zero, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest stored key. ok is false on an empty list.
+func (s *SortedList[V]) Max() (key int, val V, ok bool) {
+	n := s.root
+	if n == nil {
+		var zero V
+		return 0, zero, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Delete removes key and reports whether it was present.
+func (s *SortedList[V]) Delete(key int) bool {
+	var removed bool
+	s.root, removed = deleteNode(s.root, key)
+	if removed {
+		s.size--
+	}
+	return removed
+}
+
+func deleteNode[V any](n *avlNode[V], key int) (*avlNode[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key < n.key:
+		n.left, removed = deleteNode(n.left, key)
+	case key > n.key:
+		n.right, removed = deleteNode(n.right, key)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.key, n.val = succ.key, succ.val
+		n.right, _ = deleteNode(n.right, succ.key)
+	}
+	return rebalance(n), removed
+}
+
+// DeleteInterval removes every key strictly inside the open interval (l, r)
+// and returns the removed keys in ascending order. Either endpoint may be a
+// sentinel. Cost is O((k+1) log n) for k removed keys, so O(log n) amortized
+// against the insertions that created them (Proposition E.2).
+func (s *SortedList[V]) DeleteInterval(l, r int) []int {
+	var removed []int
+	for {
+		key, _, ok := s.FindLub(l + 1)
+		if l == NegInf {
+			key, _, ok = s.Min()
+		}
+		if !ok || key >= r {
+			return removed
+		}
+		s.Delete(key)
+		removed = append(removed, key)
+	}
+}
+
+// Ascend calls fn on every (key, payload) pair in ascending key order until
+// fn returns false.
+func (s *SortedList[V]) Ascend(fn func(key int, val V) bool) {
+	ascend(s.root, fn)
+}
+
+func ascend[V any](n *avlNode[V], fn func(int, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// AscendFrom calls fn on every pair with key ≥ from, ascending, until fn
+// returns false.
+func (s *SortedList[V]) AscendFrom(from int, fn func(key int, val V) bool) {
+	ascendFrom(s.root, from, fn)
+}
+
+func ascendFrom[V any](n *avlNode[V], from int, fn func(int, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= from {
+		if !ascendFrom(n.left, from, fn) {
+			return false
+		}
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	return ascendFrom(n.right, from, fn)
+}
+
+// Keys returns all stored keys in ascending order.
+func (s *SortedList[V]) Keys() []int {
+	keys := make([]int, 0, s.size)
+	s.Ascend(func(k int, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}

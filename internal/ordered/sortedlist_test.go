@@ -1,0 +1,311 @@
+package ordered
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func checkAVL[V any](t *testing.T, s *SortedList[V]) {
+	t.Helper()
+	var walk func(n *avlNode[V]) (int, int, int, bool) // height, min, max, ok
+	walk = func(n *avlNode[V]) (int, int, int, bool) {
+		if n == nil {
+			return 0, 0, 0, true
+		}
+		hl, minl, maxl, okl := walk(n.left)
+		hr, minr, maxr, okr := walk(n.right)
+		if !okl || !okr {
+			return 0, 0, 0, false
+		}
+		if n.left != nil && maxl >= n.key {
+			t.Fatalf("BST order violated at key %d (left max %d)", n.key, maxl)
+		}
+		if n.right != nil && minr <= n.key {
+			t.Fatalf("BST order violated at key %d (right min %d)", n.key, minr)
+		}
+		if hl-hr > 1 || hr-hl > 1 {
+			t.Fatalf("AVL balance violated at key %d (%d vs %d)", n.key, hl, hr)
+		}
+		h := hl
+		if hr > h {
+			h = hr
+		}
+		if n.height != h+1 {
+			t.Fatalf("stale height at key %d", n.key)
+		}
+		mn, mx := n.key, n.key
+		if n.left != nil {
+			mn = minl
+		}
+		if n.right != nil {
+			mx = maxr
+		}
+		return h + 1, mn, mx, true
+	}
+	walk(s.root)
+}
+
+func TestSortedListBasic(t *testing.T) {
+	s := NewSortedList[string]()
+	if s.Len() != 0 {
+		t.Fatalf("expected empty list")
+	}
+	if !s.Insert(5, "five") || !s.Insert(1, "one") || !s.Insert(9, "nine") {
+		t.Fatalf("fresh inserts should report true")
+	}
+	if s.Insert(5, "FIVE") {
+		t.Fatalf("duplicate insert should report false")
+	}
+	if v, ok := s.Find(5); !ok || v != "FIVE" {
+		t.Fatalf("Find(5) = %q, %v", v, ok)
+	}
+	if _, ok := s.Find(7); ok {
+		t.Fatalf("Find(7) should miss")
+	}
+	if k, _, ok := s.FindLub(2); !ok || k != 5 {
+		t.Fatalf("FindLub(2) = %d, %v", k, ok)
+	}
+	if k, _, ok := s.FindLub(5); !ok || k != 5 {
+		t.Fatalf("FindLub(5) = %d, %v", k, ok)
+	}
+	if _, _, ok := s.FindLub(10); ok {
+		t.Fatalf("FindLub(10) should miss")
+	}
+	if k, _, ok := s.FindGlb(2); !ok || k != 1 {
+		t.Fatalf("FindGlb(2) = %d, %v", k, ok)
+	}
+	if _, _, ok := s.FindGlb(0); ok {
+		t.Fatalf("FindGlb(0) should miss")
+	}
+	if k, _, ok := s.Min(); !ok || k != 1 {
+		t.Fatalf("Min = %d, %v", k, ok)
+	}
+	if k, _, ok := s.Max(); !ok || k != 9 {
+		t.Fatalf("Max = %d, %v", k, ok)
+	}
+	if !s.Delete(5) || s.Delete(5) {
+		t.Fatalf("Delete semantics wrong")
+	}
+	if got := s.Keys(); len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Fatalf("Keys = %v", got)
+	}
+	checkAVL(t, s)
+}
+
+func TestSortedListEmptyQueries(t *testing.T) {
+	s := NewSortedList[int]()
+	if _, _, ok := s.Min(); ok {
+		t.Fatal("Min on empty should miss")
+	}
+	if _, _, ok := s.Max(); ok {
+		t.Fatal("Max on empty should miss")
+	}
+	if _, _, ok := s.FindLub(0); ok {
+		t.Fatal("FindLub on empty should miss")
+	}
+	if _, _, ok := s.FindGlb(0); ok {
+		t.Fatal("FindGlb on empty should miss")
+	}
+	if s.Delete(3) {
+		t.Fatal("Delete on empty should report false")
+	}
+	if got := s.DeleteInterval(NegInf, PosInf); len(got) != 0 {
+		t.Fatalf("DeleteInterval on empty = %v", got)
+	}
+}
+
+func TestSortedListDeleteInterval(t *testing.T) {
+	s := NewSortedList[int]()
+	for _, k := range []int{1, 3, 5, 7, 9, 11} {
+		s.Insert(k, k*10)
+	}
+	removed := s.DeleteInterval(3, 9) // open: removes 5, 7
+	if len(removed) != 2 || removed[0] != 5 || removed[1] != 7 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if got := s.Keys(); len(got) != 4 {
+		t.Fatalf("keys after delete = %v", got)
+	}
+	// Sentinel endpoints.
+	removed = s.DeleteInterval(NegInf, 3)
+	if len(removed) != 1 || removed[0] != 1 {
+		t.Fatalf("removed = %v", removed)
+	}
+	removed = s.DeleteInterval(9, PosInf)
+	if len(removed) != 1 || removed[0] != 11 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if got := s.Keys(); len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Fatalf("keys = %v", got)
+	}
+	checkAVL(t, s)
+}
+
+func TestSortedListAscend(t *testing.T) {
+	s := NewSortedList[int]()
+	for _, k := range []int{4, 2, 8, 6, 0} {
+		s.Insert(k, k)
+	}
+	var got []int
+	s.Ascend(func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{0, 2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v", got)
+		}
+	}
+	got = got[:0]
+	s.AscendFrom(4, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 4 || got[2] != 8 {
+		t.Fatalf("AscendFrom = %v", got)
+	}
+	// Early stop.
+	got = got[:0]
+	s.Ascend(func(k, _ int) bool {
+		got = append(got, k)
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Fatalf("early stop failed: %v", got)
+	}
+}
+
+// TestSortedListAgainstReference drives the AVL tree with random operations
+// and compares every query against a simple sorted-slice reference.
+func TestSortedListAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSortedList[int]()
+	ref := map[int]int{}
+	refKeys := func() []int {
+		ks := make([]int, 0, len(ref))
+		for k := range ref {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		return ks
+	}
+	for step := 0; step < 5000; step++ {
+		k := rng.Intn(200)
+		switch rng.Intn(4) {
+		case 0:
+			s.Insert(k, step)
+			ref[k] = step
+		case 1:
+			got := s.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := s.Find(k)
+			wv, wok := ref[k]
+			if ok != wok || (ok && v != wv) {
+				t.Fatalf("step %d: Find(%d) = %d,%v want %d,%v", step, k, v, ok, wv, wok)
+			}
+		case 3:
+			gk, _, gok := s.FindLub(k)
+			var wk int
+			wok := false
+			for _, rk := range refKeys() {
+				if rk >= k {
+					wk, wok = rk, true
+					break
+				}
+			}
+			if gok != wok || (gok && gk != wk) {
+				t.Fatalf("step %d: FindLub(%d) = %d,%v want %d,%v", step, k, gk, gok, wk, wok)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(ref))
+		}
+	}
+	checkAVL(t, s)
+}
+
+// TestSortedListQuickBalanced property-tests that any insertion sequence
+// leaves a balanced tree containing exactly the distinct keys.
+func TestSortedListQuickBalanced(t *testing.T) {
+	f := func(keys []int16) bool {
+		s := NewSortedList[struct{}]()
+		seen := map[int]bool{}
+		for _, k16 := range keys {
+			k := int(k16)
+			s.Insert(k, struct{}{})
+			seen[k] = true
+		}
+		if s.Len() != len(seen) {
+			return false
+		}
+		got := s.Keys()
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		for _, k := range got {
+			if !seen[k] {
+				return false
+			}
+		}
+		// Height must be O(log n) for an AVL tree: 1.45*log2(n+2).
+		if s.root != nil {
+			n := float64(s.Len())
+			limit := 1
+			for f := n + 2; f > 1; f /= 2 {
+				limit++
+			}
+			if s.root.height > 2*limit+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedListDeleteIntervalQuick(t *testing.T) {
+	f := func(keys []uint8, l, r uint8) bool {
+		lo, hi := int(l), int(r)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s := NewSortedList[struct{}]()
+		seen := map[int]bool{}
+		for _, k := range keys {
+			s.Insert(int(k), struct{}{})
+			seen[int(k)] = true
+		}
+		removed := s.DeleteInterval(lo, hi)
+		for _, k := range removed {
+			if !(lo < k && k < hi) || !seen[k] {
+				return false
+			}
+			delete(seen, k)
+		}
+		for k := range seen {
+			if lo < k && k < hi {
+				return false // should have been removed
+			}
+			if _, ok := s.Find(k); !ok {
+				return false
+			}
+		}
+		return s.Len() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package relio reads and writes relations in the library's plain-text
+// interchange format:
+//
+//	# comment
+//	Name: V1 V2 V3
+//	1 2 3
+//	4 5 6
+//
+// The header line gives the relation name and its variable binding; each
+// further non-comment line is one tuple of non-negative integers. The
+// format round-trips through ReadRelation/WriteRelation and is the format
+// accepted by cmd/msjoin.
+package relio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Relation is a parsed relation: its name, the variables it binds, and
+// its tuples (each of length len(Vars)).
+type Relation struct {
+	Name   string
+	Vars   []string
+	Tuples [][]int
+}
+
+// ReadRelation parses the text format from r; name is used in error
+// messages (typically the file path).
+func ReadRelation(r io.Reader, name string) (*Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := &Relation{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if out.Name == "" {
+			head, rest, found := strings.Cut(line, ":")
+			if !found {
+				return nil, fmt.Errorf("%s:%d: header must be 'Name: V1 V2 …'", name, lineNo)
+			}
+			out.Name = strings.TrimSpace(head)
+			out.Vars = strings.Fields(rest)
+			if out.Name == "" || len(out.Vars) == 0 {
+				return nil, fmt.Errorf("%s:%d: empty name or variable list", name, lineNo)
+			}
+			seen := map[string]bool{}
+			for _, v := range out.Vars {
+				if seen[v] {
+					return nil, fmt.Errorf("%s:%d: repeated variable %q", name, lineNo, v)
+				}
+				seen[v] = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != len(out.Vars) {
+			return nil, fmt.Errorf("%s:%d: %d values, want %d", name, lineNo, len(fields), len(out.Vars))
+		}
+		tup := make([]int, len(fields))
+		for i, fv := range fields {
+			v, err := strconv.Atoi(fv)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("%s:%d: bad value %q (want non-negative integer)", name, lineNo, fv)
+			}
+			tup[i] = v
+		}
+		out.Tuples = append(out.Tuples, tup)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if out.Name == "" {
+		return nil, fmt.Errorf("%s: missing header line", name)
+	}
+	return out, nil
+}
+
+// WriteRelation emits the text format. Output round-trips through
+// ReadRelation.
+func WriteRelation(w io.Writer, rel *Relation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s: %s\n", rel.Name, strings.Join(rel.Vars, " ")); err != nil {
+		return err
+	}
+	for _, tup := range rel.Tuples {
+		if len(tup) != len(rel.Vars) {
+			return fmt.Errorf("relio: tuple %v has %d values, want %d", tup, len(tup), len(rel.Vars))
+		}
+		for i, v := range tup {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(v)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,111 @@
+package relio
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadRelationBasic(t *testing.T) {
+	in := `
+# a comment
+R: A B
+1 2
+
+# another comment
+3 4
+`
+	rel, err := ReadRelation(strings.NewReader(in), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name != "R" || !reflect.DeepEqual(rel.Vars, []string{"A", "B"}) {
+		t.Fatalf("header = %q %v", rel.Name, rel.Vars)
+	}
+	want := [][]int{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(rel.Tuples, want) {
+		t.Fatalf("tuples = %v", rel.Tuples)
+	}
+}
+
+func TestReadRelationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no header", "1 2\n"},
+		{"empty", ""},
+		{"empty name", ": A B\n"},
+		{"no vars", "R:\n"},
+		{"dup vars", "R: A A\n"},
+		{"short row", "R: A B\n1\n"},
+		{"long row", "R: A B\n1 2 3\n"},
+		{"negative", "R: A\n-1\n"},
+		{"non-numeric", "R: A\nxyz\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadRelation(strings.NewReader(c.in), c.name); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteRelationValidation(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteRelation(&buf, &Relation{Name: "R", Vars: []string{"A"}, Tuples: [][]int{{1, 2}}})
+	if err == nil {
+		t.Fatal("ragged tuple must fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		arity := 1 + rng.Intn(4)
+		vars := make([]string, arity)
+		for i := range vars {
+			vars[i] = string(rune('A' + i))
+		}
+		n := rng.Intn(40)
+		tuples := make([][]int, n)
+		for i := range tuples {
+			tup := make([]int, arity)
+			for j := range tup {
+				tup[j] = rng.Intn(1000)
+			}
+			tuples[i] = tup
+		}
+		orig := &Relation{Name: "Rel", Vars: vars, Tuples: tuples}
+		var buf bytes.Buffer
+		if err := WriteRelation(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadRelation(&buf, "roundtrip")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != orig.Name || !reflect.DeepEqual(back.Vars, orig.Vars) {
+			t.Fatalf("header mismatch: %v", back)
+		}
+		if len(back.Tuples) != len(orig.Tuples) {
+			t.Fatalf("tuple count %d vs %d", len(back.Tuples), len(orig.Tuples))
+		}
+		for i := range orig.Tuples {
+			if !reflect.DeepEqual(back.Tuples[i], orig.Tuples[i]) {
+				t.Fatalf("tuple %d: %v vs %v", i, back.Tuples[i], orig.Tuples[i])
+			}
+		}
+	}
+}
+
+func TestReadRelationEmptyRelation(t *testing.T) {
+	rel, err := ReadRelation(strings.NewReader("R: A B\n"), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Tuples) != 0 {
+		t.Fatalf("tuples = %v", rel.Tuples)
+	}
+}

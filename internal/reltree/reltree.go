@@ -1,0 +1,268 @@
+// Package reltree implements the paper's model of indexed relations
+// (Section 2.1 and Figure 3): every relation is stored in an ordered
+// search tree whose search key is consistent with the global attribute
+// order (GAO). Tuples inside the tree are addressed by index tuples
+// x = (x1, …, xj): R[x1] is the x1-th smallest value in the first
+// attribute, R[x1, x2] the x2-th smallest second-attribute value among
+// tuples whose first attribute equals R[x1], and so on.
+//
+// The structure supports the single access primitive the Minesweeper
+// analysis relies on:
+//
+//	R.FindGap(x, a) → (lo, hi)
+//
+// which runs in O(k log |R|) and returns the tightest pair of child
+// indexes around the value a under prefix x (Section 2.1).
+//
+// Index convention: indexes are 0-based; following the paper's
+// conventions (1) and (2), the out-of-range index -1 denotes the value
+// -∞ and the out-of-range index len denotes +∞.
+package reltree
+
+import (
+	"fmt"
+	"sort"
+
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
+)
+
+// Node is an internal node of the relation search tree. Values holds the
+// sorted distinct values of one attribute under a fixed prefix; for
+// non-leaf levels, Children[i] refines Values[i].
+type Node struct {
+	Values   []int
+	Children []*Node // nil at the deepest level
+}
+
+// Tree is an indexed relation: a search tree over tuples of fixed arity
+// whose level order equals the (GAO-consistent) attribute order used to
+// build it.
+type Tree struct {
+	name  string
+	arity int
+	size  int // number of tuples
+	root  *Node
+	stats *certificate.Stats
+}
+
+// New builds the search tree for the given tuples. All tuples must have
+// length arity and non-negative components (the paper's ℕ domain).
+// Duplicate tuples are collapsed (relations are sets). The tuple slice is
+// not retained. The stats receiver may be nil; use SetStats to attach one
+// per run.
+func New(name string, arity int, tuples [][]int) (*Tree, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("reltree: relation %q: arity must be ≥ 1, got %d", name, arity)
+	}
+	sorted := make([][]int, 0, len(tuples))
+	for i, tup := range tuples {
+		if len(tup) != arity {
+			return nil, fmt.Errorf("reltree: relation %q: tuple %d has %d components, want %d", name, i, len(tup), arity)
+		}
+		for j, v := range tup {
+			if v < 0 || v >= ordered.PosInf {
+				return nil, fmt.Errorf("reltree: relation %q: tuple %d component %d = %d out of domain [0, PosInf)", name, i, j, v)
+			}
+		}
+		sorted = append(sorted, tup)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return lexLess(sorted[i], sorted[j]) })
+	sorted = dedup(sorted)
+	t := &Tree{name: name, arity: arity, size: len(sorted)}
+	t.root = build(sorted, 0, arity)
+	return t, nil
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func dedup(sorted [][]int) [][]int {
+	out := sorted[:0]
+	for i, tup := range sorted {
+		if i > 0 && equal(tup, sorted[i-1]) {
+			continue
+		}
+		out = append(out, tup)
+	}
+	return out
+}
+
+func equal(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// build constructs the level for attribute position depth from the sorted,
+// deduplicated tuple block.
+func build(block [][]int, depth, arity int) *Node {
+	n := &Node{}
+	if len(block) == 0 {
+		return n
+	}
+	leaf := depth == arity-1
+	if !leaf {
+		n.Children = n.Children[:0]
+	}
+	i := 0
+	for i < len(block) {
+		v := block[i][depth]
+		j := i
+		for j < len(block) && block[j][depth] == v {
+			j++
+		}
+		n.Values = append(n.Values, v)
+		if !leaf {
+			n.Children = append(n.Children, build(block[i:j], depth+1, arity))
+		}
+		i = j
+	}
+	return n
+}
+
+// Name returns the relation's name.
+func (t *Tree) Name() string { return t.name }
+
+// Arity returns the number of attributes.
+func (t *Tree) Arity() int { return t.arity }
+
+// Size returns the number of (distinct) tuples.
+func (t *Tree) Size() int { return t.size }
+
+// SetStats attaches the per-run cost counters; nil detaches.
+func (t *Tree) SetStats(s *certificate.Stats) { t.stats = s }
+
+// node returns the node addressed by the index tuple x (all components
+// must be in range), or nil when x is out of range. len(x) must be
+// < arity for a node to exist below it; len(x) == 0 returns the root.
+func (t *Tree) node(x []int) *Node {
+	n := t.root
+	for _, xi := range x {
+		if n == nil || xi < 0 || xi >= len(n.Values) || n.Children == nil {
+			return nil
+		}
+		n = n.Children[xi]
+	}
+	return n
+}
+
+// Fanout returns |R[x, *]|: the number of distinct values below prefix x.
+// It panics if x is out of range or longer than arity-1.
+func (t *Tree) Fanout(x []int) int {
+	n := t.node(x)
+	if n == nil {
+		panic(fmt.Sprintf("reltree: %s: Fanout of invalid index tuple %v", t.name, x))
+	}
+	return len(n.Values)
+}
+
+// Value returns R[x]: the value addressed by the non-empty index tuple x.
+// All components except the last must be in range; the last component may
+// be the out-of-range -1 (returns NegInf) or len (returns PosInf),
+// following conventions (1) and (2) of the paper.
+func (t *Tree) Value(x []int) int {
+	if len(x) == 0 {
+		panic("reltree: Value of empty index tuple")
+	}
+	n := t.node(x[:len(x)-1])
+	if n == nil {
+		panic(fmt.Sprintf("reltree: %s: Value of invalid index tuple %v", t.name, x))
+	}
+	last := x[len(x)-1]
+	switch {
+	case last <= -1:
+		return ordered.NegInf
+	case last >= len(n.Values):
+		return ordered.PosInf
+	}
+	return n.Values[last]
+}
+
+// InRange reports whether index i is a real coordinate under prefix x.
+func (t *Tree) InRange(x []int, i int) bool {
+	n := t.node(x)
+	return n != nil && i >= 0 && i < len(n.Values)
+}
+
+// FindGap implements the index primitive of Section 2.1: given an in-range
+// index tuple x with len(x) < arity and a value a, it returns indexes
+// (lo, hi) such that R[(x, lo)] ≤ a ≤ R[(x, hi)], lo maximal and hi
+// minimal. lo may be -1 (value -∞) and hi may be Fanout(x) (value +∞).
+// When a occurs under x, lo == hi. Runs in O(log |R|) via binary search
+// and counts one FindGap plus its comparisons in the attached Stats.
+func (t *Tree) FindGap(x []int, a int) (lo, hi int) {
+	n := t.node(x)
+	if n == nil {
+		panic(fmt.Sprintf("reltree: %s: FindGap under invalid index tuple %v", t.name, x))
+	}
+	if t.stats != nil {
+		t.stats.FindGaps++
+		steps := 1
+		for m := len(n.Values); m > 1; m /= 2 {
+			steps++
+		}
+		t.stats.Comparisons += int64(steps)
+	}
+	// hi = first index with value ≥ a.
+	hi = sort.SearchInts(n.Values, a)
+	if hi < len(n.Values) && n.Values[hi] == a {
+		return hi, hi
+	}
+	return hi - 1, hi
+}
+
+// Contains reports whether the full tuple is present in the relation.
+func (t *Tree) Contains(tuple []int) bool {
+	if len(tuple) != t.arity {
+		return false
+	}
+	n := t.root
+	for d, v := range tuple {
+		i := sort.SearchInts(n.Values, v)
+		if i >= len(n.Values) || n.Values[i] != v {
+			return false
+		}
+		if d < t.arity-1 {
+			n = n.Children[i]
+		}
+	}
+	return true
+}
+
+// Tuples materializes all tuples in lexicographic order (mainly for tests
+// and baseline algorithms).
+func (t *Tree) Tuples() [][]int {
+	out := make([][]int, 0, t.size)
+	cur := make([]int, 0, t.arity)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		for i, v := range n.Values {
+			cur = append(cur, v)
+			if depth == t.arity-1 {
+				tup := make([]int, len(cur))
+				copy(tup, cur)
+				out = append(out, tup)
+			} else {
+				walk(n.Children[i], depth+1)
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	if t.root != nil {
+		walk(t.root, 0)
+	}
+	return out
+}
+
+// Root exposes the root node for iterator-based algorithms (leapfrog).
+func (t *Tree) Root() *Node { return t.root }

@@ -1,0 +1,380 @@
+// Package minesweeper is a Go implementation of the Minesweeper join
+// algorithm from "Beyond Worst-case Analysis for Joins with Minesweeper"
+// (Ngo, Nguyen, Ré, Rudra — PODS 2014). Minesweeper evaluates natural
+// joins over ordered indexes in time proportional to the instance's
+// certificate complexity |C| — a per-instance difficulty measure that can
+// be far below the input size — plus the output size: Õ(|C| + Z) for
+// β-acyclic queries under a nested elimination order, Õ(|C|^{w+1} + Z)
+// for global attribute orders of elimination width w, and Õ(|C|^{3/2}+Z)
+// for the triangle query via a specialized dyadic constraint store.
+//
+// The package also ships the classical comparison algorithms (Yannakakis,
+// Leapfrog Triejoin, NPRR-style generic join, pairwise hash plans) behind
+// the same API, the acyclicity/width theory needed to pick good attribute
+// orders, and specialized solvers for set intersection and the bow-tie
+// and triangle queries.
+//
+// Quick start:
+//
+//	r, _ := minesweeper.NewRelation("R", 2, [][]int{{1, 2}, {2, 3}})
+//	s, _ := minesweeper.NewRelation("S", 2, [][]int{{2, 5}, {3, 7}})
+//	q, _ := minesweeper.NewQuery(
+//		minesweeper.Atom{Rel: r, Vars: []string{"A", "B"}},
+//		minesweeper.Atom{Rel: s, Vars: []string{"B", "C"}},
+//	)
+//	res, _ := minesweeper.Execute(q, nil)
+//	// res.Tuples over res.Vars (the GAO), res.Stats has |C| estimates.
+package minesweeper
+
+import (
+	"fmt"
+
+	"minesweeper/internal/baseline"
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/hypergraph"
+)
+
+// Stats carries the per-run cost counters of the certificate-complexity
+// analysis: FindGap calls (the paper's empirical |C| proxy), probe
+// points, constraints inserted, CDS work, comparisons, and output count.
+type Stats = certificate.Stats
+
+// Relation is an immutable set of tuples of fixed arity with non-negative
+// integer components (the paper's ℕ domains). The same Relation may be
+// bound by several atoms of a query (self-joins).
+type Relation struct {
+	name   string
+	arity  int
+	tuples [][]int
+}
+
+// NewRelation validates and copies the given tuples. Duplicates are
+// allowed and collapse under set semantics at indexing time.
+func NewRelation(name string, arity int, tuples [][]int) (*Relation, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("minesweeper: relation %q: arity %d < 1", name, arity)
+	}
+	cp := make([][]int, len(tuples))
+	for i, tup := range tuples {
+		if len(tup) != arity {
+			return nil, fmt.Errorf("minesweeper: relation %q: tuple %d has %d values, want %d", name, i, len(tup), arity)
+		}
+		for j, v := range tup {
+			if v < 0 {
+				return nil, fmt.Errorf("minesweeper: relation %q: tuple %d component %d is negative", name, i, j)
+			}
+		}
+		cp[i] = append([]int(nil), tup...)
+	}
+	return &Relation{name: name, arity: arity, tuples: cp}, nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of stored tuples (before deduplication).
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Atom binds a relation's columns to query variables.
+type Atom struct {
+	Rel  *Relation
+	Vars []string
+}
+
+// Query is a natural join query: the join of its atoms on shared
+// variables.
+type Query struct {
+	atoms []Atom
+	vars  []string
+	hg    *hypergraph.Hypergraph
+}
+
+// NewQuery validates the atoms and derives the query hypergraph.
+func NewQuery(atoms ...Atom) (*Query, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("minesweeper: query needs at least one atom")
+	}
+	q := &Query{}
+	seen := map[string]bool{}
+	edges := make([][]string, len(atoms))
+	for i, a := range atoms {
+		if a.Rel == nil {
+			return nil, fmt.Errorf("minesweeper: atom %d has nil relation", i)
+		}
+		if len(a.Vars) != a.Rel.arity {
+			return nil, fmt.Errorf("minesweeper: atom %d binds %d vars to %d-ary relation %q",
+				i, len(a.Vars), a.Rel.arity, a.Rel.name)
+		}
+		dup := map[string]bool{}
+		for _, v := range a.Vars {
+			if dup[v] {
+				return nil, fmt.Errorf("minesweeper: atom %d repeats variable %q", i, v)
+			}
+			dup[v] = true
+			if !seen[v] {
+				seen[v] = true
+				q.vars = append(q.vars, v)
+			}
+		}
+		edges[i] = a.Vars
+		q.atoms = append(q.atoms, Atom{Rel: a.Rel, Vars: append([]string(nil), a.Vars...)})
+	}
+	q.hg = hypergraph.New(edges)
+	return q, nil
+}
+
+// Vars returns all query variables in order of first appearance.
+func (q *Query) Vars() []string { return append([]string(nil), q.vars...) }
+
+// IsAlphaAcyclic reports α-acyclicity (GYO-reducible; Yannakakis applies).
+func (q *Query) IsAlphaAcyclic() bool { return q.hg.IsAlphaAcyclic() }
+
+// IsBetaAcyclic reports β-acyclicity: every sub-hypergraph α-acyclic;
+// exactly the class for which Minesweeper achieves Õ(|C|+Z)
+// (Theorem 2.7 / Proposition 2.8).
+func (q *Query) IsBetaAcyclic() bool { return q.hg.IsBetaAcyclic() }
+
+// NestedEliminationOrder returns a GAO whose prefix posets are chains
+// (Definition A.5), which exists iff the query is β-acyclic.
+func (q *Query) NestedEliminationOrder() ([]string, bool) {
+	return q.hg.NestedEliminationOrder()
+}
+
+// EliminationWidth returns the elimination width of the given GAO; the
+// Minesweeper bound for that order is Õ(|C|^{w+1} + Z) (Theorem 5.1).
+func (q *Query) EliminationWidth(gao []string) (int, error) {
+	return q.hg.EliminationWidth(gao)
+}
+
+// Treewidth returns the query's treewidth, computed exactly by exhaustive
+// elimination-order search (Proposition A.7). Limited to queries with at
+// most 9 variables; use RecommendGAO's width for larger ones.
+func (q *Query) Treewidth() (int, error) { return q.hg.Treewidth() }
+
+// RecommendGAO returns the global attribute order Execute would use when
+// none is supplied: a nested elimination order when the query is
+// β-acyclic (width reported by its elimination width), otherwise the
+// greedy min-width order.
+func (q *Query) RecommendGAO() (gao []string, width int) {
+	if neo, ok := q.hg.NestedEliminationOrder(); ok {
+		w, err := q.hg.EliminationWidth(neo)
+		if err != nil {
+			panic(err) // unreachable: neo is a permutation of the query vars
+		}
+		return neo, w
+	}
+	return q.hg.GreedyWidthOrder()
+}
+
+// Engine selects the join algorithm.
+type Engine int
+
+const (
+	// EngineAuto picks Minesweeper with a recommended GAO.
+	EngineAuto Engine = iota
+	// EngineMinesweeper is the paper's algorithm (Algorithm 2).
+	EngineMinesweeper
+	// EngineLeapfrog is the Leapfrog Triejoin baseline [53].
+	EngineLeapfrog
+	// EngineNPRR is the generic worst-case-optimal join baseline [40].
+	EngineNPRR
+	// EngineYannakakis is Yannakakis's algorithm [55] (α-acyclic only).
+	EngineYannakakis
+	// EngineHashPlan is a left-deep pairwise hash-join plan.
+	EngineHashPlan
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineMinesweeper:
+		return "minesweeper"
+	case EngineLeapfrog:
+		return "leapfrog"
+	case EngineNPRR:
+		return "nprr"
+	case EngineYannakakis:
+		return "yannakakis"
+	case EngineHashPlan:
+		return "hashplan"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Options configures Execute. The zero value (or nil) means: recommended
+// GAO, Minesweeper engine, sequential.
+type Options struct {
+	Engine Engine
+	// GAO fixes the global attribute order (a permutation of the query's
+	// variables). Empty means RecommendGAO.
+	GAO []string
+	// Workers > 1 parallelizes the Minesweeper engine by partitioning the
+	// first GAO attribute's domain (ignored by other engines).
+	Workers int
+	// Debug enables internal soundness checks (slower).
+	Debug bool
+}
+
+// Result is a join result: Tuples over Vars (the GAO used), sorted
+// lexicographically, plus the run's cost counters.
+type Result struct {
+	Vars   []string
+	Tuples [][]int
+	Stats  Stats
+	GAO    []string
+	Engine Engine
+}
+
+// Execute evaluates the query and returns its full result.
+func Execute(q *Query, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	gao := opts.GAO
+	if len(gao) == 0 {
+		gao, _ = q.RecommendGAO()
+	}
+	specs := q.atomSpecs()
+	res := &Result{Vars: gao, GAO: gao, Engine: opts.Engine}
+	engine := opts.Engine
+	if engine == EngineAuto {
+		engine = EngineMinesweeper
+	}
+	switch engine {
+	case EngineHashPlan:
+		tuples, err := baseline.LeftDeepHashJoin(gao, specs, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.Tuples = tuples
+		return res, nil
+	case EngineYannakakis:
+		tuples, err := baseline.Yannakakis(gao, specs, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.Tuples = tuples
+		return res, nil
+	}
+	if engine == EngineMinesweeper && opts.Workers > 1 {
+		tuples, err := core.MinesweeperParallel(gao, specs, opts.Workers, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.Tuples = tuples
+		return res, nil
+	}
+	p, err := core.NewProblem(gao, specs)
+	if err != nil {
+		return nil, err
+	}
+	p.Debug = opts.Debug
+	var tuples [][]int
+	switch engine {
+	case EngineMinesweeper:
+		tuples, err = core.MinesweeperAll(p, &res.Stats)
+	case EngineLeapfrog:
+		tuples, err = baseline.LeapfrogAll(p, &res.Stats)
+	case EngineNPRR:
+		tuples, err = baseline.NPRRAll(p, &res.Stats)
+	default:
+		return nil, fmt.Errorf("minesweeper: unknown engine %v", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	baseline.SortTuples(tuples)
+	res.Tuples = tuples
+	return res, nil
+}
+
+func (q *Query) atomSpecs() []core.AtomSpec {
+	specs := make([]core.AtomSpec, len(q.atoms))
+	for i, a := range q.atoms {
+		specs[i] = core.AtomSpec{Name: fmt.Sprintf("%s#%d", a.Rel.name, i), Attrs: a.Vars, Tuples: a.Rel.tuples}
+	}
+	return specs
+}
+
+// ExecuteLimit evaluates the query with Minesweeper but stops after at
+// most limit output tuples — the anytime behaviour of probe-point-driven
+// evaluation: the first k results cost only the probes that found them.
+// Only the Minesweeper engine supports limits; Options.Engine is ignored.
+func ExecuteLimit(q *Query, opts *Options, limit int) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	gao := opts.GAO
+	if len(gao) == 0 {
+		gao, _ = q.RecommendGAO()
+	}
+	p, err := core.NewProblem(gao, q.atomSpecs())
+	if err != nil {
+		return nil, err
+	}
+	p.Debug = opts.Debug
+	res := &Result{Vars: gao, GAO: gao, Engine: EngineMinesweeper}
+	if limit <= 0 {
+		return res, nil
+	}
+	err = core.MinesweeperStream(p, &res.Stats, func(t []int) bool {
+		res.Tuples = append(res.Tuples, t)
+		return len(res.Tuples) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline.SortTuples(res.Tuples)
+	return res, nil
+}
+
+// Intersect computes the intersection of the given integer sets with the
+// specialized Minesweeper of Appendix H (Algorithm 8), adaptively
+// skipping over provably empty regions. The returned stats include the
+// FindGap count, the paper's certificate-size estimate.
+func Intersect(sets ...[]int) ([]int, Stats, error) {
+	var s Stats
+	out, err := core.IntersectSets(sets, &s)
+	return out, s, err
+}
+
+// BowtieJoin computes R(X) ⋈ S(X,Y) ⋈ T(Y) with the near
+// instance-optimal Algorithm 9 of Appendix I. s rows are (x, y) pairs.
+func BowtieJoin(r []int, s [][]int, t []int) ([][]int, Stats, error) {
+	var st Stats
+	out, err := core.Bowtie(r, s, t, &st)
+	return out, st, err
+}
+
+// TriangleJoin computes R(A,B) ⋈ S(B,C) ⋈ T(A,C) with the dyadic-CDS
+// Minesweeper of Theorem 5.4 (Õ(|C|^{3/2} + Z)). Inputs are pair lists;
+// the output lists (a, b, c) triples.
+func TriangleJoin(r, s, t [][]int) ([][]int, Stats, error) {
+	var st Stats
+	out, err := core.Triangle(r, s, t, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	baseline.SortTuples(out)
+	return out, st, nil
+}
+
+// ListTriangles enumerates the ordered triangles of a directed edge list
+// (use both orientations for an undirected graph).
+func ListTriangles(edges [][]int) ([][]int, Stats, error) {
+	return TriangleJoin(edges, edges, edges)
+}
+
+// ListTrianglesParallel enumerates ordered triangles with the dyadic-CDS
+// engine parallelized across workers by partitioning the A domain
+// (mirroring the paper's multi-threaded runs). workers ≤ 1 is sequential.
+func ListTrianglesParallel(edges [][]int, workers int) ([][]int, Stats, error) {
+	var st Stats
+	out, err := core.TriangleParallel(edges, edges, edges, workers, &st)
+	return out, st, err
+}

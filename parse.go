@@ -1,0 +1,138 @@
+package minesweeper
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseQuery builds a Query from a textual join expression such as
+//
+//	"R(A,B), S(B,C), T(A,C)"
+//	"R(A,B) ⋈ S(B,C)"
+//	"Edge(x,y) Edge(y,z)"
+//
+// Atoms are RelationName(Var, …); they may be separated by commas, the ⋈
+// operator, or whitespace. Relation names are resolved through rels; the
+// same relation may appear in several atoms (self-joins). Variable and
+// relation names start with a letter or underscore and continue with
+// letters, digits or underscores.
+func ParseQuery(expr string, rels map[string]*Relation) (*Query, error) {
+	p := &queryParser{src: expr}
+	var atoms []Atom
+	for {
+		p.skipSeparators()
+		if p.eof() {
+			break
+		}
+		name, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var vars []string
+		for {
+			p.skipSpace()
+			v, err := p.ident("variable")
+			if err != nil {
+				return nil, err
+			}
+			vars = append(vars, v)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		rel, ok := rels[name]
+		if !ok {
+			return nil, fmt.Errorf("minesweeper: parse: unknown relation %q at offset %d", name, p.pos)
+		}
+		atoms = append(atoms, Atom{Rel: rel, Vars: vars})
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("minesweeper: parse: no atoms in %q", expr)
+	}
+	return NewQuery(atoms...)
+}
+
+type queryParser struct {
+	src string
+	pos int
+}
+
+func (p *queryParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *queryParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *queryParser) skipSpace() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+// skipSeparators consumes whitespace, commas and join operators between
+// atoms (⋈ is multi-byte UTF-8; accept the ASCII fallbacks "|><|" and
+// "join" too).
+func (p *queryParser) skipSeparators() {
+	for {
+		p.skipSpace()
+		switch {
+		case !p.eof() && p.src[p.pos] == ',':
+			p.pos++
+		case strings.HasPrefix(p.src[p.pos:], "⋈"):
+			p.pos += len("⋈")
+		case strings.HasPrefix(p.src[p.pos:], "|><|"):
+			p.pos += 4
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *queryParser) ident(what string) (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for i, r := range p.src[start:] {
+		if i == 0 {
+			if !isIdentStart(r) {
+				return "", fmt.Errorf("minesweeper: parse: expected %s at offset %d in %q", what, p.pos, p.src)
+			}
+			continue
+		}
+		if !isIdentRune(r) {
+			p.pos = start + i
+			return p.src[start : start+i], nil
+		}
+	}
+	if start == len(p.src) {
+		return "", fmt.Errorf("minesweeper: parse: expected %s at end of %q", what, p.src)
+	}
+	p.pos = len(p.src)
+	return p.src[start:], nil
+}
+
+func (p *queryParser) expect(c byte) error {
+	p.skipSpace()
+	if p.eof() || p.src[p.pos] != c {
+		return fmt.Errorf("minesweeper: parse: expected %q at offset %d in %q", string(c), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}

@@ -1,0 +1,117 @@
+package minesweeper
+
+import (
+	"reflect"
+	"testing"
+)
+
+func parserRels(t *testing.T) map[string]*Relation {
+	t.Helper()
+	r := rel(t, "R", 2, [][]int{{1, 2}, {2, 3}})
+	s := rel(t, "S", 2, [][]int{{2, 5}})
+	u := rel(t, "U", 1, [][]int{{1}})
+	return map[string]*Relation{"R": r, "S": s, "U": u, "Edge": r}
+}
+
+func TestParseQueryBasic(t *testing.T) {
+	rels := parserRels(t)
+	q, err := ParseQuery("R(A,B), S(B,C)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Fatalf("Vars = %v", got)
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+}
+
+func TestParseQuerySeparators(t *testing.T) {
+	rels := parserRels(t)
+	exprs := []string{
+		"R(A,B) ⋈ S(B,C)",
+		"R(A,B) |><| S(B,C)",
+		"R(A,B)\n\tS(B,C)",
+		"R( A , B ) , S( B , C )",
+	}
+	for _, e := range exprs {
+		q, err := ParseQuery(e, rels)
+		if err != nil {
+			t.Fatalf("%q: %v", e, err)
+		}
+		if len(q.Vars()) != 3 {
+			t.Fatalf("%q: vars %v", e, q.Vars())
+		}
+	}
+}
+
+func TestParseQuerySelfJoin(t *testing.T) {
+	rels := parserRels(t)
+	q, err := ParseQuery("Edge(x,y) Edge(y,z)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge = {(1,2),(2,3)}: one 2-path 1→2→3.
+	if len(res.Tuples) != 1 {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+}
+
+func TestParseQueryUnary(t *testing.T) {
+	rels := parserRels(t)
+	q, err := ParseQuery("U(A), R(A, B)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	rels := parserRels(t)
+	cases := []string{
+		"",         // no atoms
+		"  , ",     // separators only
+		"R",        // missing (
+		"R(",       // missing var
+		"R()",      // empty var list
+		"R(A",      // missing )
+		"R(A,)",    // trailing comma
+		"Q(A)",     // unknown relation
+		"R(A,B) S", // trailing junk
+		"R(1A)",    // bad identifier
+		"R(A,B,C)", // arity mismatch (caught by NewQuery)
+		"R(A,A)",   // repeated var (caught by NewQuery)
+	}
+	for _, e := range cases {
+		if _, err := ParseQuery(e, rels); err == nil {
+			t.Errorf("%q: expected error", e)
+		}
+	}
+}
+
+func TestParseQueryUnicodeIdent(t *testing.T) {
+	rels := map[string]*Relation{"Rel_1": rel(t, "Rel_1", 1, [][]int{{7}})}
+	q, err := ParseQuery("Rel_1(x_0)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(q, nil)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
