@@ -461,6 +461,94 @@ func BenchmarkExecuteLimitAnytime(b *testing.B) {
 	})
 }
 
+// BenchmarkPreparedVsCold measures what Prepare buys a served workload:
+// "cold" rebuilds every GAO-permuted index per execution (the
+// pre-refactor behaviour of Execute), "prepared" builds them once and
+// re-executes against the cache. The prepared sub-benchmark also asserts
+// that re-execution performs zero reltree builds.
+func BenchmarkPreparedVsCold(b *testing.B) {
+	g := dataset.PowerLawGraph(2000, 6, false, 3)
+	e, err := NewRelation("E", 2, g.Edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := NewQuery(
+		Atom{Rel: e, Vars: []string{"A", "B"}},
+		Atom{Rel: e, Vars: []string{"B", "C"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gao := []string{"A", "B", "C"}
+	specs := q.atomSpecs()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := core.NewProblem(gao, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.MinesweeperAll(p, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		pq, err := q.Prepare(&Options{GAO: gao})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := reltree.Builds()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := reltree.Builds(); got != before {
+			b.Fatalf("prepared re-execution rebuilt %d indexes", got-before)
+		}
+	})
+	// With a limit, the anytime engine does O(k) probes — so on the cold
+	// path the index build dominates, and the prepared path skips it.
+	b.Run("cold-limit10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := core.NewProblem(gao, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			if err := core.MinesweeperStream(p, nil, func([]int) bool {
+				n++
+				return n < 10
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-limit10", func(b *testing.B) {
+		b.ReportAllocs()
+		pq, err := q.Prepare(&Options{GAO: gao})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := reltree.Builds()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.ExecuteLimit(10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := reltree.Builds(); got != before {
+			b.Fatalf("prepared limit re-execution rebuilt %d indexes", got-before)
+		}
+	})
+}
+
 func BenchmarkSetIntersectionMergeVariant(b *testing.B) {
 	sets := dataset.InterleavedSets(4, 5000)
 	var stats certificate.Stats

@@ -12,12 +12,20 @@
 //
 //	msjoin -engine minesweeper -stats r.rel s.rel t.rel
 //	msjoin -gao A,B,C r.rel s.rel
+//	msjoin -limit 10 -timeout 2s r.rel s.rel
+//
+// Results stream as the engine discovers them: -limit stops after k
+// tuples (the anytime behaviour of probe-driven evaluation) and
+// -timeout aborts the run at the deadline, printing whatever streamed
+// out before it.
 //
 // Lines starting with '#' and blank lines are ignored.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +40,8 @@ func main() {
 	gaoFlag := flag.String("gao", "", "comma-separated global attribute order (default: recommended)")
 	statsFlag := flag.Bool("stats", false, "print run statistics")
 	quiet := flag.Bool("quiet", false, "suppress tuple output (count only)")
+	limitFlag := flag.Int("limit", 0, "stop after this many output tuples (0 = no limit)")
+	timeoutFlag := flag.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -71,15 +81,23 @@ func main() {
 	if *gaoFlag != "" {
 		opts.GAO = strings.Split(*gaoFlag, ",")
 	}
-	res, err := minesweeper.Execute(q, opts)
+	pq, err := q.Prepare(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("-- vars: %s\n", strings.Join(res.Vars, " "))
-	if !*quiet {
-		w := bufio.NewWriter(os.Stdout)
-		for _, tup := range res.Tuples {
+	ctx := context.Background()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
+	fmt.Printf("-- vars: %s\n", strings.Join(pq.GAO(), " "))
+	w := bufio.NewWriter(os.Stdout)
+	count := 0
+	stats, err := pq.StreamContext(ctx, func(tup []int) bool {
+		count++
+		if !*quiet {
 			for i, v := range tup {
 				if i > 0 {
 					fmt.Fprint(w, " ")
@@ -88,9 +106,15 @@ func main() {
 			}
 			fmt.Fprintln(w)
 		}
-		w.Flush()
+		return *limitFlag <= 0 || count < *limitFlag
+	})
+	w.Flush()
+	timedOut := errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !timedOut {
+		fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("-- %d tuples (engine=%s, gao=%s", len(res.Tuples), *engineFlag, strings.Join(res.GAO, ","))
+	fmt.Printf("-- %d tuples (engine=%s, gao=%s", count, *engineFlag, strings.Join(pq.GAO(), ","))
 	if q.IsBetaAcyclic() {
 		fmt.Printf(", β-acyclic")
 	} else if q.IsAlphaAcyclic() {
@@ -98,10 +122,19 @@ func main() {
 	} else {
 		fmt.Printf(", cyclic")
 	}
+	if *limitFlag > 0 && count >= *limitFlag {
+		fmt.Printf(", limit reached")
+	}
+	if timedOut {
+		fmt.Printf(", TIMED OUT after %v", *timeoutFlag)
+	}
 	fmt.Println(")")
 	if *statsFlag {
-		fmt.Printf("-- stats: %s\n", res.Stats.String())
-		fmt.Printf("-- certificate estimate |C| ≈ %d FindGap ops\n", res.Stats.CertificateEstimate())
+		fmt.Printf("-- stats: %s\n", stats.String())
+		fmt.Printf("-- certificate estimate |C| ≈ %d FindGap ops\n", stats.CertificateEstimate())
+	}
+	if timedOut {
+		os.Exit(3)
 	}
 }
 

@@ -59,4 +59,33 @@ func main() {
 	}
 	fmt.Printf("\nleapfrog agrees: %v (%d tuples)\n",
 		fmt.Sprint(lf.Tuples) == fmt.Sprint(res.Tuples), len(lf.Tuples))
+
+	// For repeated execution, prepare once: the GAO-permuted indexes are
+	// built a single time and cached on the relations, so every
+	// re-execution (any engine, any limit) skips the index build.
+	pq, err := q.Prepare(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for run := 1; run <= 2; run++ {
+		pres, err := pq.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prepared run %d: %d tuples, findgaps=%d\n",
+			run, len(pres.Tuples), pres.Stats.FindGaps)
+	}
+
+	// ExecuteStream exposes the anytime behaviour: tuples arrive one at a
+	// time in GAO order, and returning false stops the evaluation — the
+	// first k results cost only the probes that found them.
+	fmt.Println("\nstreaming (stop after 2):")
+	streamed := 0
+	if _, err := minesweeper.ExecuteStream(q, nil, func(tup []int) bool {
+		fmt.Printf("  -> %v\n", tup)
+		streamed++
+		return streamed < 2
+	}); err != nil {
+		log.Fatal(err)
+	}
 }

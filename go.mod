@@ -1,0 +1,3 @@
+module minesweeper
+
+go 1.24

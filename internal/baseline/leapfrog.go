@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/core"
 	"minesweeper/internal/ordered"
@@ -95,12 +97,26 @@ func (it *trieIter) up() {
 	it.pos = it.pos[:len(it.pos)-1]
 }
 
-// Leapfrog evaluates the join with the Leapfrog Triejoin algorithm [53]:
-// a backtracking search over the GAO where, at each attribute, the
+// Leapfrog evaluates the join with the Leapfrog Triejoin algorithm [53],
+// calling emit for every output tuple.
+func Leapfrog(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
+	return LeapfrogStream(context.Background(), p, stats, func(t []int) bool {
+		emit(t)
+		return true
+	})
+}
+
+// LeapfrogStream evaluates the join with the Leapfrog Triejoin algorithm
+// [53]: a backtracking search over the GAO where, at each attribute, the
 // iterators of all atoms containing that attribute are intersected with
 // the leapfrog seek dance. Worst-case optimal, but ω(|C|) on the path
 // families of Appendix J.
-func Leapfrog(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
+//
+// Tuples stream in GAO-lexicographic order as the search discovers them.
+// emit returns false to stop the enumeration (the call returns nil); a
+// cancelled context stops it with ctx.Err(), checked once per search
+// level.
+func LeapfrogStream(ctx context.Context, p *core.Problem, stats *certificate.Stats, emit func([]int) bool) error {
 	p.Attach(stats)
 	defer p.Detach()
 	n := len(p.GAO)
@@ -118,11 +134,16 @@ func Leapfrog(p *core.Problem, stats *certificate.Stats, emit func([]int)) error
 	t := make([]int, n)
 	var rec func(level int) error
 	rec = func(level int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if level == n {
 			if stats != nil {
 				stats.Outputs++
 			}
-			emit(append([]int(nil), t...))
+			if !emit(append([]int(nil), t...)) {
+				return errStop
+			}
 			return nil
 		}
 		parts := levelAtoms[level]
@@ -177,7 +198,7 @@ func Leapfrog(p *core.Problem, stats *certificate.Stats, emit func([]int)) error
 			// recomputes the intersection from scratch.
 		}
 	}
-	return rec(0)
+	return sweep(rec(0))
 }
 
 // LeapfrogAll runs Leapfrog and collects the outputs.

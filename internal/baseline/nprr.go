@@ -1,6 +1,9 @@
 package baseline
 
 import (
+	"context"
+	"sort"
+
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/core"
 )
@@ -27,13 +30,27 @@ func buildHashTrie(tuples [][]int) *hashTrie {
 	return root
 }
 
-// NPRR evaluates the join with an attribute-at-a-time generic join in the
-// style of Ngo–Porat–Ré–Rudra [40]: at each GAO attribute, the candidate
-// set is the distinct values of the participating atom with the fewest
-// candidates (the size-based choice behind the AGM bound), and each
-// candidate is hash-probed against the other participating atoms.
-// Worst-case optimal, but ω(|C|) on the Appendix J families.
+// NPRR evaluates the join with the generic worst-case-optimal join,
+// calling emit for every output tuple.
 func NPRR(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
+	return NPRRStream(context.Background(), p, stats, func(t []int) bool {
+		emit(t)
+		return true
+	})
+}
+
+// NPRRStream evaluates the join with an attribute-at-a-time generic join
+// in the style of Ngo–Porat–Ré–Rudra [40]: at each GAO attribute, the
+// candidate set is the distinct values of the participating atom with the
+// fewest candidates (the size-based choice behind the AGM bound), and
+// each candidate is hash-probed against the other participating atoms.
+// Worst-case optimal, but ω(|C|) on the Appendix J families.
+//
+// Candidates are visited in sorted order, so tuples stream in
+// GAO-lexicographic order. emit returns false to stop the enumeration;
+// a cancelled context stops it with ctx.Err(), checked once per search
+// level.
+func NPRRStream(ctx context.Context, p *core.Problem, stats *certificate.Stats, emit func([]int) bool) error {
 	n := len(p.GAO)
 	levelAtoms := make([][]int, n)
 	for ai := range p.Atoms {
@@ -51,11 +68,16 @@ func NPRR(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
 	t := make([]int, n)
 	var rec func(level int) error
 	rec = func(level int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if level == n {
 			if stats != nil {
 				stats.Outputs++
 			}
-			emit(append([]int(nil), t...))
+			if !emit(append([]int(nil), t...)) {
+				return errStop
+			}
 			return nil
 		}
 		parts := levelAtoms[level]
@@ -66,8 +88,16 @@ func NPRR(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
 				minIdx = ai
 			}
 		}
+		// Sorted candidate values: hash-map order is nondeterministic, and
+		// the streaming contract promises lexicographic emission.
+		cands := make([]int, 0, len(cursor[minIdx].children))
+		for v := range cursor[minIdx].children {
+			cands = append(cands, v)
+		}
+		sort.Ints(cands)
 		saved := make([]*hashTrie, len(parts))
-		for v, sub := range cursor[minIdx].children {
+		for _, v := range cands {
+			sub := cursor[minIdx].children[v]
 			ok := true
 			for _, ai := range parts {
 				if stats != nil {
@@ -102,14 +132,13 @@ func NPRR(p *core.Problem, stats *certificate.Stats, emit func([]int)) error {
 		}
 		return nil
 	}
-	return rec(0)
+	return sweep(rec(0))
 }
 
-// NPRRAll runs NPRR and collects the outputs in canonical order.
-// (Hash-map iteration is unordered, so outputs are sorted.)
+// NPRRAll runs NPRR and collects the outputs (already sorted: NPRRStream
+// visits candidates in value order).
 func NPRRAll(p *core.Problem, stats *certificate.Stats) ([][]int, error) {
 	var out [][]int
 	err := NPRR(p, stats, func(t []int) { out = append(out, t) })
-	SortTuples(out)
 	return out, err
 }

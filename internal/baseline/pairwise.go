@@ -12,6 +12,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -241,22 +242,40 @@ func (t *table) projectTo(attrs []string) (*table, error) {
 // GAO attribute order. It is the library's correctness oracle: simple,
 // independent of the index machinery, and obviously correct.
 func LeftDeepHashJoin(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) ([][]int, error) {
+	var out [][]int
+	err := LeftDeepHashJoinStream(context.Background(), gao, atoms, stats, func(t []int) bool {
+		out = append(out, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LeftDeepHashJoinStream runs the left-deep pairwise hash plan and
+// streams the sorted result. Like every materializing plan, it has no
+// true anytime behaviour — the plan runs to completion before the first
+// tuple appears — but the emission obeys the uniform streaming contract:
+// GAO-lexicographic order, emit false stops, and the context is checked
+// between pairwise joins and per emitted tuple.
+func LeftDeepHashJoinStream(ctx context.Context, gao []string, atoms []core.AtomSpec, stats *certificate.Stats, emit func([]int) bool) error {
 	if len(atoms) == 0 {
-		return nil, fmt.Errorf("baseline: no atoms")
+		return fmt.Errorf("baseline: no atoms")
 	}
 	acc := tableFromSpec(atoms[0])
 	for _, spec := range atoms[1:] {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		acc = HashJoin(acc, tableFromSpec(spec), stats)
 	}
 	final, err := acc.projectTo(gao)
 	if err != nil {
-		return nil, err
-	}
-	if stats != nil {
-		stats.Outputs += int64(len(final.tuples))
+		return err
 	}
 	SortTuples(final.tuples)
-	return final.tuples, nil
+	return emitSorted(ctx, final.tuples, stats, emit)
 }
 
 // SortTuples sorts tuples lexicographically in place (canonical output

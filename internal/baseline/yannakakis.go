@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"minesweeper/internal/certificate"
@@ -8,14 +9,34 @@ import (
 	"minesweeper/internal/hypergraph"
 )
 
-// Yannakakis evaluates an α-acyclic query with Yannakakis's algorithm
-// [55]: build a join tree by GYO reduction, run a full semijoin reduction
-// (leaves → root, then root → leaves), and join along the tree. After
-// reduction every intermediate result is bounded by the final output, so
-// the algorithm runs in Õ(N + Z) worst case — the classical guarantee the
-// paper contrasts with certificate optimality (it is ω(|C|) on instances
-// where a single pairwise semijoin already costs Ω(N), Appendix J).
+// Yannakakis evaluates an α-acyclic query with Yannakakis's algorithm,
+// returning the sorted result.
 func Yannakakis(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) ([][]int, error) {
+	var out [][]int
+	err := YannakakisStream(context.Background(), gao, atoms, stats, func(t []int) bool {
+		out = append(out, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// YannakakisStream evaluates an α-acyclic query with Yannakakis's
+// algorithm [55]: build a join tree by GYO reduction, run a full
+// semijoin reduction (leaves → root, then root → leaves), and join along
+// the tree. After reduction every intermediate result is bounded by the
+// final output, so the algorithm runs in Õ(N + Z) worst case — the
+// classical guarantee the paper contrasts with certificate optimality
+// (it is ω(|C|) on instances where a single pairwise semijoin already
+// costs Ω(N), Appendix J).
+//
+// The reduction passes are inherently blocking — first-result latency is
+// Ω(N) — so only the final enumeration streams: tuples are emitted in
+// GAO-lexicographic order, emit false stops the emission, and the
+// context is checked between semijoin/join steps and per emitted tuple.
+func YannakakisStream(ctx context.Context, gao []string, atoms []core.AtomSpec, stats *certificate.Stats, emit func([]int) bool) error {
 	edges := make([][]string, len(atoms))
 	for i, a := range atoms {
 		edges[i] = a.Attrs
@@ -23,7 +44,7 @@ func Yannakakis(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) (
 	h := hypergraph.New(edges)
 	jt, ok := h.GYO()
 	if !ok {
-		return nil, fmt.Errorf("baseline: Yannakakis requires an α-acyclic query")
+		return fmt.Errorf("baseline: Yannakakis requires an α-acyclic query")
 	}
 	tables := make([]*table, len(atoms))
 	for i, a := range atoms {
@@ -32,10 +53,10 @@ func Yannakakis(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) (
 	if len(atoms) == 1 {
 		final, err := tables[0].projectTo(gao)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		SortTuples(final.tuples)
-		return final.tuples, nil
+		return emitSorted(ctx, final.tuples, stats, emit)
 	}
 	// Children lists and a bottom-up order (children before parents).
 	children := make([][]int, len(atoms))
@@ -49,6 +70,9 @@ func Yannakakis(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) (
 	// Pass 1 (leaves → root): semijoin-reduce each parent by its children.
 	for _, i := range order {
 		for _, c := range children[i] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			tables[i] = semijoin(tables[i], tables[c], stats)
 		}
 	}
@@ -56,6 +80,9 @@ func Yannakakis(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) (
 	for j := len(order) - 1; j >= 0; j-- {
 		i := order[j]
 		for _, c := range children[i] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			tables[c] = semijoin(tables[c], tables[i], stats)
 		}
 	}
@@ -63,18 +90,18 @@ func Yannakakis(gao []string, atoms []core.AtomSpec, stats *certificate.Stats) (
 	// intermediates are bounded by |output| · |query|.
 	for _, i := range order {
 		for _, c := range children[i] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			tables[i] = HashJoin(tables[i], tables[c], stats)
 		}
 	}
 	final, err := tables[jt.Root].projectTo(gao)
 	if err != nil {
-		return nil, err
-	}
-	if stats != nil {
-		stats.Outputs += int64(len(final.tuples))
+		return err
 	}
 	SortTuples(final.tuples)
-	return final.tuples, nil
+	return emitSorted(ctx, final.tuples, stats, emit)
 }
 
 func postOrder(root int, children [][]int) []int {

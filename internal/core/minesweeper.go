@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"minesweeper/internal/cds"
@@ -26,7 +27,19 @@ func Minesweeper(p *Problem, stats *certificate.Stats, emit func([]int)) error {
 // builds intermediate results), stopping after k tuples costs only the
 // work for those k probes plus the constraints learned so far — the
 // anytime behaviour that worst-case-optimal algorithms lack.
+//
+// Probe points arrive in increasing lexicographic order (GetProbePoint
+// always returns the smallest active point and the ruled-out region only
+// grows), so output tuples stream in GAO-lexicographic order.
 func MinesweeperStream(p *Problem, stats *certificate.Stats, emit func([]int) bool) error {
+	return MinesweeperStreamContext(context.Background(), p, stats, emit)
+}
+
+// MinesweeperStreamContext is MinesweeperStream with cooperative
+// cancellation: the context is checked once per probe point (the outer
+// loop of Algorithm 2), and evaluation stops with ctx.Err() when it is
+// cancelled or its deadline passes.
+func MinesweeperStreamContext(ctx context.Context, p *Problem, stats *certificate.Stats, emit func([]int) bool) error {
 	n := len(p.GAO)
 	tree := cds.NewTree(n)
 	tree.SetStats(stats)
@@ -37,6 +50,9 @@ func MinesweeperStream(p *Problem, stats *certificate.Stats, emit func([]int) bo
 	// probe point.
 	explorations := make([]*gapNode, len(p.Atoms))
 	for t := tree.GetProbePoint(); t != nil; t = tree.GetProbePoint() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		output := true
 		for i := range p.Atoms {
 			explorations[i] = exploreAtom(&p.Atoms[i], t)

@@ -1,52 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"minesweeper/internal/certificate"
+	"minesweeper/internal/reltree"
 )
 
-// TriangleParallel evaluates the triangle query with the dyadic-CDS
-// engine across the given number of workers, partitioning the A domain
-// into contiguous ranges (each worker receives the R- and T-tuples whose
-// A value falls in its range plus the full S relation, so partitions are
-// independent and their outputs disjoint). This mirrors the paper's
-// multi-threaded LogicBlox runs (Section 5.2). Stats from all workers are
-// summed; outputs arrive sorted. workers ≤ 0 defaults to 1.
-func TriangleParallel(r, s, t [][]int, workers int, stats *certificate.Stats) ([][]int, error) {
-	if workers <= 1 {
-		out, err := Triangle(r, s, t, stats)
-		if err != nil {
-			return nil, err
-		}
-		sortTriples(out)
-		return out, nil
-	}
-	// Partition boundaries: distinct A values of R ∪ T, split evenly.
-	avals := map[int]bool{}
-	for _, tup := range r {
-		avals[tup[0]] = true
-	}
-	for _, tup := range t {
-		avals[tup[0]] = true
-	}
-	if len(avals) == 0 {
-		return nil, nil
-	}
-	distinct := make([]int, 0, len(avals))
-	for v := range avals {
-		distinct = append(distinct, v)
-	}
-	sort.Ints(distinct)
+// arange is an inclusive range of first-attribute values owned by one
+// worker.
+type arange struct{ lo, hi int }
+
+// splitRanges partitions the sorted distinct values into at most workers
+// contiguous, equally sized ranges.
+func splitRanges(distinct []int, workers int) []arange {
 	if workers > len(distinct) {
 		workers = len(distinct)
 	}
-	// ranges[w] = [lo, hi] inclusive bounds on A for worker w.
-	type arange struct{ lo, hi int }
-	ranges := make([]arange, 0, workers)
 	per := (len(distinct) + workers - 1) / workers
+	ranges := make([]arange, 0, workers)
 	for i := 0; i < len(distinct); i += per {
 		j := i + per
 		if j > len(distinct) {
@@ -54,6 +29,187 @@ func TriangleParallel(r, s, t [][]int, workers int, stats *certificate.Stats) ([
 		}
 		ranges = append(ranges, arange{distinct[i], distinct[j-1]})
 	}
+	return ranges
+}
+
+// distinctSorted collects the distinct values of the given lists,
+// sorted. Inputs are the top-level value lists of a few atom trees, so
+// the simple hash-and-sort beats a k-way merge in clarity at no
+// measurable cost (it runs once per parallel execution).
+func distinctSorted(lists ...[]int) []int {
+	seen := map[int]bool{}
+	for _, l := range lists {
+		for _, v := range l {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MinesweeperParallelStream evaluates the problem with Minesweeper across
+// workers by partitioning the domain of the first GAO attribute into
+// contiguous ranges. Each worker receives SliceTop views of the atoms
+// containing that attribute and Clone views of the rest, so the cached
+// indexes are shared — nothing is re-permuted or re-sorted per worker —
+// and the sub-joins are independent with disjoint outputs.
+//
+// Tuples are emitted in GAO-lexicographic order: each worker buffers its
+// (lex-ordered) partition and the driver drains the buffers in range
+// order as workers complete. When emit returns false, outstanding
+// workers are cancelled and the call returns nil; when ctx is cancelled,
+// it returns ctx.Err(). Worker stats are summed into stats, with Outputs
+// corrected to the number of tuples actually emitted.
+func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, stats *certificate.Stats, emit func([]int) bool) error {
+	if workers <= 1 {
+		return MinesweeperStreamContext(ctx, p, stats, emit)
+	}
+	var lists [][]int
+	for i := range p.Atoms {
+		a := &p.Atoms[i]
+		if len(a.Positions) > 0 && a.Positions[0] == 0 {
+			lists = append(lists, a.Tree.Root().Values)
+		}
+	}
+	distinct := distinctSorted(lists...)
+	if len(distinct) == 0 {
+		return nil // every atom on the first attribute is empty
+	}
+	ranges := splitRanges(distinct, workers)
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([][][]int, len(ranges))
+	statsParts := make([]certificate.Stats, len(ranges))
+	errs := make([]error, len(ranges))
+	done := make([]chan struct{}, len(ranges))
+	var wg sync.WaitGroup
+	for w := range ranges {
+		done[w] = make(chan struct{})
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer close(done[w])
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("core: minesweeper worker %d panicked: %v", w, r)
+				}
+			}()
+			rg := ranges[w]
+			sub := &Problem{GAO: p.GAO, Debug: p.Debug}
+			sub.Atoms = make([]Atom, len(p.Atoms))
+			for i, a := range p.Atoms {
+				var tree *reltree.Tree
+				if len(a.Positions) > 0 && a.Positions[0] == 0 {
+					tree = a.Tree.SliceTop(rg.lo, rg.hi)
+				} else {
+					tree = a.Tree.Clone()
+				}
+				sub.Atoms[i] = Atom{Name: a.Name, Tree: tree, Positions: a.Positions}
+			}
+			errs[w] = MinesweeperStreamContext(wctx, sub, &statsParts[w], func(t []int) bool {
+				parts[w] = append(parts[w], t)
+				return true
+			})
+		}(w)
+	}
+
+	stopped := false
+	emitted := int64(0)
+drain:
+	for w := range ranges {
+		<-done[w]
+		if errs[w] != nil {
+			break
+		}
+		for _, t := range parts[w] {
+			emitted++
+			if !emit(t) {
+				stopped = true
+				cancel()
+				break drain
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	found := int64(0)
+	for w := range ranges {
+		found += statsParts[w].Outputs
+		if stats != nil {
+			stats.Add(&statsParts[w])
+		}
+	}
+	if stats != nil {
+		stats.Outputs += emitted - found
+	}
+	if stopped {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil && err != context.Canceled {
+			return err
+		}
+	}
+	return nil
+}
+
+// MinesweeperParallel evaluates an arbitrary join with Minesweeper across
+// workers, materializing the sorted result. It builds the indexes once
+// and delegates to MinesweeperParallelStream, which shares them across
+// workers via SliceTop views.
+func MinesweeperParallel(gao []string, atoms []AtomSpec, workers int, stats *certificate.Stats) ([][]int, error) {
+	p, err := NewProblem(gao, atoms)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]int
+	err = MinesweeperParallelStream(context.Background(), p, workers, stats, func(t []int) bool {
+		out = append(out, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Already sorted: the stream emits workers' lex-ordered partitions in
+	// range order.
+	return out, nil
+}
+
+// TriangleParallel evaluates the triangle query with the dyadic-CDS
+// engine across the given number of workers, partitioning the A domain
+// into contiguous ranges. The three indexes are built once; each worker
+// runs over SliceTop views of R and T (whose first attribute is A) and a
+// Clone view of S, so no per-worker re-indexing happens. This mirrors
+// the paper's multi-threaded LogicBlox runs (Section 5.2). Stats from
+// all workers are summed; outputs arrive sorted. workers ≤ 1 is
+// sequential.
+func TriangleParallel(r, s, t [][]int, workers int, stats *certificate.Stats) ([][]int, error) {
+	rT, sT, tT, err := TriangleIndexes(r, s, t)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		out, err := TriangleIndexed(rT, sT, tT, stats)
+		if err != nil {
+			return nil, err
+		}
+		sortTriples(out)
+		return out, nil
+	}
+	distinct := distinctSorted(rT.Root().Values, tT.Root().Values)
+	if len(distinct) == 0 {
+		return nil, nil
+	}
+	ranges := splitRanges(distinct, workers)
 	parts := make([][][]int, len(ranges))
 	statsParts := make([]certificate.Stats, len(ranges))
 	errs := make([]error, len(ranges))
@@ -68,130 +224,12 @@ func TriangleParallel(r, s, t [][]int, workers int, stats *certificate.Stats) ([
 				}
 			}()
 			rg := ranges[w]
-			var rw, tw [][]int
-			for _, tup := range r {
-				if rg.lo <= tup[0] && tup[0] <= rg.hi {
-					rw = append(rw, tup)
-				}
-			}
-			for _, tup := range t {
-				if rg.lo <= tup[0] && tup[0] <= rg.hi {
-					tw = append(tw, tup)
-				}
-			}
-			if len(rw) == 0 || len(tw) == 0 {
+			rw := rT.SliceTop(rg.lo, rg.hi)
+			tw := tT.SliceTop(rg.lo, rg.hi)
+			if rw.Size() == 0 || tw.Size() == 0 {
 				return
 			}
-			parts[w], errs[w] = Triangle(rw, s, tw, &statsParts[w])
-		}(w)
-	}
-	wg.Wait()
-	var out [][]int
-	for w := range ranges {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		out = append(out, parts[w]...)
-		if stats != nil {
-			stats.Add(&statsParts[w])
-		}
-	}
-	sortTriples(out)
-	return out, nil
-}
-
-// MinesweeperParallel evaluates an arbitrary join with Minesweeper across
-// workers by partitioning the domain of the first GAO attribute into
-// contiguous ranges: every atom containing that attribute is filtered to
-// the range, other atoms are shared, so the sub-joins are independent and
-// their outputs disjoint. Worker stats are summed; outputs come back
-// sorted. workers ≤ 1 falls back to the sequential engine.
-func MinesweeperParallel(gao []string, atoms []AtomSpec, workers int, stats *certificate.Stats) ([][]int, error) {
-	seqProblem := func(as []AtomSpec) (*Problem, error) { return NewProblem(gao, as) }
-	if workers <= 1 {
-		p, err := seqProblem(atoms)
-		if err != nil {
-			return nil, err
-		}
-		out, err := MinesweeperAll(p, stats)
-		if err != nil {
-			return nil, err
-		}
-		sortTriples(out)
-		return out, nil
-	}
-	first := gao[0]
-	// Column index of the first attribute per atom (-1 when absent).
-	cols := make([]int, len(atoms))
-	avals := map[int]bool{}
-	for i, spec := range atoms {
-		cols[i] = -1
-		for j, a := range spec.Attrs {
-			if a == first {
-				cols[i] = j
-			}
-		}
-		if cols[i] >= 0 {
-			for _, tup := range spec.Tuples {
-				avals[tup[cols[i]]] = true
-			}
-		}
-	}
-	if len(avals) == 0 {
-		return nil, nil // some atom on the first attribute is empty
-	}
-	distinct := make([]int, 0, len(avals))
-	for v := range avals {
-		distinct = append(distinct, v)
-	}
-	sort.Ints(distinct)
-	if workers > len(distinct) {
-		workers = len(distinct)
-	}
-	per := (len(distinct) + workers - 1) / workers
-	type arange struct{ lo, hi int }
-	var ranges []arange
-	for i := 0; i < len(distinct); i += per {
-		j := i + per
-		if j > len(distinct) {
-			j = len(distinct)
-		}
-		ranges = append(ranges, arange{distinct[i], distinct[j-1]})
-	}
-	parts := make([][][]int, len(ranges))
-	statsParts := make([]certificate.Stats, len(ranges))
-	errs := make([]error, len(ranges))
-	var wg sync.WaitGroup
-	for w := range ranges {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[w] = fmt.Errorf("core: minesweeper worker %d panicked: %v", w, p)
-				}
-			}()
-			rg := ranges[w]
-			sub := make([]AtomSpec, len(atoms))
-			for i, spec := range atoms {
-				sub[i] = spec
-				if cols[i] < 0 {
-					continue
-				}
-				var filtered [][]int
-				for _, tup := range spec.Tuples {
-					if rg.lo <= tup[cols[i]] && tup[cols[i]] <= rg.hi {
-						filtered = append(filtered, tup)
-					}
-				}
-				sub[i].Tuples = filtered
-			}
-			p, err := seqProblem(sub)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			parts[w], errs[w] = MinesweeperAll(p, &statsParts[w])
+			parts[w], errs[w] = TriangleIndexed(rw, sT.Clone(), tw, &statsParts[w])
 		}(w)
 	}
 	wg.Wait()

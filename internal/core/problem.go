@@ -44,70 +44,109 @@ type Problem struct {
 	Debug bool
 }
 
-// NewProblem validates the query, permutes every atom's columns into
-// GAO-consistent order, and builds the search-tree indexes.
-func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
-	if len(atoms) == 0 {
-		return nil, fmt.Errorf("core: query has no atoms")
-	}
+// ColumnPlan computes, for an atom with the given attributes under the
+// GAO, the sorted GAO positions of its columns (the paper's strictly
+// increasing function s) and the source-column permutation that brings
+// its tuples into GAO-consistent order. The pair (relation identity,
+// perm) keys the index caches: two atoms with the same permutation over
+// the same data share one search tree.
+func ColumnPlan(gao, attrs []string) (positions, perm []int, err error) {
 	pos := make(map[string]int, len(gao))
 	for i, a := range gao {
 		if _, dup := pos[a]; dup {
-			return nil, fmt.Errorf("core: GAO repeats attribute %q", a)
+			return nil, nil, fmt.Errorf("GAO repeats attribute %q", a)
 		}
 		pos[a] = i
 	}
+	if len(attrs) == 0 {
+		return nil, nil, fmt.Errorf("atom has no attributes")
+	}
+	type col struct {
+		gaoPos, srcCol int
+	}
+	seen := map[string]bool{}
+	cols := make([]col, 0, len(attrs))
+	for j, a := range attrs {
+		gp, ok := pos[a]
+		if !ok {
+			return nil, nil, fmt.Errorf("attribute %q not in GAO", a)
+		}
+		if seen[a] {
+			return nil, nil, fmt.Errorf("atom repeats attribute %q", a)
+		}
+		seen[a] = true
+		cols = append(cols, col{gp, j})
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].gaoPos < cols[j].gaoPos })
+	positions = make([]int, len(cols))
+	perm = make([]int, len(cols))
+	for i, c := range cols {
+		positions[i] = c.gaoPos
+		perm[i] = c.srcCol
+	}
+	return positions, perm, nil
+}
+
+// PermuteTuples applies the column permutation to every tuple, producing
+// rows in GAO-consistent order ready for reltree.New.
+func PermuteTuples(perm []int, tuples [][]int) ([][]int, error) {
+	permuted := make([][]int, len(tuples))
+	for i, tup := range tuples {
+		if len(tup) != len(perm) {
+			return nil, fmt.Errorf("tuple %d has %d values, want %d", i, len(tup), len(perm))
+		}
+		row := make([]int, len(perm))
+		for j, src := range perm {
+			row[j] = tup[src]
+		}
+		permuted[i] = row
+	}
+	return permuted, nil
+}
+
+// BuildAtom indexes one atom for the GAO: it plans the column order,
+// permutes the tuples and builds the search tree. This is the only place
+// the library constructs indexes; prepared queries call it at most once
+// per (relation, column order).
+func BuildAtom(gao []string, spec AtomSpec) (Atom, error) {
+	positions, perm, err := ColumnPlan(gao, spec.Attrs)
+	if err != nil {
+		return Atom{}, fmt.Errorf("core: atom %q: %w", spec.Name, err)
+	}
+	permuted, err := PermuteTuples(perm, spec.Tuples)
+	if err != nil {
+		return Atom{}, fmt.Errorf("core: atom %q: %w", spec.Name, err)
+	}
+	tree, err := reltree.New(spec.Name, len(perm), permuted)
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Name: spec.Name, Tree: tree, Positions: positions}, nil
+}
+
+// NewProblemFromAtoms assembles a problem from already-indexed atoms
+// (built by BuildAtom or pulled from an index cache), validating that
+// atom names are distinct and that the GAO is covered. No tuples are
+// copied, sorted or indexed here.
+func NewProblemFromAtoms(gao []string, atoms []Atom) (*Problem, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
 	covered := make([]bool, len(gao))
-	p := &Problem{GAO: gao}
 	names := map[string]bool{}
-	for _, spec := range atoms {
-		if len(spec.Attrs) == 0 {
-			return nil, fmt.Errorf("core: atom %q has no attributes", spec.Name)
+	p := &Problem{GAO: gao}
+	for _, a := range atoms {
+		if names[a.Name] {
+			return nil, fmt.Errorf("core: duplicate atom name %q (atom names key the certificate variables)", a.Name)
 		}
-		if names[spec.Name] {
-			return nil, fmt.Errorf("core: duplicate atom name %q (atom names key the certificate variables)", spec.Name)
-		}
-		names[spec.Name] = true
-		seen := map[string]bool{}
-		type col struct {
-			gaoPos, srcCol int
-		}
-		cols := make([]col, 0, len(spec.Attrs))
-		for j, a := range spec.Attrs {
-			gp, ok := pos[a]
-			if !ok {
-				return nil, fmt.Errorf("core: atom %q: attribute %q not in GAO", spec.Name, a)
+		names[a.Name] = true
+		for _, gp := range a.Positions {
+			if gp < 0 || gp >= len(gao) {
+				return nil, fmt.Errorf("core: atom %q: position %d out of GAO range", a.Name, gp)
 			}
-			if seen[a] {
-				return nil, fmt.Errorf("core: atom %q repeats attribute %q", spec.Name, a)
-			}
-			seen[a] = true
 			covered[gp] = true
-			cols = append(cols, col{gp, j})
 		}
-		sort.Slice(cols, func(i, j int) bool { return cols[i].gaoPos < cols[j].gaoPos })
-		positions := make([]int, len(cols))
-		perm := make([]int, len(cols))
-		for i, c := range cols {
-			positions[i] = c.gaoPos
-			perm[i] = c.srcCol
-		}
-		permuted := make([][]int, len(spec.Tuples))
-		for i, tup := range spec.Tuples {
-			if len(tup) != len(spec.Attrs) {
-				return nil, fmt.Errorf("core: atom %q: tuple %d has %d values, want %d", spec.Name, i, len(tup), len(spec.Attrs))
-			}
-			row := make([]int, len(perm))
-			for j, src := range perm {
-				row[j] = tup[src]
-			}
-			permuted[i] = row
-		}
-		tree, err := reltree.New(spec.Name, len(cols), permuted)
-		if err != nil {
-			return nil, err
-		}
-		p.Atoms = append(p.Atoms, Atom{Name: spec.Name, Tree: tree, Positions: positions})
+		p.Atoms = append(p.Atoms, a)
 	}
 	for i, ok := range covered {
 		if !ok {
@@ -115,6 +154,53 @@ func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
 		}
 	}
 	return p, nil
+}
+
+// NewProblem validates the query, permutes every atom's columns into
+// GAO-consistent order, and builds the search-tree indexes.
+func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
+	built := make([]Atom, 0, len(atoms))
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
+	for _, spec := range atoms {
+		a, err := BuildAtom(gao, spec)
+		if err != nil {
+			return nil, err
+		}
+		built = append(built, a)
+	}
+	return NewProblemFromAtoms(gao, built)
+}
+
+// Snapshot returns a per-run copy of the problem whose atom trees are
+// shallow clones of the originals. The clones share the immutable index
+// nodes, so a snapshot costs O(#atoms); each run attaches its own stats
+// receiver to its snapshot, which is what makes a cached problem safe for
+// concurrent executions.
+func (p *Problem) Snapshot() *Problem {
+	cp := &Problem{GAO: p.GAO, Debug: p.Debug}
+	cp.Atoms = make([]Atom, len(p.Atoms))
+	for i, a := range p.Atoms {
+		cp.Atoms[i] = Atom{Name: a.Name, Tree: a.Tree.Clone(), Positions: a.Positions}
+	}
+	return cp
+}
+
+// Specs reconstructs GAO-consistent atom specs from the built indexes
+// (attribute names looked up through the GAO, tuples materialized from
+// the trees). Engines that work on raw tuple lists rather than search
+// trees — Yannakakis, the pairwise hash plans — consume these.
+func (p *Problem) Specs() []AtomSpec {
+	specs := make([]AtomSpec, len(p.Atoms))
+	for i, a := range p.Atoms {
+		attrs := make([]string, len(a.Positions))
+		for j, gp := range a.Positions {
+			attrs[j] = p.GAO[gp]
+		}
+		specs[i] = AtomSpec{Name: a.Name, Attrs: attrs, Tuples: a.Tree.Tuples()}
+	}
+	return specs
 }
 
 // Attach wires per-run stats into every index tree.

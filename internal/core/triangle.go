@@ -165,30 +165,59 @@ func (c *triangleCDS) getProbePoint() (a, b, cv int, ok bool) {
 // Õ(|C|^{3/2} + Z) instead of the Õ(|C|²+Z) of the generic CDS.
 // r, s, t are lists of pairs. Outputs (a,b,c) triples.
 func Triangle(r, s, t [][]int, stats *certificate.Stats) ([][]int, error) {
-	rT, err := reltree.New("R", 2, r)
+	rT, sT, tT, err := TriangleIndexes(r, s, t)
 	if err != nil {
 		return nil, err
 	}
-	sT, err := reltree.New("S", 2, s)
-	if err != nil {
-		return nil, err
+	return TriangleIndexed(rT, sT, tT, stats)
+}
+
+// TriangleIndexes builds the three search trees of the triangle query
+// once; TriangleIndexed (and the range-parallel driver, via SliceTop
+// views) can then run against them repeatedly without re-sorting.
+func TriangleIndexes(r, s, t [][]int) (rT, sT, tT *reltree.Tree, err error) {
+	if rT, err = reltree.New("R", 2, r); err != nil {
+		return nil, nil, nil, err
 	}
-	tT, err := reltree.New("T", 2, t)
-	if err != nil {
-		return nil, err
+	if sT, err = reltree.New("S", 2, s); err != nil {
+		return nil, nil, nil, err
 	}
+	if tT, err = reltree.New("T", 2, t); err != nil {
+		return nil, nil, nil, err
+	}
+	return rT, sT, tT, nil
+}
+
+// maxSecond returns the largest second-attribute value of an arity-2
+// tree (0 when empty) by scanning the last value of each second-level
+// node — O(#distinct first values), no tuple materialization.
+func maxSecond(t *reltree.Tree) int {
+	max := 0
+	root := t.Root()
+	if root == nil {
+		return 0
+	}
+	for _, child := range root.Children {
+		if n := len(child.Values); n > 0 && child.Values[n-1] > max {
+			max = child.Values[n-1]
+		}
+	}
+	return max
+}
+
+// TriangleIndexed runs the dyadic-CDS triangle engine over prebuilt
+// indexes. The trees' stats receivers are set for the duration of the
+// run, so callers sharing trees across goroutines must hand each run its
+// own Clone/SliceTop views.
+func TriangleIndexed(rT, sT, tT *reltree.Tree, stats *certificate.Stats) ([][]int, error) {
 	rT.SetStats(stats)
 	sT.SetStats(stats)
 	tT.SetStats(stats)
+	defer rT.SetStats(nil)
+	defer sT.SetStats(nil)
+	defer tT.SetStats(nil)
 	// The dyadic key space must cover every B value of R or S.
-	maxB := 0
-	if rT.Size() > 0 {
-		for _, tup := range rT.Tuples() {
-			if tup[1] > maxB {
-				maxB = tup[1]
-			}
-		}
-	}
+	maxB := maxSecond(rT)
 	if sT.Size() > 0 {
 		if v := sT.Value([]int{sT.Fanout(nil) - 1}); v > maxB {
 			maxB = v

@@ -22,6 +22,7 @@ package reltree
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/ordered"
@@ -29,11 +30,24 @@ import (
 
 // Node is an internal node of the relation search tree. Values holds the
 // sorted distinct values of one attribute under a fixed prefix; for
-// non-leaf levels, Children[i] refines Values[i].
+// non-leaf levels, Children[i] refines Values[i]. Counts[i] is the
+// number of tuples stored under Values[i]; it is recorded only at the
+// root level (its sole consumer is SliceTop's size computation) and only
+// when the root is not a leaf (leaves hold one tuple per value).
 type Node struct {
 	Values   []int
 	Children []*Node // nil at the deepest level
+	Counts   []int   // root level only, nil at leaves
 }
+
+// builds counts every index constructed by New since process start.
+// Clone and SliceTop views are not counted: tests and benchmarks use the
+// counter to assert that prepared queries reuse cached indexes instead of
+// rebuilding them.
+var builds atomic.Int64
+
+// Builds returns the process-wide count of New calls.
+func Builds() int64 { return builds.Load() }
 
 // Tree is an indexed relation: a search tree over tuples of fixed arity
 // whose level order equals the (GAO-consistent) attribute order used to
@@ -71,6 +85,7 @@ func New(name string, arity int, tuples [][]int) (*Tree, error) {
 	sorted = dedup(sorted)
 	t := &Tree{name: name, arity: arity, size: len(sorted)}
 	t.root = build(sorted, 0, arity)
+	builds.Add(1)
 	return t, nil
 }
 
@@ -124,6 +139,9 @@ func build(block [][]int, depth, arity int) *Node {
 		n.Values = append(n.Values, v)
 		if !leaf {
 			n.Children = append(n.Children, build(block[i:j], depth+1, arity))
+			if depth == 0 {
+				n.Counts = append(n.Counts, j-i)
+			}
 		}
 		i = j
 	}
@@ -141,6 +159,38 @@ func (t *Tree) Size() int { return t.size }
 
 // SetStats attaches the per-run cost counters; nil detaches.
 func (t *Tree) SetStats(s *certificate.Stats) { t.stats = s }
+
+// Clone returns a shallow per-run view of the tree: it shares the
+// immutable node structure but carries its own stats receiver, so
+// concurrent executions over a cached index can each attach their own
+// counters without racing. O(1).
+func (t *Tree) Clone() *Tree {
+	cp := *t
+	cp.stats = nil
+	return &cp
+}
+
+// SliceTop returns a view of the tree restricted to the tuples whose
+// first attribute lies in [lo, hi]. The view shares all nodes with the
+// receiver (nothing is re-sorted or rebuilt), which is how range-parallel
+// executions hand each worker its partition of a cached index. The view
+// carries no stats receiver. O(log fanout).
+func (t *Tree) SliceTop(lo, hi int) *Tree {
+	root := t.root
+	i := sort.SearchInts(root.Values, lo)
+	j := sort.SearchInts(root.Values, hi+1)
+	nr := &Node{Values: root.Values[i:j]}
+	size := j - i // leaf level: one tuple per value
+	if root.Children != nil {
+		nr.Children = root.Children[i:j]
+		nr.Counts = root.Counts[i:j]
+		size = 0
+		for _, c := range nr.Counts {
+			size += c
+		}
+	}
+	return &Tree{name: t.name, arity: t.arity, size: size, root: nr}
+}
 
 // node returns the node addressed by the index tuple x (all components
 // must be in range), or nil when x is out of range. len(x) must be

@@ -315,3 +315,62 @@ func TestFindGapValueSandwich(t *testing.T) {
 	}
 	probe(nil, 0)
 }
+
+// TestSliceTopAndClone checks the shared-node view primitives that back
+// cached-index reuse: SliceTop restricts to a first-attribute range
+// without rebuilding, Clone isolates stats receivers, and both agree
+// with a tree built from the filtered tuples.
+func TestSliceTopAndClone(t *testing.T) {
+	tuples := [][]int{{1, 5}, {1, 9}, {3, 2}, {4, 2}, {4, 7}, {8, 1}}
+	r := mustNew(t, "R", 2, tuples)
+	for _, tc := range []struct {
+		lo, hi, size int
+	}{
+		{0, 100, 6}, {1, 4, 5}, {3, 4, 3}, {4, 4, 2}, {5, 7, 0}, {9, 100, 0},
+	} {
+		v := r.SliceTop(tc.lo, tc.hi)
+		if v.Size() != tc.size {
+			t.Fatalf("SliceTop(%d,%d).Size = %d, want %d", tc.lo, tc.hi, v.Size(), tc.size)
+		}
+		var want [][]int
+		for _, tup := range tuples {
+			if tc.lo <= tup[0] && tup[0] <= tc.hi {
+				want = append(want, tup)
+			}
+		}
+		got := v.Tuples()
+		if len(got) != len(want) {
+			t.Fatalf("SliceTop(%d,%d) tuples %v, want %v", tc.lo, tc.hi, got, want)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("SliceTop(%d,%d) tuples %v, want %v", tc.lo, tc.hi, got, want)
+			}
+		}
+	}
+	// Clone has its own stats receiver; the original stays untouched.
+	before := Builds()
+	var s certificate.Stats
+	c := r.Clone()
+	c.SetStats(&s)
+	c.FindGap(nil, 4)
+	if s.FindGaps != 1 {
+		t.Fatalf("clone stats = %d FindGaps, want 1", s.FindGaps)
+	}
+	var orig certificate.Stats
+	r.SetStats(&orig)
+	r.FindGap(nil, 4)
+	r.SetStats(nil)
+	if orig.FindGaps != 1 || s.FindGaps != 1 {
+		t.Fatalf("stats not isolated: orig=%d clone=%d", orig.FindGaps, s.FindGaps)
+	}
+	// Neither Clone nor SliceTop counts as an index build.
+	if Builds() != before {
+		t.Fatalf("views counted as builds: %d -> %d", before, Builds())
+	}
+	// Unary relations slice at the leaf level.
+	u := mustNew(t, "U", 1, [][]int{{2}, {4}, {6}})
+	if v := u.SliceTop(3, 6); v.Size() != 2 {
+		t.Fatalf("unary SliceTop size = %d, want 2", v.Size())
+	}
+}

@@ -24,15 +24,29 @@
 //	)
 //	res, _ := minesweeper.Execute(q, nil)
 //	// res.Tuples over res.Vars (the GAO), res.Stats has |C| estimates.
+//
+// Every engine runs behind the streaming executor layer: ExecuteStream
+// exposes the anytime, one-tuple-at-a-time behaviour, ExecuteLimit stops
+// after k tuples, and the Context variants honor cancellation and
+// deadlines uniformly across engines. For repeated execution over the
+// same relations, Prepare builds the GAO-permuted indexes once and
+// caches them on the relations (keyed by column order), so re-running a
+// query — or running another query that indexes the same relation the
+// same way — skips the index build entirely.
 package minesweeper
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"minesweeper/internal/baseline"
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/core"
 	"minesweeper/internal/hypergraph"
+	"minesweeper/internal/reltree"
 )
 
 // Stats carries the per-run cost counters of the certificate-complexity
@@ -43,10 +57,64 @@ type Stats = certificate.Stats
 // Relation is an immutable set of tuples of fixed arity with non-negative
 // integer components (the paper's ℕ domains). The same Relation may be
 // bound by several atoms of a query (self-joins).
+//
+// A Relation owns its index cache: the first execution that needs the
+// relation sorted under some column order builds a search tree and
+// caches it keyed by that column permutation, so later executions —
+// through this query or any other — reuse it. The cache is safe for
+// concurrent use and lives as long as the Relation.
 type Relation struct {
 	name   string
 	arity  int
 	tuples [][]int
+
+	mu      sync.Mutex
+	indexes map[string]*reltree.Tree
+}
+
+// permKey renders a column permutation as a cache key.
+func permKey(perm []int) string {
+	var b strings.Builder
+	for i, p := range perm {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	return b.String()
+}
+
+// indexFor returns the relation's search tree for the given column
+// permutation, building and caching it on first use.
+func (r *Relation) indexFor(perm []int) (*reltree.Tree, error) {
+	key := permKey(perm)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.indexes[key]; ok {
+		return t, nil
+	}
+	permuted, err := core.PermuteTuples(perm, r.tuples)
+	if err != nil {
+		return nil, fmt.Errorf("minesweeper: relation %q: %w", r.name, err)
+	}
+	t, err := reltree.New(r.name, len(perm), permuted)
+	if err != nil {
+		return nil, err
+	}
+	if r.indexes == nil {
+		r.indexes = map[string]*reltree.Tree{}
+	}
+	r.indexes[key] = t
+	return t, nil
+}
+
+// CachedIndexes reports how many GAO-permuted indexes the relation
+// currently caches (one per distinct column order it has been queried
+// under).
+func (r *Relation) CachedIndexes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.indexes)
 }
 
 // NewRelation validates and copies the given tuples. Duplicates are
@@ -232,105 +300,67 @@ type Result struct {
 
 // Execute evaluates the query and returns its full result.
 func Execute(q *Query, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	gao := opts.GAO
-	if len(gao) == 0 {
-		gao, _ = q.RecommendGAO()
-	}
-	specs := q.atomSpecs()
-	res := &Result{Vars: gao, GAO: gao, Engine: opts.Engine}
-	engine := opts.Engine
-	if engine == EngineAuto {
-		engine = EngineMinesweeper
-	}
-	switch engine {
-	case EngineHashPlan:
-		tuples, err := baseline.LeftDeepHashJoin(gao, specs, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-		res.Tuples = tuples
-		return res, nil
-	case EngineYannakakis:
-		tuples, err := baseline.Yannakakis(gao, specs, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-		res.Tuples = tuples
-		return res, nil
-	}
-	if engine == EngineMinesweeper && opts.Workers > 1 {
-		tuples, err := core.MinesweeperParallel(gao, specs, opts.Workers, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-		res.Tuples = tuples
-		return res, nil
-	}
-	p, err := core.NewProblem(gao, specs)
-	if err != nil {
-		return nil, err
-	}
-	p.Debug = opts.Debug
-	var tuples [][]int
-	switch engine {
-	case EngineMinesweeper:
-		tuples, err = core.MinesweeperAll(p, &res.Stats)
-	case EngineLeapfrog:
-		tuples, err = baseline.LeapfrogAll(p, &res.Stats)
-	case EngineNPRR:
-		tuples, err = baseline.NPRRAll(p, &res.Stats)
-	default:
-		return nil, fmt.Errorf("minesweeper: unknown engine %v", opts.Engine)
-	}
-	if err != nil {
-		return nil, err
-	}
-	baseline.SortTuples(tuples)
-	res.Tuples = tuples
-	return res, nil
+	return ExecuteContext(context.Background(), q, opts)
 }
 
+// ExecuteContext evaluates the query and returns its full result,
+// stopping with ctx.Err() when the context is cancelled or its deadline
+// passes. The query is prepared first, so repeated executions over the
+// same relations reuse the cached indexes.
+func ExecuteContext(ctx context.Context, q *Query, opts *Options) (*Result, error) {
+	pq, err := q.Prepare(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pq.ExecuteContext(ctx)
+}
+
+// ExecuteLimit evaluates the query but stops after at most limit output
+// tuples — the anytime behaviour of probe-point-driven evaluation: with
+// a streaming engine the first k results cost only the probes that found
+// them. Every engine honors the limit through the streaming executor;
+// for the materializing engines (Yannakakis, hash plan) it bounds the
+// returned tuples but not the evaluation work. The returned tuples are
+// the k lexicographically smallest, identical across engines.
+func ExecuteLimit(q *Query, opts *Options, limit int) (*Result, error) {
+	return ExecuteLimitContext(context.Background(), q, opts, limit)
+}
+
+// ExecuteLimitContext is ExecuteLimit with cancellation.
+func ExecuteLimitContext(ctx context.Context, q *Query, opts *Options, limit int) (*Result, error) {
+	pq, err := q.Prepare(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pq.ExecuteLimitContext(ctx, limit)
+}
+
+// ExecuteStream evaluates the query, calling yield once per output tuple
+// in GAO-lexicographic order as the engine discovers it. yield returns
+// false to stop the enumeration early (the call then returns nil error).
+// The returned Stats cover the work actually performed.
+func ExecuteStream(q *Query, opts *Options, yield func([]int) bool) (Stats, error) {
+	return ExecuteStreamContext(context.Background(), q, opts, yield)
+}
+
+// ExecuteStreamContext is ExecuteStream with cancellation: a cancelled
+// or expired context stops the evaluation with ctx.Err().
+func ExecuteStreamContext(ctx context.Context, q *Query, opts *Options, yield func([]int) bool) (Stats, error) {
+	pq, err := q.Prepare(opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return pq.StreamContext(ctx, yield)
+}
+
+// atomSpecs renders the query's atoms as core specs with unique names
+// (used by the certificate machinery, which indexes outside the cache).
 func (q *Query) atomSpecs() []core.AtomSpec {
 	specs := make([]core.AtomSpec, len(q.atoms))
 	for i, a := range q.atoms {
 		specs[i] = core.AtomSpec{Name: fmt.Sprintf("%s#%d", a.Rel.name, i), Attrs: a.Vars, Tuples: a.Rel.tuples}
 	}
 	return specs
-}
-
-// ExecuteLimit evaluates the query with Minesweeper but stops after at
-// most limit output tuples — the anytime behaviour of probe-point-driven
-// evaluation: the first k results cost only the probes that found them.
-// Only the Minesweeper engine supports limits; Options.Engine is ignored.
-func ExecuteLimit(q *Query, opts *Options, limit int) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	gao := opts.GAO
-	if len(gao) == 0 {
-		gao, _ = q.RecommendGAO()
-	}
-	p, err := core.NewProblem(gao, q.atomSpecs())
-	if err != nil {
-		return nil, err
-	}
-	p.Debug = opts.Debug
-	res := &Result{Vars: gao, GAO: gao, Engine: EngineMinesweeper}
-	if limit <= 0 {
-		return res, nil
-	}
-	err = core.MinesweeperStream(p, &res.Stats, func(t []int) bool {
-		res.Tuples = append(res.Tuples, t)
-		return len(res.Tuples) < limit
-	})
-	if err != nil {
-		return nil, err
-	}
-	baseline.SortTuples(res.Tuples)
-	return res, nil
 }
 
 // Intersect computes the intersection of the given integer sets with the

@@ -84,7 +84,8 @@ func (p *queryParser) skipSpace() {
 
 // skipSeparators consumes whitespace, commas and join operators between
 // atoms (⋈ is multi-byte UTF-8; accept the ASCII fallbacks "|><|" and
-// "join" too).
+// "join" too). The "join" keyword only separates when it stands alone —
+// a relation named "joint" must not be split.
 func (p *queryParser) skipSeparators() {
 	for {
 		p.skipSpace()
@@ -95,10 +96,34 @@ func (p *queryParser) skipSeparators() {
 			p.pos += len("⋈")
 		case strings.HasPrefix(p.src[p.pos:], "|><|"):
 			p.pos += 4
+		case p.hasKeyword("join"):
+			p.pos += len("join")
 		default:
 			return
 		}
 	}
+}
+
+// hasKeyword reports whether the word starts at the current position,
+// ends at a non-identifier boundary, and is not itself an atom: a
+// following "(" (possibly after spaces) means the word is a relation
+// name — a relation called "join" stays usable.
+func (p *queryParser) hasKeyword(word string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], word) {
+		return false
+	}
+	rest := p.src[p.pos+len(word):]
+	for _, r := range rest {
+		if isIdentRune(r) {
+			return false // identifier continues: "joint(...)"
+		}
+		break
+	}
+	i := 0
+	for i < len(rest) && (rest[i] == ' ' || rest[i] == '\t' || rest[i] == '\n' || rest[i] == '\r') {
+		i++
+	}
+	return i >= len(rest) || rest[i] != '(' // "join(...)" is an atom
 }
 
 func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }

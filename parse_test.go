@@ -36,6 +36,8 @@ func TestParseQuerySeparators(t *testing.T) {
 	exprs := []string{
 		"R(A,B) ⋈ S(B,C)",
 		"R(A,B) |><| S(B,C)",
+		"R(A,B) join S(B,C)",
+		"R(A,B)join S(B,C)",
 		"R(A,B)\n\tS(B,C)",
 		"R( A , B ) , S( B , C )",
 	}
@@ -47,6 +49,36 @@ func TestParseQuerySeparators(t *testing.T) {
 		if len(q.Vars()) != 3 {
 			t.Fatalf("%q: vars %v", e, q.Vars())
 		}
+	}
+}
+
+func TestParseQueryJoinKeywordBoundary(t *testing.T) {
+	// A relation whose name starts with "join" must not be eaten by the
+	// separator scanner.
+	joint := rel(t, "joint", 1, [][]int{{1}})
+	rels := map[string]*Relation{"joint": joint}
+	q, err := ParseQuery("joint(A)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(q, nil)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	// A relation literally named "join" stays usable: followed by "(",
+	// the word is an atom, not a separator.
+	jn := rel(t, "join", 1, [][]int{{2}})
+	q, err = ParseQuery("join(A)", map[string]*Relation{"join": jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := Execute(q, nil); err != nil || len(res.Tuples) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	// And "join" used as both separator and glue around newlines.
+	rels2 := parserRels(t)
+	if _, err := ParseQuery("R(A,B)\njoin\nS(B,C)", rels2); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,143 @@
+package minesweeper
+
+import (
+	"context"
+	"fmt"
+
+	"minesweeper/internal/core"
+	"minesweeper/internal/engine"
+)
+
+// PreparedQuery is a query bound to a global attribute order and an
+// engine, with every relation's search-tree index already built. Prepare
+// once, execute many times: re-executions skip GAO planning, column
+// permutation, sorting and index construction entirely, which is the
+// difference between Õ(N log N) and O(#atoms) of setup per query on a
+// served workload.
+//
+// A PreparedQuery is safe for concurrent use: each run operates on a
+// snapshot whose tree views carry run-local state.
+type PreparedQuery struct {
+	query   *Query
+	opts    Options
+	gao     []string
+	eng     Engine
+	runner  engine.Engine
+	problem *core.Problem
+}
+
+// Prepare resolves the GAO and engine and builds (or fetches from the
+// relations' caches) the GAO-permuted indexes. The returned
+// PreparedQuery can be executed repeatedly without re-indexing; two
+// prepared queries that bind the same relation under the same column
+// order share one index.
+func (q *Query) Prepare(opts *Options) (*PreparedQuery, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	o := *opts
+	o.GAO = append([]string(nil), o.GAO...)
+	gao := o.GAO
+	if len(gao) == 0 {
+		gao, _ = q.RecommendGAO()
+	}
+	eng := o.Engine
+	if eng == EngineAuto {
+		eng = EngineMinesweeper
+	}
+	runner, ok := engine.Lookup(eng.String())
+	if !ok {
+		return nil, fmt.Errorf("minesweeper: unknown engine %v", o.Engine)
+	}
+	atoms := make([]core.Atom, len(q.atoms))
+	for i, a := range q.atoms {
+		positions, perm, err := core.ColumnPlan(gao, a.Vars)
+		if err != nil {
+			return nil, fmt.Errorf("minesweeper: atom %d (%s): %w", i, a.Rel.name, err)
+		}
+		tree, err := a.Rel.indexFor(perm)
+		if err != nil {
+			return nil, err
+		}
+		atoms[i] = core.Atom{
+			Name:      fmt.Sprintf("%s#%d", a.Rel.name, i),
+			Tree:      tree,
+			Positions: positions,
+		}
+	}
+	p, err := core.NewProblemFromAtoms(gao, atoms)
+	if err != nil {
+		return nil, err
+	}
+	p.Debug = o.Debug
+	return &PreparedQuery{query: q, opts: o, gao: gao, eng: eng, runner: runner, problem: p}, nil
+}
+
+// GAO returns the resolved global attribute order.
+func (pq *PreparedQuery) GAO() []string { return append([]string(nil), pq.gao...) }
+
+// Engine returns the resolved engine (never EngineAuto).
+func (pq *PreparedQuery) Engine() Engine { return pq.eng }
+
+// Stream evaluates the prepared query, calling yield once per output
+// tuple in GAO-lexicographic order. yield returns false to stop early.
+func (pq *PreparedQuery) Stream(yield func([]int) bool) (Stats, error) {
+	return pq.StreamContext(context.Background(), yield)
+}
+
+// StreamContext is Stream with cancellation: a cancelled or expired
+// context aborts the run with ctx.Err(). Every engine runs through the
+// same streaming executor, so limits and cancellation behave uniformly.
+func (pq *PreparedQuery) StreamContext(ctx context.Context, yield func([]int) bool) (Stats, error) {
+	var stats Stats
+	run := pq.problem.Snapshot()
+	if pq.eng == EngineMinesweeper && pq.opts.Workers > 1 {
+		err := core.MinesweeperParallelStream(ctx, run, pq.opts.Workers, &stats, yield)
+		return stats, err
+	}
+	err := pq.runner.Run(ctx, run, &stats, yield)
+	return stats, err
+}
+
+// Execute evaluates the prepared query and returns the full result.
+func (pq *PreparedQuery) Execute() (*Result, error) {
+	return pq.ExecuteContext(context.Background())
+}
+
+// ExecuteContext evaluates the prepared query under the context.
+func (pq *PreparedQuery) ExecuteContext(ctx context.Context) (*Result, error) {
+	res := &Result{Vars: pq.GAO(), GAO: pq.GAO(), Engine: pq.eng}
+	stats, err := pq.StreamContext(ctx, func(t []int) bool {
+		res.Tuples = append(res.Tuples, t)
+		return true
+	})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExecuteLimit evaluates the prepared query, stopping after at most
+// limit output tuples (the lexicographically smallest ones — engines
+// emit in order, so the prefix is engine-independent).
+func (pq *PreparedQuery) ExecuteLimit(limit int) (*Result, error) {
+	return pq.ExecuteLimitContext(context.Background(), limit)
+}
+
+// ExecuteLimitContext is ExecuteLimit with cancellation.
+func (pq *PreparedQuery) ExecuteLimitContext(ctx context.Context, limit int) (*Result, error) {
+	res := &Result{Vars: pq.GAO(), GAO: pq.GAO(), Engine: pq.eng}
+	if limit <= 0 {
+		return res, nil
+	}
+	stats, err := pq.StreamContext(ctx, func(t []int) bool {
+		res.Tuples = append(res.Tuples, t)
+		return len(res.Tuples) < limit
+	})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,311 @@
+package minesweeper
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"minesweeper/internal/reltree"
+)
+
+var allEngines = []Engine{EngineMinesweeper, EngineLeapfrog, EngineNPRR, EngineYannakakis, EngineHashPlan}
+
+// streamQuery builds the α-acyclic test query R(A,B) ⋈ S(B,C) ⋈ U(B)
+// over pseudo-random data (α-acyclic so Yannakakis participates too).
+func streamQuery(t *testing.T, seed int64) *Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(name string, arity, n, dom int) *Relation {
+		var tuples [][]int
+		for i := 0; i < n; i++ {
+			tup := make([]int, arity)
+			for j := range tup {
+				tup[j] = rng.Intn(dom)
+			}
+			tuples = append(tuples, tup)
+		}
+		return rel(t, name, arity, tuples)
+	}
+	r := mk("R", 2, 60, 8)
+	s := mk("S", 2, 60, 8)
+	u := mk("U", 1, 6, 8)
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"A", "B"}},
+		Atom{Rel: s, Vars: []string{"B", "C"}},
+		Atom{Rel: u, Vars: []string{"B"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestExecuteLimitAllEngines asserts the uniform limit semantics of the
+// streaming executor: every engine returns exactly min(k, Z) tuples, and
+// because all engines emit in GAO-lexicographic order, the prefixes are
+// identical across engines.
+func TestExecuteLimitAllEngines(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		q := streamQuery(t, seed)
+		gao, _ := q.RecommendGAO()
+		full, err := Execute(q, &Options{Engine: EngineHashPlan, GAO: gao})
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := len(full.Tuples)
+		if z < 4 {
+			t.Fatalf("seed %d: want a non-trivial result, got Z=%d", seed, z)
+		}
+		for _, k := range []int{0, 1, 3, z - 1, z, z + 17} {
+			want := k
+			if want > z {
+				want = z
+			}
+			for _, eng := range allEngines {
+				res, err := ExecuteLimit(q, &Options{Engine: eng, GAO: gao}, k)
+				if err != nil {
+					t.Fatalf("seed %d engine %v k=%d: %v", seed, eng, k, err)
+				}
+				if len(res.Tuples) != want {
+					t.Fatalf("seed %d engine %v k=%d: got %d tuples, want %d",
+						seed, eng, k, len(res.Tuples), want)
+				}
+				if want > 0 && !reflect.DeepEqual(res.Tuples, full.Tuples[:want]) {
+					t.Fatalf("seed %d engine %v k=%d: prefix diverges\ngot  %v\nwant %v",
+						seed, eng, k, res.Tuples, full.Tuples[:want])
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteStreamOrdered asserts that every engine streams the full
+// result in GAO-lexicographic order, matching the materialized Execute.
+func TestExecuteStreamOrdered(t *testing.T) {
+	q := streamQuery(t, 7)
+	gao, _ := q.RecommendGAO()
+	ref, err := Execute(q, &Options{Engine: EngineHashPlan, GAO: gao})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range allEngines {
+		var got [][]int
+		stats, err := ExecuteStream(q, &Options{Engine: eng, GAO: gao}, func(tup []int) bool {
+			got = append(got, tup)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if !reflect.DeepEqual(got, ref.Tuples) {
+			t.Fatalf("engine %v: stream diverges from oracle", eng)
+		}
+		if stats.Outputs != int64(len(got)) {
+			t.Fatalf("engine %v: stats.Outputs = %d, emitted %d", eng, stats.Outputs, len(got))
+		}
+	}
+}
+
+// TestExecuteStreamCancellation cancels the context from inside the
+// yield callback and asserts that every engine stops mid-enumeration
+// with ctx.Err() and never yields again after the cancellation takes
+// effect.
+func TestExecuteStreamCancellation(t *testing.T) {
+	q := streamQuery(t, 11)
+	gao, _ := q.RecommendGAO()
+	full, err := Execute(q, &Options{GAO: gao})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Tuples) < 5 {
+		t.Fatalf("want ≥5 tuples, got %d", len(full.Tuples))
+	}
+	for _, eng := range allEngines {
+		ctx, cancel := context.WithCancel(context.Background())
+		seen := 0
+		sawAfterCancel := false
+		_, err := ExecuteStreamContext(ctx, q, &Options{Engine: eng, GAO: gao}, func([]int) bool {
+			if ctx.Err() != nil {
+				sawAfterCancel = true
+			}
+			seen++
+			if seen == 2 {
+				cancel()
+			}
+			return true
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %v: err = %v, want context.Canceled", eng, err)
+		}
+		if sawAfterCancel {
+			t.Fatalf("engine %v: yielded after cancellation", eng)
+		}
+		if seen >= len(full.Tuples) {
+			t.Fatalf("engine %v: enumerated all %d tuples despite cancellation", eng, seen)
+		}
+	}
+}
+
+// TestExecuteContextExpired asserts that an already-expired context
+// aborts every engine before any tuple is emitted.
+func TestExecuteContextExpired(t *testing.T) {
+	q := streamQuery(t, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range allEngines {
+		res, err := ExecuteContext(ctx, q, &Options{Engine: eng})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %v: err = %v (res=%v), want context.Canceled", eng, err, res)
+		}
+	}
+}
+
+// TestPreparedSkipsIndexRebuild is the heart of the prepared-query API:
+// after Prepare, re-executions must not construct any new reltree index,
+// across every engine and including range-parallel runs.
+func TestPreparedSkipsIndexRebuild(t *testing.T) {
+	q := streamQuery(t, 17)
+	gao, _ := q.RecommendGAO()
+	cold, err := Execute(q, &Options{GAO: gao})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range allEngines {
+		pq, err := q.Prepare(&Options{Engine: eng, GAO: gao})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		before := reltree.Builds()
+		for i := 0; i < 3; i++ {
+			res, err := pq.Execute()
+			if err != nil {
+				t.Fatalf("engine %v run %d: %v", eng, i, err)
+			}
+			if !reflect.DeepEqual(res.Tuples, cold.Tuples) {
+				t.Fatalf("engine %v run %d: result diverges from cold run", eng, i)
+			}
+		}
+		if got := reltree.Builds(); got != before {
+			t.Fatalf("engine %v: %d indexes rebuilt after Prepare", eng, got-before)
+		}
+	}
+	// Parallel Minesweeper re-execution shares the cached indexes via
+	// SliceTop views — still no rebuilds.
+	pq, err := q.Prepare(&Options{GAO: gao, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := reltree.Builds()
+	res, err := pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, cold.Tuples) {
+		t.Fatal("parallel prepared run diverges from cold run")
+	}
+	if got := reltree.Builds(); got != before {
+		t.Fatalf("parallel prepared run rebuilt %d indexes", got-before)
+	}
+}
+
+// TestPreparedConcurrentUse runs one PreparedQuery from many goroutines;
+// snapshots keep per-run state isolated, so results and stats must be
+// identical and independent.
+func TestPreparedConcurrentUse(t *testing.T) {
+	q := streamQuery(t, 19)
+	pq, err := q.Prepare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := pq.Execute()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(res.Tuples, ref.Tuples) {
+				errs[i] = errors.New("concurrent result diverges")
+			}
+			if res.Stats.FindGaps != ref.Stats.FindGaps {
+				errs[i] = errors.New("concurrent stats diverge: runs are not isolated")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIndexCacheSharing: two queries binding the same relation under the
+// same column order share one cached index; a different column order
+// adds a second entry.
+func TestIndexCacheSharing(t *testing.T) {
+	e := rel(t, "E", 2, [][]int{{1, 2}, {2, 3}, {3, 1}})
+	q1, err := NewQuery(
+		Atom{Rel: e, Vars: []string{"A", "B"}},
+		Atom{Rel: e, Vars: []string{"B", "C"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q1.Prepare(&Options{GAO: []string{"A", "B", "C"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Under GAO (A,B,C): atom 1 keeps column order (identity), atom 2
+	// also keeps it (B before C) — one permutation, one index.
+	if got := e.CachedIndexes(); got != 1 {
+		t.Fatalf("CachedIndexes = %d, want 1", got)
+	}
+	// GAO (C,B,A) reverses both atoms' column order — one more index.
+	if _, err := q1.Prepare(&Options{GAO: []string{"C", "B", "A"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CachedIndexes(); got != 2 {
+		t.Fatalf("CachedIndexes = %d, want 2", got)
+	}
+	// Re-preparing adds nothing.
+	if _, err := q1.Prepare(&Options{GAO: []string{"A", "B", "C"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CachedIndexes(); got != 2 {
+		t.Fatalf("CachedIndexes after re-prepare = %d, want 2", got)
+	}
+}
+
+// TestExecuteLimitParallelWorkers: the limit prefix is preserved when
+// the Minesweeper engine runs range-parallel.
+func TestExecuteLimitParallelWorkers(t *testing.T) {
+	q := streamQuery(t, 23)
+	gao, _ := q.RecommendGAO()
+	full, err := Execute(q, &Options{GAO: gao})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Tuples) < 4 {
+		t.Fatalf("want ≥4 tuples, got %d", len(full.Tuples))
+	}
+	k := len(full.Tuples) / 2
+	res, err := ExecuteLimit(q, &Options{GAO: gao, Workers: 3}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, full.Tuples[:k]) {
+		t.Fatalf("parallel limit prefix diverges:\ngot  %v\nwant %v", res.Tuples, full.Tuples[:k])
+	}
+}
