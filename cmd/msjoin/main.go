@@ -49,16 +49,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	engines := map[string]minesweeper.Engine{
-		"auto":        minesweeper.EngineAuto,
-		"minesweeper": minesweeper.EngineMinesweeper,
-		"leapfrog":    minesweeper.EngineLeapfrog,
-		"nprr":        minesweeper.EngineNPRR,
-		"yannakakis":  minesweeper.EngineYannakakis,
-		"hashplan":    minesweeper.EngineHashPlan,
-	}
-	engine, ok := engines[*engineFlag]
-	if !ok {
+	engine, err := minesweeper.ParseEngine(*engineFlag)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "msjoin: unknown engine %q\n", *engineFlag)
 		os.Exit(2)
 	}

@@ -1,0 +1,71 @@
+// Command msserve exposes the minesweeper join library as a long-lived
+// HTTP service: load relations in the relio text format, mutate them in
+// place, register named prepared queries, and execute them with
+// streaming NDJSON responses — the serving-side counterpart to the
+// anytime, certificate-driven evaluation the library implements.
+//
+// Endpoints:
+//
+//	GET    /relations               list relations (name, vars, tuples, epoch)
+//	POST   /relations               load a relation (relio text body; replaces same-arity duplicates)
+//	GET    /relations/{name}        dump a relation in relio format
+//	DELETE /relations/{name}        drop a relation
+//	POST   /relations/{name}/insert add tuples              {"tuples": [[1,2], …]}
+//	POST   /relations/{name}/delete remove tuples           {"tuples": [[1,2], …]}
+//	GET    /queries                 list registered queries
+//	POST   /queries                 register a prepared query {"name":…, "query":"R(A,B), S(B,C)", …}
+//	DELETE /queries/{name}          unregister
+//	GET    /queries/{name}/run      execute; ?limit=&timeout=&engine=&workers=
+//	POST   /query                   one-shot query (spec + limit/timeout in the body)
+//	GET    /stats                   aggregate certificate/output counters
+//
+// Run responses are NDJSON: a header line with the output variable
+// order, one JSON array per tuple (streamed as the engine finds them),
+// and a footer line with the run's stats. A timeout ends the stream
+// early but cleanly: the tuples already found are on the wire and the
+// footer says "timed_out": true.
+//
+// Usage:
+//
+//	msserve [-addr :8080] [relation files…]
+//
+// Relation files given on the command line are preloaded into the
+// catalog at startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"minesweeper/internal/catalog"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	cat := catalog.New()
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msserve: %v\n", err)
+			os.Exit(1)
+		}
+		info, err := cat.Load(f, path)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msserve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("loaded %s: %d tuples over %v", info.Name, info.Tuples, info.Vars)
+	}
+
+	srv := newServer(cat)
+	log.Printf("msserve listening on %s (%d relations preloaded)", *addr, cat.Len())
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

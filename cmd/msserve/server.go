@@ -1,0 +1,493 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minesweeper"
+	"minesweeper/internal/catalog"
+	"minesweeper/internal/certificate"
+)
+
+// server is the msserve HTTP handler: a relation catalog plus a registry
+// of named prepared queries and aggregate run counters.
+type server struct {
+	cat *catalog.Catalog
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	queries map[string]*registeredQuery
+
+	statsMu sync.Mutex
+	agg     certificate.Stats // accumulated across every run
+	runs    int64             // completed executions
+	served  int64             // tuples written to clients
+	expired int64             // runs cut short by limit/timeout/cancel
+}
+
+// registeredQuery is one named query: its textual form, default options,
+// and a cache of prepared variants keyed by (engine, workers). The
+// variants stay bound across catalog mutations — PreparedQuery re-binds
+// itself on epoch changes — so registration is a one-time cost.
+type registeredQuery struct {
+	name string
+	expr string
+	opts minesweeper.Options
+	q    *minesweeper.Query
+
+	mu       sync.Mutex // guards prepared only
+	prepared map[string]*minesweeper.PreparedQuery
+	runs     atomic.Int64
+}
+
+// variant returns the prepared query for the given engine/workers
+// combination, preparing and caching it on first use. Workers are
+// clamped to GOMAXPROCS on every path — beyond that parallelism buys
+// nothing, and the clamp bounds this client-keyed cache.
+func (rq *registeredQuery) variant(eng minesweeper.Engine, workers int) (*minesweeper.PreparedQuery, error) {
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	key := fmt.Sprintf("%s/%d", eng, workers)
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	if pq, ok := rq.prepared[key]; ok {
+		return pq, nil
+	}
+	opts := rq.opts
+	opts.Engine = eng
+	opts.Workers = workers
+	pq, err := rq.q.Prepare(&opts)
+	if err != nil {
+		return nil, err
+	}
+	if rq.prepared == nil {
+		rq.prepared = map[string]*minesweeper.PreparedQuery{}
+	}
+	rq.prepared[key] = pq
+	return pq, nil
+}
+
+func newServer(cat *catalog.Catalog) *server {
+	s := &server{cat: cat, queries: map[string]*registeredQuery{}, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /relations", s.handleListRelations)
+	s.mux.HandleFunc("POST /relations", s.handleLoadRelation)
+	s.mux.HandleFunc("GET /relations/{name}", s.handleDumpRelation)
+	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
+	s.mux.HandleFunc("POST /relations/{name}/insert", s.handleMutateRelation)
+	s.mux.HandleFunc("POST /relations/{name}/delete", s.handleMutateRelation)
+	s.mux.HandleFunc("GET /queries", s.handleListQueries)
+	s.mux.HandleFunc("POST /queries", s.handleRegisterQuery)
+	s.mux.HandleFunc("DELETE /queries/{name}", s.handleDropQuery)
+	s.mux.HandleFunc("GET /queries/{name}/run", s.handleRunQuery)
+	s.mux.HandleFunc("POST /query", s.handleAdhocQuery)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Request-body caps: relio uploads may be bulk data, everything else is
+// small JSON. MaxBytesReader turns an oversized body into a clean read
+// error instead of letting one request grow server memory unboundedly.
+const (
+	maxUploadBody = 256 << 20 // POST /relations
+	maxJSONBody   = 16 << 20  // mutation and query bodies
+)
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		limit := int64(maxJSONBody)
+		if r.Method == http.MethodPost && r.URL.Path == "/relations" {
+			limit = maxUploadBody
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// --- relations -------------------------------------------------------
+
+func (s *server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cat.Relations())
+}
+
+// handleLoadRelation accepts a relio-format body and creates the named
+// relation (or replaces an existing one of the same arity).
+func (s *server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
+	info, err := s.cat.Load(r.Body, "request body")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) handleDumpRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.cat.Dump(w, name); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+	}
+}
+
+func (s *server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
+	if err := s.cat.Drop(r.PathValue("name")); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
+}
+
+// handleMutateRelation serves both /insert and /delete: the JSON body
+// carries the tuples, the path's last element picks the mutation. The
+// catalog mutators return the post-mutation state atomically, so the
+// reported epoch/tuple count are exactly what this request produced.
+func (s *server) handleMutateRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var body struct {
+		Tuples [][]int `json:"tuples"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	mutateStatus := func(err error) int {
+		if strings.Contains(err.Error(), "unknown relation") {
+			return http.StatusNotFound
+		}
+		return http.StatusBadRequest
+	}
+	deleting := r.URL.Path[len(r.URL.Path)-len("/delete"):] == "/delete"
+	if deleting {
+		n, info, err := s.cat.Delete(name, body.Tuples...)
+		if err != nil {
+			httpError(w, mutateStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": n, "epoch": info.Epoch, "tuples": info.Tuples})
+		return
+	}
+	info, err := s.cat.Insert(name, body.Tuples...)
+	if err != nil {
+		httpError(w, mutateStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(body.Tuples), "epoch": info.Epoch, "tuples": info.Tuples})
+}
+
+// --- queries ---------------------------------------------------------
+
+// querySpec is the JSON body of POST /queries and POST /query.
+type querySpec struct {
+	Name    string   `json:"name,omitempty"`
+	Query   string   `json:"query"`
+	Engine  string   `json:"engine,omitempty"`
+	GAO     []string `json:"gao,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+	// Limit and Timeout apply to ad-hoc POST /query runs; registered
+	// queries take them per run as URL parameters.
+	Limit   int    `json:"limit,omitempty"`
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// buildQuery parses and validates a spec against the catalog.
+func (s *server) buildQuery(spec *querySpec) (*registeredQuery, error) {
+	if spec.Query == "" {
+		return nil, fmt.Errorf("missing query expression")
+	}
+	eng, err := minesweeper.ParseEngine(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	q, err := s.cat.Query(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	rq := &registeredQuery{
+		name: spec.Name,
+		expr: spec.Query,
+		q:    q,
+		opts: minesweeper.Options{Engine: eng, GAO: spec.GAO, Workers: spec.Workers},
+	}
+	// Prepare the default variant eagerly so registration surfaces GAO
+	// and engine errors immediately.
+	resolved := eng
+	if resolved == minesweeper.EngineAuto {
+		resolved = minesweeper.EngineMinesweeper
+	}
+	if _, err := rq.variant(resolved, spec.Workers); err != nil {
+		return nil, err
+	}
+	return rq, nil
+}
+
+func (s *server) handleRegisterQuery(w http.ResponseWriter, r *http.Request) {
+	var spec querySpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	if spec.Name == "" {
+		httpError(w, http.StatusBadRequest, "missing query name")
+		return
+	}
+	rq, err := s.buildQuery(&spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	_, dup := s.queries[spec.Name]
+	if !dup {
+		s.queries[spec.Name] = rq
+	}
+	s.mu.Unlock()
+	if dup {
+		httpError(w, http.StatusConflict, "query %q already registered", spec.Name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": spec.Name, "vars": rq.q.Vars()})
+}
+
+func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	type queryInfo struct {
+		Name    string   `json:"name"`
+		Query   string   `json:"query"`
+		Engine  string   `json:"engine"`
+		GAO     []string `json:"gao,omitempty"`
+		Workers int      `json:"workers,omitempty"`
+		Runs    int64    `json:"runs"`
+	}
+	s.mu.Lock()
+	out := make([]queryInfo, 0, len(s.queries))
+	for name, rq := range s.queries {
+		out = append(out, queryInfo{
+			Name: name, Query: rq.expr, Engine: rq.opts.Engine.String(),
+			GAO: rq.opts.GAO, Workers: rq.opts.Workers, Runs: rq.runs.Load(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleDropQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.queries[name]
+	delete(s.queries, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
+}
+
+// runParams are the per-run knobs, from URL parameters (registered
+// queries) or the spec body (ad-hoc queries).
+type runParams struct {
+	limit   int
+	timeout time.Duration
+	engine  string // "" = query default
+	workers int    // <0 = query default
+}
+
+func parseRunParams(r *http.Request) (runParams, error) {
+	p := runParams{workers: -1}
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad limit %q", v)
+		}
+		p.limit = n
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return p, fmt.Errorf("bad timeout %q", v)
+		}
+		p.timeout = d
+	}
+	p.engine = q.Get("engine")
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad workers %q", v)
+		}
+		p.workers = n
+	}
+	return p, nil
+}
+
+func (s *server) handleRunQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	rq, ok := s.queries[name]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	params, err := parseRunParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.streamRun(w, r, rq, params)
+}
+
+func (s *server) handleAdhocQuery(w http.ResponseWriter, r *http.Request) {
+	var spec querySpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	rq, err := s.buildQuery(&spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params := runParams{limit: spec.Limit, workers: -1}
+	if spec.Timeout != "" {
+		d, err := time.ParseDuration(spec.Timeout)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout %q", spec.Timeout)
+			return
+		}
+		params.timeout = d
+	}
+	s.streamRun(w, r, rq, params)
+}
+
+// streamRun executes one query run and streams the result as NDJSON:
+// a header line {"vars":…,"engine":…,"gao":…}, one JSON array per
+// output tuple, and a footer line {"done":true,…} with the run's stats.
+// Timeouts and client disconnects end the stream early with the tuples
+// already emitted — the anytime contract of the streaming executor —
+// and the footer reports the cut ("timed_out" or "error").
+func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registeredQuery, params runParams) {
+	// A query holds its relations by pointer, so it survives a catalog
+	// Drop — but serving from a dropped (or dropped-and-recreated)
+	// relation would silently return stale data forever. Refuse instead:
+	// the caller must re-register against the current catalog.
+	for _, rel := range rq.q.Relations() {
+		if cur, ok := s.cat.Get(rel.Name()); !ok || cur != rel {
+			httpError(w, http.StatusGone, "relation %q was dropped or replaced since the query was built; re-register it", rel.Name())
+			return
+		}
+	}
+	eng := rq.opts.Engine
+	if params.engine != "" {
+		e, err := minesweeper.ParseEngine(params.engine)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		eng = e
+	}
+	if eng == minesweeper.EngineAuto {
+		eng = minesweeper.EngineMinesweeper
+	}
+	workers := rq.opts.Workers
+	if params.workers >= 0 {
+		workers = params.workers
+	}
+	pq, err := rq.variant(eng, workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if params.timeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, params.timeout)
+		defer cancel()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(map[string]any{"vars": pq.GAO(), "engine": pq.Engine().String(), "gao": pq.GAO()})
+	flush()
+
+	count := 0
+	stats, runErr := pq.StreamContext(ctx, func(t []int) bool {
+		enc.Encode(t)
+		flush()
+		count++
+		return params.limit <= 0 || count < params.limit
+	})
+
+	timedOut := errors.Is(runErr, context.DeadlineExceeded)
+	footer := map[string]any{
+		"done":      true,
+		"tuples":    count,
+		"limited":   params.limit > 0 && count >= params.limit,
+		"timed_out": timedOut,
+		"stats":     &stats,
+	}
+	if runErr != nil && !timedOut {
+		footer["error"] = runErr.Error()
+	}
+	enc.Encode(footer)
+	flush()
+
+	rq.runs.Add(1)
+	s.statsMu.Lock()
+	s.agg.Add(&stats)
+	s.runs++
+	s.served += int64(count)
+	if runErr != nil || (params.limit > 0 && count >= params.limit) {
+		s.expired++
+	}
+	s.statsMu.Unlock()
+}
+
+// --- stats -----------------------------------------------------------
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nq := len(s.queries)
+	s.mu.Unlock()
+	s.statsMu.Lock()
+	body := map[string]any{
+		"relations":            s.cat.Len(),
+		"queries":              nq,
+		"executions":           s.runs,
+		"tuples_served":        s.served,
+		"cut_short":            s.expired,
+		"certificate_estimate": s.agg.CertificateEstimate(),
+		"stats":                s.agg,
+	}
+	s.statsMu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,282 @@
+// Package catalog is the serving layer's relation store: a versioned,
+// mutable collection of named relations that queries are prepared
+// against. The catalog owns the naming (Create/Drop) and routes
+// mutations (Insert/Delete/Replace) to the underlying
+// minesweeper.Relation values, whose epoch counters let every
+// PreparedQuery bound through the catalog detect staleness and re-bind
+// transparently on its next execution — the mechanism that turns the
+// one-shot library into a long-lived service.
+//
+// Each relation carries a default variable binding (its relio header),
+// so textual queries such as "R(A,B), S(B,C)" resolve against the
+// catalog and relations round-trip through the relio interchange
+// format.
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"minesweeper"
+	"minesweeper/internal/relio"
+)
+
+// entry pairs a relation with its default variable binding.
+type entry struct {
+	rel  *minesweeper.Relation
+	vars []string
+}
+
+// Info describes one cataloged relation.
+type Info struct {
+	Name   string   `json:"name"`
+	Vars   []string `json:"vars"`
+	Arity  int      `json:"arity"`
+	Tuples int      `json:"tuples"`
+	Epoch  uint64   `json:"epoch"`
+}
+
+// Catalog is a named, mutable set of relations, safe for concurrent
+// use. The zero value is not usable; call New.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[string]*entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{rels: map[string]*entry{}}
+}
+
+// Create adds a new relation under the given name with the given
+// default variable binding (arity = len(vars)) and initial tuples. It
+// fails if the name is already taken or the vars repeat.
+func (c *Catalog) Create(name string, vars []string, tuples [][]int) (*minesweeper.Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.createLocked(name, vars, tuples)
+}
+
+// createLocked is Create with c.mu held.
+func (c *Catalog) createLocked(name string, vars []string, tuples [][]int) (*minesweeper.Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty relation name")
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("catalog: relation %q: empty variable list", name)
+	}
+	seen := map[string]bool{}
+	for _, v := range vars {
+		if seen[v] {
+			return nil, fmt.Errorf("catalog: relation %q: repeated variable %q", name, v)
+		}
+		seen[v] = true
+	}
+	if _, dup := c.rels[name]; dup {
+		return nil, fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	rel, err := minesweeper.NewRelation(name, len(vars), tuples)
+	if err != nil {
+		return nil, err
+	}
+	c.rels[name] = &entry{rel: rel, vars: append([]string(nil), vars...)}
+	return rel, nil
+}
+
+// Get returns the named relation.
+func (c *Catalog) Get(name string) (*minesweeper.Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return nil, false
+	}
+	return e.rel, true
+}
+
+// Vars returns the relation's default variable binding.
+func (c *Catalog) Vars(name string) ([]string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]string(nil), e.vars...), true
+}
+
+// Insert adds tuples to the named relation, bumping its epoch, and
+// returns the relation's post-mutation description. Queries prepared
+// against the relation pick up the new tuples on their next execution.
+// Catalog mutations run under the catalog's write lock, so the returned
+// Info is exactly the state this mutation produced — concurrent
+// mutations cannot skew the reported epoch or tuple count.
+func (c *Catalog) Insert(name string, tuples ...[]int) (Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return Info{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if err := e.rel.Insert(tuples...); err != nil {
+		return Info{}, err
+	}
+	return e.describe(name), nil
+}
+
+// Delete removes every stored copy of each given tuple from the named
+// relation, returning how many rows were removed and the post-mutation
+// description.
+func (c *Catalog) Delete(name string, tuples ...[]int) (int, Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return 0, Info{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	n, err := e.rel.Delete(tuples...)
+	if err != nil {
+		return 0, Info{}, err
+	}
+	return n, e.describe(name), nil
+}
+
+// Replace swaps the named relation's contents, bumping its epoch, and
+// returns the post-mutation description.
+func (c *Catalog) Replace(name string, tuples [][]int) (Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return Info{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if err := e.rel.Replace(tuples); err != nil {
+		return Info{}, err
+	}
+	return e.describe(name), nil
+}
+
+// Drop removes the relation from the catalog. The *Relation value stays
+// valid for queries still holding it, but it is no longer reachable by
+// name and its name becomes free.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rels[name]; !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	delete(c.rels, name)
+	return nil
+}
+
+// Len returns the number of cataloged relations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rels)
+}
+
+// Names returns the cataloged relation names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relations returns a snapshot description of every cataloged relation,
+// sorted by name. Entries are read entirely under the catalog lock —
+// Load's replace path rewrites e.vars under the write lock, so readers
+// must not hold slice references past the unlock.
+func (c *Catalog) Relations() []Info {
+	c.mu.RLock()
+	out := make([]Info, 0, len(c.rels))
+	for n, e := range c.rels {
+		out = append(out, e.describe(n))
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// describe renders the entry as an Info. Callers hold c.mu (read or
+// write): the vars copy must happen under the lock.
+func (e *entry) describe(name string) Info {
+	return Info{
+		Name:   name,
+		Vars:   append([]string(nil), e.vars...),
+		Arity:  e.rel.Arity(),
+		Tuples: e.rel.Len(),
+		Epoch:  e.rel.Epoch(),
+	}
+}
+
+// Load reads one relation in the relio interchange format. A new name
+// is created; an existing name of the same arity has its contents
+// replaced in place (bumping the epoch, so bound prepared queries see
+// the new data) and its default variable binding updated. Loading over
+// an existing relation with a different arity is an error — drop it
+// first.
+func (c *Catalog) Load(r io.Reader, source string) (Info, error) {
+	parsed, err := relio.ReadRelation(r, source)
+	if err != nil {
+		return Info{}, err
+	}
+	// Holding c.mu across the whole create-or-replace keeps the load
+	// atomic: a concurrent Drop cannot strand the upload on an orphaned
+	// relation object, and two concurrent loads of the same new name
+	// serialize into create-then-replace instead of one of them failing.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, exists := c.rels[parsed.Name]; exists {
+		if e.rel.Arity() != len(parsed.Vars) {
+			return Info{}, fmt.Errorf("catalog: relation %q exists with arity %d, load has arity %d (drop it first)",
+				parsed.Name, e.rel.Arity(), len(parsed.Vars))
+		}
+		if err := e.rel.Replace(parsed.Tuples); err != nil {
+			return Info{}, err
+		}
+		e.vars = append([]string(nil), parsed.Vars...)
+		return e.describe(parsed.Name), nil
+	}
+	if _, err := c.createLocked(parsed.Name, parsed.Vars, parsed.Tuples); err != nil {
+		return Info{}, err
+	}
+	return c.rels[parsed.Name].describe(parsed.Name), nil
+}
+
+// Dump writes the named relation in the relio interchange format
+// (round-trips through Load).
+func (c *Catalog) Dump(w io.Writer, name string) error {
+	c.mu.RLock()
+	e, ok := c.rels[name]
+	var vars []string
+	var tuples [][]int
+	if ok {
+		vars = append([]string(nil), e.vars...)
+		tuples = e.rel.Tuples()
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return relio.WriteRelation(w, &relio.Relation{Name: name, Vars: vars, Tuples: tuples})
+}
+
+// Query parses a textual join expression such as "R(A,B), S(B,C)"
+// against the catalog's relations.
+func (c *Catalog) Query(expr string) (*minesweeper.Query, error) {
+	c.mu.RLock()
+	rels := make(map[string]*minesweeper.Relation, len(c.rels))
+	for n, e := range c.rels {
+		rels[n] = e.rel
+	}
+	c.mu.RUnlock()
+	return minesweeper.ParseQuery(expr, rels)
+}

@@ -70,7 +70,8 @@ func MinesweeperStreamContext(ctx context.Context, p *Problem, stats *certificat
 			for j := 0; j < n-1; j++ {
 				prefix[j] = cds.Eq(t[j])
 			}
-			tree.InsConstraint(cds.Constraint{Prefix: prefix, Lo: t[n-1] - 1, Hi: t[n-1] + 1})
+			lo, hi := ruledOutInterval(t[n-1])
+			tree.InsConstraint(cds.Constraint{Prefix: prefix, Lo: lo, Hi: hi})
 			if !keep {
 				return nil
 			}
@@ -92,6 +93,29 @@ func MinesweeperStreamContext(ctx context.Context, p *Problem, stats *certificat
 		}
 	}
 	return nil
+}
+
+// ruledOutInterval returns the open interval (lo, hi) that rules out
+// exactly the value v of an emitted tuple's last coordinate. The naive
+// (v-1, v+1) overflows when v sits at the int extremes, so endpoints
+// are clamped to the ±∞ sentinels: values at or beyond a sentinel keep
+// the sentinel itself as that endpoint, which still covers v because
+// the CDS treats sentinel endpoints as unbounded.
+func ruledOutInterval(v int) (lo, hi int) {
+	if v < ordered.NegInf {
+		v = ordered.NegInf
+	}
+	if v > ordered.PosInf {
+		v = ordered.PosInf
+	}
+	lo, hi = ordered.NegInf, ordered.PosInf
+	if v > ordered.NegInf {
+		lo = v - 1
+	}
+	if v < ordered.PosInf {
+		hi = v + 1
+	}
+	return lo, hi
 }
 
 // gapNode is the exploration tree of one atom around the current probe

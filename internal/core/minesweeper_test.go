@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
 )
 
 func mustProblem(t *testing.T, gao []string, atoms []AtomSpec) *Problem {
@@ -372,5 +374,57 @@ func TestDuplicateAtomNamesRejected(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("duplicate atom names must fail")
+	}
+}
+
+// TestRuledOutIntervalExtremes is the regression test for the output
+// rule-out constraint at extreme domain values: the naive (v-1, v+1)
+// interval wraps around at math.MinInt/math.MaxInt, which would insert
+// a constraint that does NOT cover the emitted tuple (non-termination).
+// Endpoints must be clamped to the ±∞ sentinels and never overflow.
+func TestRuledOutIntervalExtremes(t *testing.T) {
+	cases := []struct {
+		v              int
+		wantLo, wantHi int
+	}{
+		{0, -1, 1},
+		{42, 41, 43},
+		{ordered.NegInf, ordered.NegInf, ordered.NegInf + 1},
+		{ordered.PosInf, ordered.PosInf - 1, ordered.PosInf},
+		{ordered.NegInf + 1, ordered.NegInf, ordered.NegInf + 2},
+		{ordered.PosInf - 1, ordered.PosInf - 2, ordered.PosInf},
+		// Beyond the sentinels (math extremes): clamp, don't wrap.
+		{math.MinInt, ordered.NegInf, ordered.NegInf + 1},
+		{math.MaxInt, ordered.PosInf - 1, ordered.PosInf},
+	}
+	for _, c := range cases {
+		lo, hi := ruledOutInterval(c.v)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("ruledOutInterval(%d) = (%d, %d), want (%d, %d)", c.v, lo, hi, c.wantLo, c.wantHi)
+		}
+		if lo > hi {
+			t.Errorf("ruledOutInterval(%d) = (%d, %d): inverted interval", c.v, lo, hi)
+		}
+	}
+}
+
+// TestMinesweeperDomainMaxValues runs a join whose values sit at the top
+// of the legal domain (PosInf-1): the rule-out constraint for such an
+// output reaches the PosInf sentinel exactly, and evaluation must still
+// terminate with the right answer.
+func TestMinesweeperDomainMaxValues(t *testing.T) {
+	top := ordered.PosInf - 1
+	p := mustProblem(t, []string{"A", "B"}, []AtomSpec{
+		{Name: "R", Attrs: []string{"A", "B"}, Tuples: [][]int{{0, top}, {top, top}}},
+		{Name: "S", Attrs: []string{"B"}, Tuples: [][]int{{top}}},
+	})
+	var s certificate.Stats
+	out, err := MinesweeperAll(p, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, top}, {top, top}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
 	}
 }

@@ -14,6 +14,7 @@ package relio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -28,11 +29,19 @@ type Relation struct {
 	Tuples [][]int
 }
 
+// maxLine caps how far the scanner buffer may grow for a single input
+// line (1 GiB — effectively "any realistic tuple width" while still
+// bounding memory against malformed input).
+const maxLine = 1 << 30
+
 // ReadRelation parses the text format from r; name is used in error
-// messages (typically the file path).
+// messages (typically the file path). Lines may be arbitrarily wide:
+// the scan buffer starts small and grows on demand up to maxLine, and a
+// line exceeding even that cap is reported with its line number rather
+// than as a bare bufio.ErrTooLong.
 func ReadRelation(r io.Reader, name string) (*Relation, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
 	out := &Relation{}
 	lineNo := 0
 	for sc.Scan() {
@@ -75,6 +84,9 @@ func ReadRelation(r io.Reader, name string) (*Relation, error) {
 		out.Tuples = append(out.Tuples, tup)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("%s:%d: line exceeds %d bytes: %w", name, lineNo+1, maxLine, err)
+		}
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	if out.Name == "" {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -107,5 +108,36 @@ func TestReadRelationEmptyRelation(t *testing.T) {
 	}
 	if len(rel.Tuples) != 0 {
 		t.Fatalf("tuples = %v", rel.Tuples)
+	}
+}
+
+// TestReadRelationWideTuples covers lines longer than the scanner's
+// initial buffer: before the buffer grew on demand, any line past 1 MiB
+// failed with a bare "token too long". A wide header plus a ~1.8 MiB
+// tuple line must parse, and the data must round-trip.
+func TestReadRelationWideTuples(t *testing.T) {
+	const arity = 300_000
+	vars := make([]string, arity)
+	tup := make([]int, arity)
+	for i := range vars {
+		vars[i] = "V" + strconv.Itoa(i)
+		tup[i] = i % 10
+	}
+	var in bytes.Buffer
+	if err := WriteRelation(&in, &Relation{Name: "Wide", Vars: vars, Tuples: [][]int{tup}}); err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() < 2<<20 {
+		t.Fatalf("fixture too narrow to exercise buffer growth: %d bytes", in.Len())
+	}
+	rel, err := ReadRelation(bytes.NewReader(in.Bytes()), "wide.rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name != "Wide" || len(rel.Vars) != arity || len(rel.Tuples) != 1 {
+		t.Fatalf("parsed %q: %d vars, %d tuples", rel.Name, len(rel.Vars), len(rel.Tuples))
+	}
+	if !reflect.DeepEqual(rel.Tuples[0], tup) {
+		t.Fatal("wide tuple does not round-trip")
 	}
 }

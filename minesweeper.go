@@ -46,6 +46,7 @@ import (
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/core"
 	"minesweeper/internal/hypergraph"
+	"minesweeper/internal/ordered"
 	"minesweeper/internal/reltree"
 )
 
@@ -54,21 +55,29 @@ import (
 // points, constraints inserted, CDS work, comparisons, and output count.
 type Stats = certificate.Stats
 
-// Relation is an immutable set of tuples of fixed arity with non-negative
-// integer components (the paper's ℕ domains). The same Relation may be
-// bound by several atoms of a query (self-joins).
+// Relation is a set of tuples of fixed arity with non-negative integer
+// components (the paper's ℕ domains). The same Relation may be bound by
+// several atoms of a query (self-joins).
 //
 // A Relation owns its index cache: the first execution that needs the
 // relation sorted under some column order builds a search tree and
 // caches it keyed by that column permutation, so later executions —
 // through this query or any other — reuse it. The cache is safe for
 // concurrent use and lives as long as the Relation.
+//
+// Relations are mutable: Insert, Delete and Replace change the stored
+// tuples, bump the relation's epoch and drop the cached indexes, which
+// are lazily rebuilt by the next execution that needs them. Prepared
+// queries bound to an earlier epoch detect the change and transparently
+// re-prepare (see PreparedQuery). All methods are safe for concurrent
+// use.
 type Relation struct {
-	name   string
-	arity  int
-	tuples [][]int
+	name  string
+	arity int
 
 	mu      sync.Mutex
+	epoch   uint64
+	tuples  [][]int
 	indexes map[string]*reltree.Tree
 }
 
@@ -84,28 +93,37 @@ func permKey(perm []int) string {
 	return b.String()
 }
 
-// indexFor returns the relation's search tree for the given column
-// permutation, building and caching it on first use.
-func (r *Relation) indexFor(perm []int) (*reltree.Tree, error) {
-	key := permKey(perm)
+// indexesFor returns the relation's search trees for the given column
+// permutations — building and caching missing ones — together with the
+// epoch the trees reflect. All trees are fetched under a single lock
+// acquisition, so every atom of a query that binds this relation sees
+// one consistent version even while mutations race with the binding
+// (no torn self-joins).
+func (r *Relation) indexesFor(perms [][]int) ([]*reltree.Tree, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if t, ok := r.indexes[key]; ok {
-		return t, nil
+	trees := make([]*reltree.Tree, len(perms))
+	for i, perm := range perms {
+		key := permKey(perm)
+		if t, ok := r.indexes[key]; ok {
+			trees[i] = t
+			continue
+		}
+		permuted, err := core.PermuteTuples(perm, r.tuples)
+		if err != nil {
+			return nil, 0, fmt.Errorf("minesweeper: relation %q: %w", r.name, err)
+		}
+		t, err := reltree.New(r.name, len(perm), permuted)
+		if err != nil {
+			return nil, 0, err
+		}
+		if r.indexes == nil {
+			r.indexes = map[string]*reltree.Tree{}
+		}
+		r.indexes[key] = t
+		trees[i] = t
 	}
-	permuted, err := core.PermuteTuples(perm, r.tuples)
-	if err != nil {
-		return nil, fmt.Errorf("minesweeper: relation %q: %w", r.name, err)
-	}
-	t, err := reltree.New(r.name, len(perm), permuted)
-	if err != nil {
-		return nil, err
-	}
-	if r.indexes == nil {
-		r.indexes = map[string]*reltree.Tree{}
-	}
-	r.indexes[key] = t
-	return t, nil
+	return trees, r.epoch, nil
 }
 
 // CachedIndexes reports how many GAO-permuted indexes the relation
@@ -123,19 +141,16 @@ func NewRelation(name string, arity int, tuples [][]int) (*Relation, error) {
 	if arity < 1 {
 		return nil, fmt.Errorf("minesweeper: relation %q: arity %d < 1", name, arity)
 	}
+	r := &Relation{name: name, arity: arity}
+	if err := r.checkTuples(tuples); err != nil {
+		return nil, err
+	}
 	cp := make([][]int, len(tuples))
 	for i, tup := range tuples {
-		if len(tup) != arity {
-			return nil, fmt.Errorf("minesweeper: relation %q: tuple %d has %d values, want %d", name, i, len(tup), arity)
-		}
-		for j, v := range tup {
-			if v < 0 {
-				return nil, fmt.Errorf("minesweeper: relation %q: tuple %d component %d is negative", name, i, j)
-			}
-		}
 		cp[i] = append([]int(nil), tup...)
 	}
-	return &Relation{name: name, arity: arity, tuples: cp}, nil
+	r.tuples = cp
+	return r, nil
 }
 
 // Name returns the relation's name.
@@ -145,7 +160,132 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of stored tuples (before deduplication).
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tuples)
+}
+
+// Epoch returns the relation's mutation counter. Every successful
+// Insert, Delete or Replace that changes the stored tuples increments
+// it; prepared queries use it to detect staleness.
+func (r *Relation) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Tuples returns a snapshot of the stored tuples. The rows are shared
+// with the relation and must not be modified; the outer slice is the
+// caller's.
+func (r *Relation) Tuples() [][]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]int(nil), r.tuples...)
+}
+
+// checkTuples validates arity and the index domain [0, ordered.PosInf):
+// rejecting out-of-domain values here, before they are stored, keeps a
+// bad write from poisoning every later execution at index-build time.
+func (r *Relation) checkTuples(tuples [][]int) error {
+	for i, tup := range tuples {
+		if len(tup) != r.arity {
+			return fmt.Errorf("minesweeper: relation %q: tuple %d has %d values, want %d", r.name, i, len(tup), r.arity)
+		}
+		for j, v := range tup {
+			if v < 0 {
+				return fmt.Errorf("minesweeper: relation %q: tuple %d component %d is negative", r.name, i, j)
+			}
+			if v >= ordered.PosInf {
+				return fmt.Errorf("minesweeper: relation %q: tuple %d component %d = %d out of domain [0, %d)", r.name, i, j, v, ordered.PosInf)
+			}
+		}
+	}
+	return nil
+}
+
+// mutate installs the new tuple set, bumps the epoch and drops the
+// cached indexes (they are rebuilt lazily by the next execution).
+// Callers hold r.mu.
+func (r *Relation) mutate(tuples [][]int) {
+	r.tuples = tuples
+	r.epoch++
+	r.indexes = nil
+}
+
+// Insert adds the given tuples to the relation. The tuples are
+// validated and copied; duplicates are allowed and collapse under set
+// semantics at indexing time. A successful insert of at least one tuple
+// bumps the relation's epoch and invalidates the cached indexes.
+func (r *Relation) Insert(tuples ...[]int) error {
+	if err := r.checkTuples(tuples); err != nil {
+		return err
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	cp := make([][]int, len(tuples))
+	for i, tup := range tuples {
+		cp[i] = append([]int(nil), tup...)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Appending in place is safe — Tuples() hands out copies of the
+	// outer slice and indexFor reads it only under r.mu — and keeps a
+	// small insert into a large resident relation O(batch), not O(rows).
+	r.mutate(append(r.tuples, cp...))
+	return nil
+}
+
+// Delete removes every stored copy of each given tuple and reports how
+// many rows were removed. Deleting an absent tuple is not an error.
+// When at least one row is removed the relation's epoch is bumped and
+// the cached indexes are invalidated.
+func (r *Relation) Delete(tuples ...[]int) (int, error) {
+	if err := r.checkTuples(tuples); err != nil {
+		return 0, err
+	}
+	if len(tuples) == 0 {
+		return 0, nil
+	}
+	drop := make(map[string]bool, len(tuples))
+	for _, tup := range tuples {
+		drop[permKey(tup)] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := make([][]int, 0, len(r.tuples))
+	removed := 0
+	for _, tup := range r.tuples {
+		if drop[permKey(tup)] {
+			removed++
+			continue
+		}
+		next = append(next, tup)
+	}
+	if removed > 0 {
+		r.mutate(next)
+	}
+	return removed, nil
+}
+
+// Replace swaps the relation's contents for the given tuples (validated
+// and copied), bumping the epoch and invalidating the cached indexes.
+// Prepared queries bound to the relation transparently pick up the new
+// contents on their next execution.
+func (r *Relation) Replace(tuples [][]int) error {
+	if err := r.checkTuples(tuples); err != nil {
+		return err
+	}
+	next := make([][]int, len(tuples))
+	for i, tup := range tuples {
+		next[i] = append([]int(nil), tup...)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mutate(next)
+	return nil
+}
 
 // Atom binds a relation's columns to query variables.
 type Atom struct {
@@ -197,6 +337,22 @@ func NewQuery(atoms ...Atom) (*Query, error) {
 
 // Vars returns all query variables in order of first appearance.
 func (q *Query) Vars() []string { return append([]string(nil), q.vars...) }
+
+// Relations returns the distinct relations the query binds, in order of
+// first appearance (self-joins contribute one entry). Long-lived
+// callers use this to check that the relations a query was built over
+// are still the ones a catalog serves under those names.
+func (q *Query) Relations() []*Relation {
+	seen := map[*Relation]bool{}
+	var out []*Relation
+	for _, a := range q.atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
 
 // IsAlphaAcyclic reports α-acyclicity (GYO-reducible; Yannakakis applies).
 func (q *Query) IsAlphaAcyclic() bool { return q.hg.IsAlphaAcyclic() }
@@ -256,6 +412,22 @@ const (
 	EngineHashPlan
 )
 
+// ParseEngine resolves an engine name as printed by Engine.String
+// ("auto", "minesweeper", "leapfrog", "nprr", "yannakakis",
+// "hashplan"). The empty string parses as EngineAuto. This is the one
+// authoritative name table for CLI flags and service parameters.
+func ParseEngine(name string) (Engine, error) {
+	if name == "" {
+		return EngineAuto, nil
+	}
+	for _, e := range []Engine{EngineAuto, EngineMinesweeper, EngineLeapfrog, EngineNPRR, EngineYannakakis, EngineHashPlan} {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("minesweeper: unknown engine %q", name)
+}
+
 func (e Engine) String() string {
 	switch e {
 	case EngineAuto:
@@ -305,8 +477,11 @@ func Execute(q *Query, opts *Options) (*Result, error) {
 
 // ExecuteContext evaluates the query and returns its full result,
 // stopping with ctx.Err() when the context is cancelled or its deadline
-// passes. The query is prepared first, so repeated executions over the
-// same relations reuse the cached indexes.
+// passes. On such an early stop the tuples collected so far are
+// returned alongside the non-nil error (a non-nil partial *Result whose
+// Tuples are a prefix of the full GAO-ordered result); only preparation
+// failures return a nil Result. The query is prepared first, so
+// repeated executions over the same relations reuse the cached indexes.
 func ExecuteContext(ctx context.Context, q *Query, opts *Options) (*Result, error) {
 	pq, err := q.Prepare(opts)
 	if err != nil {
@@ -326,7 +501,9 @@ func ExecuteLimit(q *Query, opts *Options, limit int) (*Result, error) {
 	return ExecuteLimitContext(context.Background(), q, opts, limit)
 }
 
-// ExecuteLimitContext is ExecuteLimit with cancellation.
+// ExecuteLimitContext is ExecuteLimit with cancellation. Like
+// ExecuteContext, cancellation mid-run returns the partial result
+// collected so far alongside the error.
 func ExecuteLimitContext(ctx context.Context, q *Query, opts *Options, limit int) (*Result, error) {
 	pq, err := q.Prepare(opts)
 	if err != nil {
@@ -358,7 +535,7 @@ func ExecuteStreamContext(ctx context.Context, q *Query, opts *Options, yield fu
 func (q *Query) atomSpecs() []core.AtomSpec {
 	specs := make([]core.AtomSpec, len(q.atoms))
 	for i, a := range q.atoms {
-		specs[i] = core.AtomSpec{Name: fmt.Sprintf("%s#%d", a.Rel.name, i), Attrs: a.Vars, Tuples: a.Rel.tuples}
+		specs[i] = core.AtomSpec{Name: fmt.Sprintf("%s#%d", a.Rel.name, i), Attrs: a.Vars, Tuples: a.Rel.Tuples()}
 	}
 	return specs
 }

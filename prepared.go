@@ -3,6 +3,7 @@ package minesweeper
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"minesweeper/internal/core"
 	"minesweeper/internal/engine"
@@ -17,20 +18,94 @@ import (
 //
 // A PreparedQuery is safe for concurrent use: each run operates on a
 // snapshot whose tree views carry run-local state.
+//
+// A PreparedQuery stays bound to its relations across mutations: every
+// execution compares the epoch each relation had at binding time with
+// its current epoch, and when a relation has been mutated (Insert,
+// Delete, Replace) the query transparently re-binds before running —
+// the caller never re-prepares by hand. Re-binding pulls indexes from
+// the relations' caches, so only the mutated relations pay an index
+// rebuild; executions against unmutated relations keep the zero-rebuild
+// warm path.
 type PreparedQuery struct {
-	query   *Query
-	opts    Options
-	gao     []string
-	eng     Engine
-	runner  engine.Engine
+	query  *Query
+	opts   Options
+	gao    []string
+	eng    Engine
+	runner engine.Engine
+
+	mu  sync.Mutex
+	cur *binding
+}
+
+// binding is one epoch-stamped materialization of the prepared query:
+// the assembled problem plus, per atom, the epoch its relation had when
+// the atom's index was fetched.
+type binding struct {
 	problem *core.Problem
+	epochs  []uint64
+}
+
+// bind fetches (or builds) the GAO-permuted index of every atom and
+// assembles the core problem, recording the relation epochs the indexes
+// reflect. Atoms are grouped by relation and each relation's indexes
+// are fetched under a single lock acquisition, so a self-join can never
+// bind two different versions of the same relation; distinct relations
+// may still bind at different epochs (mutations are per-relation, there
+// are no cross-relation transactions).
+func (q *Query) bind(gao []string, debug bool) (*binding, error) {
+	atoms := make([]core.Atom, len(q.atoms))
+	epochs := make([]uint64, len(q.atoms))
+	perms := make([][]int, len(q.atoms))
+	for i, a := range q.atoms {
+		positions, perm, err := core.ColumnPlan(gao, a.Vars)
+		if err != nil {
+			return nil, fmt.Errorf("minesweeper: atom %d (%s): %w", i, a.Rel.name, err)
+		}
+		perms[i] = perm
+		atoms[i] = core.Atom{
+			Name:      fmt.Sprintf("%s#%d", a.Rel.name, i),
+			Positions: positions,
+		}
+	}
+	byRel := map[*Relation][]int{}
+	var order []*Relation
+	for i, a := range q.atoms {
+		if _, seen := byRel[a.Rel]; !seen {
+			order = append(order, a.Rel)
+		}
+		byRel[a.Rel] = append(byRel[a.Rel], i)
+	}
+	for _, rel := range order {
+		idxs := byRel[rel]
+		ps := make([][]int, len(idxs))
+		for j, i := range idxs {
+			ps[j] = perms[i]
+		}
+		trees, epoch, err := rel.indexesFor(ps)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			atoms[i].Tree = trees[j]
+			epochs[i] = epoch
+		}
+	}
+	p, err := core.NewProblemFromAtoms(gao, atoms)
+	if err != nil {
+		return nil, err
+	}
+	p.Debug = debug
+	return &binding{problem: p, epochs: epochs}, nil
 }
 
 // Prepare resolves the GAO and engine and builds (or fetches from the
 // relations' caches) the GAO-permuted indexes. The returned
 // PreparedQuery can be executed repeatedly without re-indexing; two
 // prepared queries that bind the same relation under the same column
-// order share one index.
+// order share one index. Mutating a bound relation does not invalidate
+// the PreparedQuery: the next execution detects the epoch change and
+// re-binds transparently.
 func (q *Query) Prepare(opts *Options) (*PreparedQuery, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -47,30 +122,13 @@ func (q *Query) Prepare(opts *Options) (*PreparedQuery, error) {
 	}
 	runner, ok := engine.Lookup(eng.String())
 	if !ok {
-		return nil, fmt.Errorf("minesweeper: unknown engine %v", o.Engine)
+		return nil, fmt.Errorf("minesweeper: unknown engine %v", eng)
 	}
-	atoms := make([]core.Atom, len(q.atoms))
-	for i, a := range q.atoms {
-		positions, perm, err := core.ColumnPlan(gao, a.Vars)
-		if err != nil {
-			return nil, fmt.Errorf("minesweeper: atom %d (%s): %w", i, a.Rel.name, err)
-		}
-		tree, err := a.Rel.indexFor(perm)
-		if err != nil {
-			return nil, err
-		}
-		atoms[i] = core.Atom{
-			Name:      fmt.Sprintf("%s#%d", a.Rel.name, i),
-			Tree:      tree,
-			Positions: positions,
-		}
-	}
-	p, err := core.NewProblemFromAtoms(gao, atoms)
+	b, err := q.bind(gao, o.Debug)
 	if err != nil {
 		return nil, err
 	}
-	p.Debug = o.Debug
-	return &PreparedQuery{query: q, opts: o, gao: gao, eng: eng, runner: runner, problem: p}, nil
+	return &PreparedQuery{query: q, opts: o, gao: gao, eng: eng, runner: runner, cur: b}, nil
 }
 
 // GAO returns the resolved global attribute order.
@@ -78,6 +136,24 @@ func (pq *PreparedQuery) GAO() []string { return append([]string(nil), pq.gao...
 
 // Engine returns the resolved engine (never EngineAuto).
 func (pq *PreparedQuery) Engine() Engine { return pq.eng }
+
+// snapshot returns a per-run problem copy, re-binding first when any
+// bound relation has been mutated since the current binding was taken.
+func (pq *PreparedQuery) snapshot() (*core.Problem, error) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	for i, a := range pq.query.atoms {
+		if a.Rel.Epoch() != pq.cur.epochs[i] {
+			b, err := pq.query.bind(pq.gao, pq.opts.Debug)
+			if err != nil {
+				return nil, err
+			}
+			pq.cur = b
+			break
+		}
+	}
+	return pq.cur.problem.Snapshot(), nil
+}
 
 // Stream evaluates the prepared query, calling yield once per output
 // tuple in GAO-lexicographic order. yield returns false to stop early.
@@ -90,12 +166,15 @@ func (pq *PreparedQuery) Stream(yield func([]int) bool) (Stats, error) {
 // same streaming executor, so limits and cancellation behave uniformly.
 func (pq *PreparedQuery) StreamContext(ctx context.Context, yield func([]int) bool) (Stats, error) {
 	var stats Stats
-	run := pq.problem.Snapshot()
+	run, err := pq.snapshot()
+	if err != nil {
+		return stats, err
+	}
 	if pq.eng == EngineMinesweeper && pq.opts.Workers > 1 {
 		err := core.MinesweeperParallelStream(ctx, run, pq.opts.Workers, &stats, yield)
 		return stats, err
 	}
-	err := pq.runner.Run(ctx, run, &stats, yield)
+	err = pq.runner.Run(ctx, run, &stats, yield)
 	return stats, err
 }
 
@@ -104,7 +183,11 @@ func (pq *PreparedQuery) Execute() (*Result, error) {
 	return pq.ExecuteContext(context.Background())
 }
 
-// ExecuteContext evaluates the prepared query under the context.
+// ExecuteContext evaluates the prepared query under the context. When
+// the run stops early — context cancellation or deadline expiry — the
+// tuples collected so far are returned alongside the non-nil error, so
+// callers can serve a partial page: res is non-nil whenever evaluation
+// started, and res.Tuples is a prefix of the full GAO-ordered result.
 func (pq *PreparedQuery) ExecuteContext(ctx context.Context) (*Result, error) {
 	res := &Result{Vars: pq.GAO(), GAO: pq.GAO(), Engine: pq.eng}
 	stats, err := pq.StreamContext(ctx, func(t []int) bool {
@@ -112,10 +195,7 @@ func (pq *PreparedQuery) ExecuteContext(ctx context.Context) (*Result, error) {
 		return true
 	})
 	res.Stats = stats
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return res, err
 }
 
 // ExecuteLimit evaluates the prepared query, stopping after at most
@@ -125,7 +205,9 @@ func (pq *PreparedQuery) ExecuteLimit(limit int) (*Result, error) {
 	return pq.ExecuteLimitContext(context.Background(), limit)
 }
 
-// ExecuteLimitContext is ExecuteLimit with cancellation.
+// ExecuteLimitContext is ExecuteLimit with cancellation. Like
+// ExecuteContext, a cancelled or expired context returns the partial
+// result collected so far alongside the error.
 func (pq *PreparedQuery) ExecuteLimitContext(ctx context.Context, limit int) (*Result, error) {
 	res := &Result{Vars: pq.GAO(), GAO: pq.GAO(), Engine: pq.eng}
 	if limit <= 0 {
@@ -136,8 +218,5 @@ func (pq *PreparedQuery) ExecuteLimitContext(ctx context.Context, limit int) (*R
 		return len(res.Tuples) < limit
 	})
 	res.Stats = stats
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return res, err
 }
