@@ -1,7 +1,9 @@
 // Benchmark harness: one testing.B benchmark per experiment in DESIGN.md's
 // index (E1–E9), regenerating the paper's Figure 2 measurement and the
 // per-theorem scaling behaviours, plus micro-benchmarks of the substrate
-// data structures. Run with:
+// data structures. The experiment bodies live in internal/benchsuite so
+// the same measurements feed both `go test -bench` and the tracked
+// BENCH_<n>.json trajectory written by `msbench -json`. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -15,10 +17,10 @@ import (
 	"testing"
 
 	"minesweeper/internal/baseline"
+	"minesweeper/internal/benchsuite"
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/core"
 	"minesweeper/internal/dataset"
-	"minesweeper/internal/experiments"
 	"minesweeper/internal/ordered"
 	"minesweeper/internal/reltree"
 )
@@ -31,48 +33,16 @@ func report(b *testing.B, s *certificate.Stats, n int) {
 
 // --- E1: Figure 2 -----------------------------------------------------
 
-func benchmarkFigure2(b *testing.B, build func(*dataset.Graph, [][][]int) ([]string, []core.AtomSpec)) {
-	preset := dataset.Presets[1] // Epinions-like: smallest
-	preset.N = 2000
-	preset.SampleP = 0.005
-	g, samples := preset.Build()
-	gao, atoms := build(g, samples)
-	p, err := core.NewProblem(gao, atoms)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.MinesweeperAll(p, &stats); err != nil {
-			b.Fatal(err)
-		}
-	}
-	report(b, &stats, b.N)
-}
-
-func BenchmarkFigure2Star(b *testing.B) { benchmarkFigure2(b, dataset.StarQuery) }
-func BenchmarkFigure2Path(b *testing.B) { benchmarkFigure2(b, dataset.PathQuery) }
-func BenchmarkFigure2Tree(b *testing.B) { benchmarkFigure2(b, dataset.TreeQuery) }
+func BenchmarkFigure2Star(b *testing.B) { benchsuite.Fig2Star(b) }
+func BenchmarkFigure2Path(b *testing.B) { benchsuite.Fig2Path(b) }
+func BenchmarkFigure2Tree(b *testing.B) { benchsuite.Fig2Tree(b) }
 
 // --- E2: Theorem 2.7 β-acyclic scaling --------------------------------
 
 func BenchmarkBetaAcyclicScaling(b *testing.B) {
 	for _, M := range []int{16, 32, 64} {
 		b.Run(fmt.Sprintf("M=%d", M), func(b *testing.B) {
-			gao, atoms := dataset.AppendixJPath(5, M)
-			p, err := core.NewProblem(gao, atoms)
-			if err != nil {
-				b.Fatal(err)
-			}
-			var stats certificate.Stats
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := core.MinesweeperAll(p, &stats); err != nil {
-					b.Fatal(err)
-				}
-			}
-			report(b, &stats, b.N)
+			benchsuite.BetaAcyclic(b, M)
 		})
 	}
 }
@@ -93,19 +63,8 @@ func benchmarkAppendixJ(b *testing.B, M int, run func(*core.Problem, []string, [
 	}
 }
 
-func BenchmarkAppendixJMinesweeper(b *testing.B) {
-	benchmarkAppendixJ(b, 64, func(p *core.Problem, _ []string, _ []core.AtomSpec) error {
-		_, err := core.MinesweeperAll(p, nil)
-		return err
-	})
-}
-
-func BenchmarkAppendixJLeapfrog(b *testing.B) {
-	benchmarkAppendixJ(b, 64, func(p *core.Problem, _ []string, _ []core.AtomSpec) error {
-		_, err := baseline.LeapfrogAll(p, nil)
-		return err
-	})
-}
+func BenchmarkAppendixJMinesweeper(b *testing.B) { benchsuite.AppendixJMinesweeper(b) }
+func BenchmarkAppendixJLeapfrog(b *testing.B)    { benchsuite.AppendixJLeapfrog(b) }
 
 func BenchmarkAppendixJNPRR(b *testing.B) {
 	benchmarkAppendixJ(b, 64, func(p *core.Problem, _ []string, _ []core.AtomSpec) error {
@@ -123,81 +82,54 @@ func BenchmarkAppendixJYannakakis(b *testing.B) {
 
 // --- E4: Appendix H set intersection -----------------------------------
 
-func BenchmarkSetIntersectionBlocks(b *testing.B) {
-	sets := dataset.BlockSets(4, 50000)
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.IntersectSets(sets, &stats); err != nil {
-			b.Fatal(err)
-		}
-	}
-	report(b, &stats, b.N)
-}
+func BenchmarkSetIntersectionBlocks(b *testing.B)      { benchsuite.SetIntersectionBlocks(b) }
+func BenchmarkSetIntersectionInterleaved(b *testing.B) { benchsuite.SetIntersectionInterleaved(b) }
 
-func BenchmarkSetIntersectionInterleaved(b *testing.B) {
-	sets := dataset.InterleavedSets(4, 5000)
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.IntersectSets(sets, &stats); err != nil {
-			b.Fatal(err)
+// BenchmarkIntersectCrossover sweeps the max/min set-size ratio across
+// the adaptive switch point, running both strategies at every ratio.
+// This is the measurement behind core's mergeCrossoverRatio: merge wins
+// on balanced inputs, the interval-list CDS on skewed ones.
+func BenchmarkIntersectCrossover(b *testing.B) {
+	const base = 40000
+	for _, ratio := range []int{1, 4, 8, 32, 128} {
+		sets := dataset.BlockSets(3, base)
+		small := make([]int, 0, base/ratio)
+		for i := 0; i < len(sets[0]); i += ratio {
+			small = append(small, sets[0][i])
 		}
+		skewed := append([][]int{small}, sets[1:]...)
+		b.Run(fmt.Sprintf("ratio=%d/cds", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IntersectSets(skewed, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ratio=%d/merge", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IntersectSetsMerge(skewed, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ratio=%d/adaptive", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IntersectSetsAdaptive(skewed, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	report(b, &stats, b.N)
 }
 
 // --- E5: Appendix I bow-tie --------------------------------------------
 
-func BenchmarkBowtieHiddenGap(b *testing.B) {
-	const n = 20000
-	var s [][]int
-	for i := 1; i <= n; i++ {
-		s = append(s, []int{1, n + 1 + i}, []int{3, i})
-	}
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Bowtie([]int{2}, s, []int{n + 1}, &stats); err != nil {
-			b.Fatal(err)
-		}
-	}
-	report(b, &stats, b.N)
-}
+func BenchmarkBowtieHiddenGap(b *testing.B) { benchsuite.Bowtie(b) }
 
 // --- E6: Theorem 5.4 triangle ------------------------------------------
 
-func BenchmarkTriangleSpecialized(b *testing.B) {
-	r, s, t := dataset.TriangleHard(128)
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Triangle(r, s, t, &stats); err != nil {
-			b.Fatal(err)
-		}
-	}
-	report(b, &stats, b.N)
-}
-
-func BenchmarkTriangleGeneric(b *testing.B) {
-	r, s, t := dataset.TriangleHard(128)
-	p, err := core.NewProblem([]string{"A", "B", "C"}, []core.AtomSpec{
-		{Name: "R", Attrs: []string{"A", "B"}, Tuples: r},
-		{Name: "S", Attrs: []string{"B", "C"}, Tuples: s},
-		{Name: "T", Attrs: []string{"A", "C"}, Tuples: t},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.MinesweeperAll(p, &stats); err != nil {
-			b.Fatal(err)
-		}
-	}
-	report(b, &stats, b.N)
-}
+func BenchmarkTriangleSpecialized(b *testing.B) { benchsuite.TriangleSpecialized(b) }
+func BenchmarkTriangleGeneric(b *testing.B)     { benchsuite.TriangleGeneric(b) }
 
 func BenchmarkTriangleLeapfrog(b *testing.B) {
 	r, s, t := dataset.TriangleHard(128)
@@ -235,71 +167,30 @@ func BenchmarkTriangleListingGraph(b *testing.B) {
 func BenchmarkTreewidthFamily(b *testing.B) {
 	for _, m := range []int{16, 32} {
 		b.Run(fmt.Sprintf("w=2/m=%d", m), func(b *testing.B) {
-			gao, atoms := dataset.CliqueInstance(2, m)
-			p, err := core.NewProblem(gao, atoms)
-			if err != nil {
-				b.Fatal(err)
-			}
-			var stats certificate.Stats
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := core.MinesweeperAll(p, &stats); err != nil {
-					b.Fatal(err)
-				}
-			}
-			report(b, &stats, b.N)
+			benchsuite.Treewidth(b, m)
 		})
 	}
 }
 
 // --- E8: Example 4.1 memoization ----------------------------------------
 
-func BenchmarkMemoization(b *testing.B) {
-	tab, err := experiments.MemoizationEffect(experiments.Small)
-	if err != nil {
-		b.Fatal(err)
-	}
-	_ = tab
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MemoizationEffect(experiments.Small); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkMemoization(b *testing.B) { benchsuite.Memoization(b) }
 
 // --- E9: Examples B.3/B.4 GAO dependence --------------------------------
 
-func benchmarkGAODependence(b *testing.B, gao []string) {
-	atoms := dataset.ExampleB3(24)
-	p, err := core.NewProblem(gao, atoms)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var stats certificate.Stats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.MinesweeperAll(p, &stats); err != nil {
-			b.Fatal(err)
-		}
-	}
-	report(b, &stats, b.N)
+func BenchmarkGAODependenceABC(b *testing.B) {
+	benchsuite.GAODependence(b, []string{"A", "B", "C"})
 }
-
-func BenchmarkGAODependenceABC(b *testing.B) { benchmarkGAODependence(b, []string{"A", "B", "C"}) }
-func BenchmarkGAODependenceCAB(b *testing.B) { benchmarkGAODependence(b, []string{"C", "A", "B"}) }
+func BenchmarkGAODependenceCAB(b *testing.B) {
+	benchsuite.GAODependence(b, []string{"C", "A", "B"})
+}
 
 // --- Substrate micro-benchmarks ------------------------------------------
 
-func BenchmarkRangeSetInsert(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		rs := ordered.NewRangeSet()
-		for j := 0; j < 100; j++ {
-			rs.Insert(j*10, j*10+5)
-		}
-	}
-}
+func BenchmarkCDSProbeInsertLoop(b *testing.B) { benchsuite.CDSProbeInsertLoop(b) }
+func BenchmarkCDSInsConstraint(b *testing.B)   { benchsuite.CDSInsConstraint(b) }
+
+func BenchmarkRangeSetInsert(b *testing.B) { benchsuite.RangeSetInsert(b) }
 
 func BenchmarkRangeSetNext(b *testing.B) {
 	rs := ordered.NewRangeSet()
@@ -311,6 +202,8 @@ func BenchmarkRangeSetNext(b *testing.B) {
 		rs.Next(i % 100000)
 	}
 }
+
+func BenchmarkSortedListInsertDelete(b *testing.B) { benchsuite.SortedListInsertDelete(b) }
 
 func BenchmarkFindGap(b *testing.B) {
 	tuples := make([][]int, 100000)
@@ -560,3 +453,5 @@ func BenchmarkSetIntersectionMergeVariant(b *testing.B) {
 	}
 	report(b, &stats, b.N)
 }
+
+func BenchmarkIntersectAdaptiveSkewed(b *testing.B) { benchsuite.IntersectAdaptiveSkewed(b) }

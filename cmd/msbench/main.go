@@ -11,6 +11,14 @@
 //
 // Output is a plain-text table per experiment, with the paper's expected
 // shape quoted in the notes line.
+//
+// It also runs the tracked benchmark suite (internal/benchsuite: E1–E9
+// plus the CDS micro-benchmarks) and records it as a machine-readable
+// artifact, the repo's benchmark trajectory:
+//
+//	msbench -json BENCH_1.json -label optimized   # measure + record
+//	msbench -json BENCH_1.json -bench 'CDS'       # subset by substring
+//	msbench -compare BENCH_0.json,BENCH_1.json    # diff two artifacts
 package main
 
 import (
@@ -20,13 +28,25 @@ import (
 	"strings"
 	"time"
 
+	"minesweeper/internal/benchsuite"
 	"minesweeper/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment name or 'all' (fig2, betaacyclic, appj, intersect, bowtie, triangle, treewidth, memo, gao)")
 	scaleFlag := flag.String("scale", "full", "full or small")
+	jsonOut := flag.String("json", "", "run the tracked benchmark suite and write BENCH_<n>.json to this path instead of the experiment tables")
+	label := flag.String("label", "", "label stored in the -json artifact (e.g. baseline, optimized)")
+	benchFilter := flag.String("bench", "", "with -json: only run suite benchmarks whose name contains one of these comma-separated substrings")
+	compare := flag.String("compare", "", "compare two BENCH_*.json files: old.json,new.json")
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare))
+	}
+	if *jsonOut != "" {
+		os.Exit(runJSON(*jsonOut, *label, *benchFilter))
+	}
 
 	scale := experiments.Full
 	switch *scaleFlag {
@@ -70,6 +90,75 @@ func main() {
 		}
 		printTable(tab, time.Since(start))
 	}
+}
+
+// runJSON measures the tracked suite and writes the JSON artifact.
+func runJSON(path, label, filter string) int {
+	var pred func(benchsuite.Bench) bool
+	if filter != "" {
+		subs := strings.Split(filter, ",")
+		pred = func(b benchsuite.Bench) bool {
+			for _, s := range subs {
+				if s = strings.TrimSpace(s); s != "" && strings.Contains(b.Name, s) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	results := benchsuite.Run(pred, os.Stderr)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "msbench: no suite benchmark matches -bench %q\n", filter)
+		return 2
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	if err := benchsuite.WriteJSON(f, label, results); err != nil {
+		fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(results), path)
+	return 0
+}
+
+// runCompare prints the per-benchmark deltas of two artifacts.
+func runCompare(spec string) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "msbench: -compare wants old.json,new.json")
+		return 2
+	}
+	files := make([]*benchsuite.File, 2)
+	for i, p := range parts {
+		fh, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+			return 1
+		}
+		files[i], err = benchsuite.ReadJSON(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: %s: %v\n", p, err)
+			return 1
+		}
+	}
+	deltas := benchsuite.Compare(files[0], files[1])
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "msbench: no common benchmarks")
+		return 1
+	}
+	fmt.Printf("%-32s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns Δ", "old allocs", "new allocs", "allocs Δ")
+	for _, d := range deltas {
+		fmt.Printf("%-32s %14.0f %14.0f %7.0f%% %12.1f %12.1f %7.0f%%\n",
+			d.Name, d.OldNs, d.NewNs, (d.NsRatio()-1)*100,
+			d.OldAllocs, d.NewAllocs, (d.AllocsRatio()-1)*100)
+	}
+	return 0
 }
 
 func printTable(t *experiments.Table, elapsed time.Duration) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/metrics"
 	"strconv"
 	"strings"
 	"sync"
@@ -32,6 +33,11 @@ type server struct {
 	runs    int64             // completed executions
 	served  int64             // tuples written to clients
 	expired int64             // runs cut short by limit/timeout/cancel
+
+	// Heap-allocation counters at server start; /stats reports the
+	// process-lifetime delta. A single baseline read cannot double-count
+	// under concurrent runs the way per-run windows would.
+	allocObjs0, allocBytes0 uint64
 }
 
 // registeredQuery is one named query: its textual form, default options,
@@ -79,6 +85,7 @@ func (rq *registeredQuery) variant(eng minesweeper.Engine, workers int) (*minesw
 
 func newServer(cat *catalog.Catalog) *server {
 	s := &server{cat: cat, queries: map[string]*registeredQuery{}, mux: http.NewServeMux()}
+	s.allocObjs0, s.allocBytes0 = readHeapAllocs()
 	s.mux.HandleFunc("GET /relations", s.handleListRelations)
 	s.mux.HandleFunc("POST /relations", s.handleLoadRelation)
 	s.mux.HandleFunc("GET /relations/{name}", s.handleDumpRelation)
@@ -439,9 +446,15 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	enc.Encode(map[string]any{"vars": pq.GAO(), "engine": pq.Engine().String(), "gao": pq.GAO()})
 	flush()
 
+	// Tuples are encoded by hand into one per-stream scratch buffer —
+	// a JSON array of ints needs no escaping or reflection — so the
+	// emit path writes each line with zero allocations instead of
+	// paying json.Encoder's per-Encode marshalling.
+	line := make([]byte, 0, 64)
 	count := 0
 	stats, runErr := pq.StreamContext(ctx, func(t []int) bool {
-		enc.Encode(t)
+		line = appendTupleLine(line[:0], t)
+		w.Write(line)
 		flush()
 		count++
 		return params.limit <= 0 || count < params.limit
@@ -472,13 +485,53 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	s.statsMu.Unlock()
 }
 
+// appendTupleLine renders one output tuple as a JSON array line.
+func appendTupleLine(buf []byte, t []int) []byte {
+	buf = append(buf, '[')
+	for i, v := range t {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(v), 10)
+	}
+	return append(buf, ']', '\n')
+}
+
+// allocSamples names the runtime/metrics series behind the /stats
+// allocation counters.
+var allocSamples = []metrics.Sample{
+	{Name: "/gc/heap/allocs:objects"},
+	{Name: "/gc/heap/allocs:bytes"},
+}
+
+// readHeapAllocs returns the process-lifetime heap allocation counters.
+// Deltas across a run are a best-effort allocs/op-style measure: they
+// include whatever else the process did meanwhile (concurrent runs,
+// GC bookkeeping), which is exactly the server-wide view /stats wants.
+func readHeapAllocs() (objects, bytes uint64) {
+	// Stack-local sample array: the measurement itself must not land in
+	// the allocation window it reports on.
+	var s [2]metrics.Sample
+	copy(s[:], allocSamples)
+	metrics.Read(s[:])
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
+}
+
 // --- stats -----------------------------------------------------------
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	nq := len(s.queries)
 	s.mu.Unlock()
+	allocObjs, allocBytes := readHeapAllocs()
 	s.statsMu.Lock()
+	// Server-lifetime allocation counters: one delta against the
+	// start-of-process baseline, so concurrent runs are never
+	// double-counted. The totals include the server's own HTTP/catalog
+	// work — they are an allocs/op-style health signal, not an exact
+	// per-query attribution.
+	allocObjs -= s.allocObjs0
+	allocBytes -= s.allocBytes0
 	body := map[string]any{
 		"relations":            s.cat.Len(),
 		"queries":              nq,
@@ -487,6 +540,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cut_short":            s.expired,
 		"certificate_estimate": s.agg.CertificateEstimate(),
 		"stats":                s.agg,
+		"alloc_objects_total":  allocObjs,
+		"alloc_bytes_total":    allocBytes,
+	}
+	if s.runs > 0 {
+		body["alloc_objects_per_run"] = float64(allocObjs) / float64(s.runs)
+		body["alloc_bytes_per_run"] = float64(allocBytes) / float64(s.runs)
+	}
+	if s.served > 0 {
+		body["alloc_objects_per_tuple"] = float64(allocObjs) / float64(s.served)
 	}
 	s.statsMu.Unlock()
 	writeJSON(w, http.StatusOK, body)

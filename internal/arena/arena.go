@@ -1,0 +1,38 @@
+// Package arena provides the rewindable chunked allocator shared by the
+// hot-path object pools: CDS tree nodes and the per-atom gap-exploration
+// nodes. Slots are handed out sequentially from fixed-size chunks —
+// stable addresses, one allocation per chunk instead of one per object —
+// and Rewind restarts the hand-out without releasing memory, so a
+// steady-state consumer stops allocating once it has reached its
+// high-water footprint.
+package arena
+
+// chunkSize is the allocation granularity in slots.
+const chunkSize = 64
+
+// Arena hands out *T slots chunk-at-a-time. The zero value is ready for
+// use. Alloc does NOT zero recycled slots: callers reset the fields they
+// care about, which lets objects retain their internal storage (e.g. a
+// CDS node's key arrays) across rewinds.
+type Arena[T any] struct {
+	chunks      [][]T
+	chunk, slot int
+}
+
+// Alloc returns the next slot. Slots from fresh chunks are zero values;
+// slots reused after Rewind keep their previous contents.
+func (a *Arena[T]) Alloc() *T {
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, chunkSize))
+	}
+	p := &a.chunks[a.chunk][a.slot]
+	a.slot++
+	if a.slot == chunkSize {
+		a.chunk++
+		a.slot = 0
+	}
+	return p
+}
+
+// Rewind restarts the hand-out at the first slot, retaining every chunk.
+func (a *Arena[T]) Rewind() { a.chunk, a.slot = 0, 0 }

@@ -15,7 +15,7 @@ func (t *Tree) Dump() string {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(label)
 		if !v.intervals.Empty() {
-			fmt.Fprintf(&b, " %s", v.intervals)
+			fmt.Fprintf(&b, " %s", &v.intervals)
 		}
 		b.WriteByte('\n')
 		v.eq.Ascend(func(key int, child *node) bool {

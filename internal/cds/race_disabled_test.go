@@ -1,0 +1,5 @@
+//go:build !race
+
+package cds
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package cds
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so the allocation-budget tests skip
+// themselves rather than measure the detector.
+const raceEnabled = true

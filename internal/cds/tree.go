@@ -1,6 +1,7 @@
 package cds
 
 import (
+	"minesweeper/internal/arena"
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/ordered"
 )
@@ -16,27 +17,45 @@ import (
 //
 // Invariant: no equality child label is covered by intervals — inserting
 // an interval deletes the children it swallows (Algorithm 5).
+//
+// The SortedList and RangeSet are embedded by value: a node is one flat
+// arena slot, and its child list / interval list start in the embedded
+// small-array mode with no satellite allocations. Leaf-adjacent nodes —
+// the bulk of any tree — therefore never allocate beyond their key
+// arrays, and never at all once those arrays have grown once.
 type node struct {
 	depth     int
-	pattern   Pattern // path from the root; shared backing, never mutated
-	eq        *ordered.SortedList[*node]
+	pattern   Pattern // path from the root; interned in the tree's arena
+	eq        ordered.SortedList[*node]
 	star      *node
-	intervals *ordered.RangeSet
+	intervals ordered.RangeSet
 }
 
-func newNode(depth int, pattern Pattern) *node {
-	return &node{
-		depth:     depth,
-		pattern:   pattern,
-		eq:        ordered.NewSortedList[*node](),
-		intervals: ordered.NewRangeSet(),
-	}
+// reset readies an arena slot for reuse, retaining the embedded lists'
+// backing storage so a recycled node allocates nothing on its next fill.
+func (v *node) reset(depth int, pattern Pattern) {
+	v.depth = depth
+	v.pattern = pattern
+	v.star = nil
+	v.eq.Reset()
+	v.intervals.Reset()
 }
+
+// patChunkSize is the pattern-arena granularity (in components).
+const patChunkSize = 512
 
 // Tree is the ConstraintTree CDS. It supports InsConstraint (Algorithm 5)
 // and GetProbePoint (Algorithms 3/4, generalized per Algorithms 6/7).
 // A Tree is built for a fixed number of attributes n; probe points are
 // full n-tuples in GAO order.
+//
+// A Tree owns all of its memory: nodes come from a chunked arena,
+// node patterns are interned into a component arena (constraint
+// prefixes passed to InsConstraint are never retained, so callers may
+// reuse their buffers), and the probe-point machinery works in
+// per-tree scratch space. On the steady-state path — probing and
+// inserting constraints that only touch existing nodes — the tree
+// performs zero allocations; see the AllocsPerRun regression tests.
 type Tree struct {
 	n     int
 	root  *node
@@ -47,13 +66,82 @@ type Tree struct {
 	// (outer-algorithm and internal memoization alike); used by tests to
 	// verify that probe points are active w.r.t. everything stored.
 	trace func(Constraint)
+
+	// node arena; Reset rewinds it. Slots are reset at hand-out, which
+	// keeps a recycled node's embedded list storage.
+	nodes arena.Arena[node]
+
+	// pattern arena: interned copies of the patterns of materialized
+	// nodes, appended into fixed-capacity chunks so earlier interned
+	// slices are never moved.
+	patChunks [][]Comp
+	patIdx    int
+
+	// GetProbePoint scratch, reused across calls.
+	tv         []int        // the probe point under construction (returned!)
+	levelA     []*node      // filter frontier double buffer
+	levelB     []*node      //
+	chainOrder []*node      // buildChain linearization
+	chainBuf   []chainEntry //
+	suffixBuf  []Pattern    // shadow suffix meets
+	meetBuf    []Comp       // backing for freshly computed meets
 }
 
 // NewTree returns an empty CDS over n ≥ 1 attributes with inferred-
 // constraint memoization enabled (the lazy-inference strategy of
 // Section 4.1).
 func NewTree(n int) *Tree {
-	return &Tree{n: n, root: newNode(0, Pattern{}), memo: true}
+	t := &Tree{n: n, memo: true}
+	t.root = t.newNode(0, Pattern{})
+	t.tv = make([]int, n)
+	return t
+}
+
+// Reset empties the tree in place: the node and pattern arenas rewind to
+// their starts and every scratch buffer is retained, so a reset tree
+// re-fills without allocating until it outgrows its previous high-water
+// footprint. Stats/trace attachments and the memoization setting are
+// kept. The tree serves the same attribute count as before.
+func (t *Tree) Reset() {
+	t.nodes.Rewind()
+	for i := range t.patChunks {
+		t.patChunks[i] = t.patChunks[i][:0]
+	}
+	t.patIdx = 0
+	t.root = t.newNode(0, Pattern{})
+}
+
+// newNode hands out the next arena slot, reset and ready. The pattern is
+// interned so the caller's backing memory is never retained.
+func (t *Tree) newNode(depth int, pattern Pattern) *node {
+	v := t.nodes.Alloc()
+	v.reset(depth, t.internPattern(pattern))
+	return v
+}
+
+// internPattern copies p into the tree-owned pattern arena and returns
+// the durable copy. Chunks are never reallocated once handed out, so
+// previously interned patterns stay valid for the life of the tree.
+func (t *Tree) internPattern(p Pattern) Pattern {
+	if len(p) == 0 {
+		return Pattern{}
+	}
+	if t.patIdx == len(t.patChunks) {
+		size := patChunkSize
+		if len(p) > size {
+			size = len(p)
+		}
+		t.patChunks = append(t.patChunks, make([]Comp, 0, size))
+	}
+	cur := t.patChunks[t.patIdx]
+	if cap(cur)-len(cur) < len(p) {
+		t.patIdx++
+		return t.internPattern(p)
+	}
+	start := len(cur)
+	cur = append(cur, p...)
+	t.patChunks[t.patIdx] = cur
+	return Pattern(cur[start:len(cur):len(cur)])
 }
 
 // SetMemo toggles inferred-constraint memoization (Algorithm 4 line 13 /
@@ -90,14 +178,14 @@ func (t *Tree) ensure(p Pattern) *node {
 		t.countOp()
 		if c.Star {
 			if v.star == nil {
-				v.star = newNode(i+1, p[:i+1:i+1])
+				v.star = t.newNode(i+1, p[:i+1])
 			}
 			v = v.star
 			continue
 		}
 		child, ok := v.eq.Find(c.Val)
 		if !ok {
-			child = newNode(i+1, p[:i+1:i+1])
+			child = t.newNode(i+1, p[:i+1])
 			v.eq.Insert(c.Val, child)
 		}
 		v = child
@@ -110,14 +198,15 @@ func (t *Tree) ensure(p Pattern) *node {
 func (t *Tree) insertInterval(v *node, lo, hi int) {
 	t.countOp()
 	v.intervals.InsertOpen(lo, hi)
-	removed := v.eq.DeleteInterval(lo, hi)
-	t.countOps(len(removed))
+	t.countOps(v.eq.DeleteIntervalCount(lo, hi))
 }
 
 // InsConstraint inserts a constraint vector (Algorithm 5). If a prefix
 // equality value is already covered by an ancestor's intervals the
 // constraint is subsumed and dropped. Empty intervals are ignored.
-// Amortized O(n log W) (Proposition 3.1).
+// Amortized O(n log W) (Proposition 3.1). The constraint's Prefix is
+// not retained: new nodes intern their patterns, so callers may reuse
+// the backing buffer.
 func (t *Tree) InsConstraint(c Constraint) {
 	if len(c.Prefix) >= t.n {
 		panic("cds: constraint prefix too long for attribute count")
@@ -139,13 +228,13 @@ func (t *Tree) InsConstraint(c Constraint) {
 		}
 		if comp.Star {
 			if v.star == nil {
-				v.star = newNode(i+1, c.Prefix[:i+1:i+1])
+				v.star = t.newNode(i+1, c.Prefix[:i+1])
 			}
 			v = v.star
 		} else {
 			child, ok := v.eq.Find(comp.Val)
 			if !ok {
-				child = newNode(i+1, c.Prefix[:i+1:i+1])
+				child = t.newNode(i+1, c.Prefix[:i+1])
 				v.eq.Insert(comp.Val, child)
 			}
 			v = child
@@ -157,11 +246,13 @@ func (t *Tree) InsConstraint(c Constraint) {
 // filter collects the principal filter G(t1..ti): every node at depth i
 // whose pattern generalizes the prefix, keeping only nodes with at least
 // one stored interval (Algorithm 3 line 3). The walk follows both the
-// star child and the matching equality child at every level.
+// star child and the matching equality child at every level, over the
+// tree's reusable frontier double-buffer.
 func (t *Tree) filter(prefix []int) []*node {
-	level := []*node{t.root}
+	level := append(t.levelA[:0], t.root)
+	next := t.levelB[:0]
 	for _, tv := range prefix {
-		next := make([]*node, 0, len(level)*2)
+		next = next[:0]
 		for _, u := range level {
 			t.countOp()
 			if u.star != nil {
@@ -171,11 +262,12 @@ func (t *Tree) filter(prefix []int) []*node {
 				next = append(next, child)
 			}
 		}
-		level = next
+		level, next = next, level
 		if len(level) == 0 {
 			break
 		}
 	}
+	t.levelA, t.levelB = level, next // retain grown capacity
 	out := level[:0]
 	for _, u := range level {
 		if !u.intervals.Empty() {
@@ -196,10 +288,13 @@ type chainEntry struct {
 // buildChain linearizes G (most specialized first — sorting by equality
 // count descending is a valid linearization since strict specialization
 // strictly increases the count), computes the shadow patterns
-// P̄(u_j) = ∧_{l ≥ j} P(u_l), and materializes shadow nodes.
+// P̄(u_j) = ∧_{l ≥ j} P(u_l), and materializes shadow nodes. All
+// intermediate state lives in tree scratch; the returned slice is valid
+// until the next buildChain call. In the β-acyclic chain case every
+// suffix meet collapses onto an existing pattern and nothing is
+// computed or materialized.
 func (t *Tree) buildChain(g []*node) []chainEntry {
-	order := make([]*node, len(g))
-	copy(order, g)
+	order := append(t.chainOrder[:0], g...)
 	// Insertion sort by EqCount descending (G is small: ≤ 2^depth, in
 	// practice ≤ m+1 patterns).
 	for i := 1; i < len(order); i++ {
@@ -207,17 +302,26 @@ func (t *Tree) buildChain(g []*node) []chainEntry {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	entries := make([]chainEntry, len(order))
-	for j := range order {
-		entries[j] = chainEntry{orig: order[j]}
+	entries := t.chainBuf[:0]
+	for _, u := range order {
+		entries = append(entries, chainEntry{orig: u})
 	}
-	// Shadows are the suffix meets P̄(u_j) = ∧_{l ≥ j} P(u_l).
-	suffix := make([]Pattern, len(order))
+	// Shadows are the suffix meets P̄(u_j) = ∧_{l ≥ j} P(u_l). When
+	// P(u_j) specializes the running meet — always, on a chain — the
+	// meet is P(u_j) itself and no fresh pattern is needed.
+	suffix := t.suffixBuf[:0]
+	for range order {
+		suffix = append(suffix, nil)
+	}
+	t.meetBuf = t.meetBuf[:0]
 	for j := len(order) - 1; j >= 0; j-- {
-		if j == len(order)-1 {
+		switch {
+		case j == len(order)-1:
 			suffix[j] = order[j].pattern
-		} else {
-			suffix[j] = Meet(order[j].pattern, suffix[j+1])
+		case order[j].pattern.SpecializationOf(suffix[j+1]):
+			suffix[j] = order[j].pattern
+		default:
+			suffix[j] = t.meetInto(order[j].pattern, suffix[j+1])
 		}
 	}
 	for j := range entries {
@@ -227,7 +331,24 @@ func (t *Tree) buildChain(g []*node) []chainEntry {
 			entries[j].shadow = t.ensure(suffix[j])
 		}
 	}
+	t.chainOrder, t.chainBuf, t.suffixBuf = order, entries, suffix
 	return entries
+}
+
+// meetInto computes Meet(p, q) into the tree's meet scratch. The result
+// is valid until the next GetProbePoint iteration; ensure() interns it
+// if a shadow node is materialized from it.
+func (t *Tree) meetInto(p, q Pattern) Pattern {
+	start := len(t.meetBuf)
+	for i := range p {
+		switch {
+		case p[i].Star:
+			t.meetBuf = append(t.meetBuf, q[i])
+		default:
+			t.meetBuf = append(t.meetBuf, p[i])
+		}
+	}
+	return Pattern(t.meetBuf[start:len(t.meetBuf):len(t.meetBuf)])
 }
 
 func patternsEqual(a, b Pattern) bool {
@@ -307,8 +428,12 @@ func (t *Tree) nextChainVal(x int, chain []chainEntry, j int) int {
 // (Algorithm 3, generalized per Algorithm 6). Values are found
 // coordinate by coordinate, backtracking with inferred constraints when a
 // prefix admits no continuation.
+//
+// The returned slice is the tree's probe scratch: it is valid until the
+// next call to GetProbePoint and must be copied by callers that retain
+// it. On the steady-state path the call performs zero allocations.
 func (t *Tree) GetProbePoint() []int {
-	tv := make([]int, t.n)
+	tv := t.tv
 	i := 0
 	for i < t.n {
 		g := t.filter(tv[:i])
@@ -344,9 +469,7 @@ func (t *Tree) GetProbePoint() []int {
 	if t.stats != nil {
 		t.stats.ProbePoints++
 	}
-	out := make([]int, t.n)
-	copy(out, tv)
-	return out
+	return tv
 }
 
 // CoversTuple reports whether some stored constraint rules out the full

@@ -92,15 +92,7 @@ func (c *bowtieCDS) getProbePoint() (x, y int, ok bool) {
 // (pairs). Output pairs are emitted in lexicographic order. Runtime is
 // O((|C|+Z) log N) plus CDS time (Theorem I.4).
 func Bowtie(r []int, s [][]int, t []int, stats *certificate.Stats) ([][]int, error) {
-	rTuples := make([][]int, len(r))
-	for i, v := range r {
-		rTuples[i] = []int{v}
-	}
-	tTuples := make([][]int, len(t))
-	for i, v := range t {
-		tTuples[i] = []int{v}
-	}
-	rT, err := reltree.New("R", 1, rTuples)
+	rT, err := reltree.NewFromValues("R", r)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +100,7 @@ func Bowtie(r []int, s [][]int, t []int, stats *certificate.Stats) ([][]int, err
 	if err != nil {
 		return nil, err
 	}
-	tT, err := reltree.New("T", 1, tTuples)
+	tT, err := reltree.NewFromValues("T", t)
 	if err != nil {
 		return nil, err
 	}

@@ -21,21 +21,13 @@ func IntersectSets(sets [][]int, stats *certificate.Stats) ([]int, error) {
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("core: IntersectSets needs at least one set")
 	}
-	trees := make([]*reltree.Tree, len(sets))
-	for i, s := range sets {
-		tuples := make([][]int, len(s))
-		for j, v := range s {
-			tuples[j] = []int{v}
-		}
-		tr, err := reltree.New(fmt.Sprintf("S%d", i+1), 1, tuples)
-		if err != nil {
-			return nil, err
-		}
-		tr.SetStats(stats)
-		trees[i] = tr
+	trees, err := intersectTrees(sets, stats)
+	if err != nil {
+		return nil, err
 	}
 	cds := ordered.NewRangeSet()
 	var out []int
+	var idx [1]int // index-tuple scratch for Value lookups
 	for {
 		t := cds.Next(-1)
 		if t >= ordered.PosInf {
@@ -51,8 +43,10 @@ func IntersectSets(sets [][]int, stats *certificate.Stats) ([]int, error) {
 				continue // t present in this set
 			}
 			output = false
-			loVal := tr.Value([]int{lo})
-			hiVal := tr.Value([]int{hi})
+			idx[0] = lo
+			loVal := tr.Value(idx[:])
+			idx[0] = hi
+			hiVal := tr.Value(idx[:])
 			cds.InsertOpen(loVal, hiVal)
 			if stats != nil {
 				stats.Constraints++
@@ -70,6 +64,61 @@ func IntersectSets(sets [][]int, stats *certificate.Stats) ([]int, error) {
 	}
 }
 
+// intersectTrees indexes each input set as an arity-1 search tree,
+// going through reltree.NewFromValues so no per-element tuple wrappers
+// are allocated.
+func intersectTrees(sets [][]int, stats *certificate.Stats) ([]*reltree.Tree, error) {
+	trees := make([]*reltree.Tree, len(sets))
+	for i, s := range sets {
+		tr, err := reltree.NewFromValues(fmt.Sprintf("S%d", i+1), s)
+		if err != nil {
+			return nil, err
+		}
+		tr.SetStats(stats)
+		trees[i] = tr
+	}
+	return trees, nil
+}
+
+// mergeCrossoverRatio is the max/min set-size ratio at which
+// IntersectSetsAdaptive switches from the Hwang–Lin merge to the
+// interval-list CDS. BenchmarkIntersectCrossover measures the trade-off:
+// the merge variant's constant-time frontier wins while the sets are
+// comparable (every probe advances all frontiers about equally), and the
+// interval list starts paying for itself once one set is roughly an
+// order of magnitude sparser than another, because each of the sparse
+// set's gaps is remembered once and then skipped in O(log) instead of
+// being rediscovered probe by probe.
+const mergeCrossoverRatio = 8
+
+// IntersectSetsAdaptive computes the same m-way intersection as
+// IntersectSets, picking the CDS strategy per instance (Appendix H.2
+// discusses both): the minimum-comparison merge for size-balanced
+// inputs and the interval-list CDS once the size skew crosses
+// mergeCrossoverRatio, where gap-skipping dominates. Callers should
+// prefer this entry point unless they are ablating one strategy.
+func IntersectSetsAdaptive(sets [][]int, stats *certificate.Stats) ([]int, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: IntersectSetsAdaptive needs at least one set")
+	}
+	minLen, maxLen := len(sets[0]), len(sets[0])
+	for _, s := range sets[1:] {
+		if len(s) < minLen {
+			minLen = len(s)
+		}
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	// minLen == 0 also routes to IntersectSets: the intersection is
+	// trivially empty, but every set must still pass domain validation,
+	// so no shortcut that skips the tree builds is taken.
+	if minLen == 0 || maxLen >= mergeCrossoverRatio*minLen {
+		return IntersectSets(sets, stats)
+	}
+	return IntersectSetsMerge(sets, stats)
+}
+
 // IntersectSetsMerge is the second CDS strategy discussed in Appendix
 // H.2: always probing the least unruled value means the CDS only ever
 // needs the single interval (-∞, t), and the algorithm degenerates into
@@ -80,21 +129,13 @@ func IntersectSetsMerge(sets [][]int, stats *certificate.Stats) ([]int, error) {
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("core: IntersectSetsMerge needs at least one set")
 	}
-	trees := make([]*reltree.Tree, len(sets))
-	for i, s := range sets {
-		tuples := make([][]int, len(s))
-		for j, v := range s {
-			tuples[j] = []int{v}
-		}
-		tr, err := reltree.New(fmt.Sprintf("S%d", i+1), 1, tuples)
-		if err != nil {
-			return nil, err
-		}
-		tr.SetStats(stats)
-		trees[i] = tr
+	trees, err := intersectTrees(sets, stats)
+	if err != nil {
+		return nil, err
 	}
 	var out []int
-	t := -1 // the CDS is exactly the interval (-∞, t+1): probe t+1 next
+	var idx [1]int // index-tuple scratch for Value lookups
+	t := -1        // the CDS is exactly the interval (-∞, t+1): probe t+1 next
 	for {
 		probe := t + 1
 		if stats != nil {
@@ -108,7 +149,8 @@ func IntersectSetsMerge(sets [][]int, stats *certificate.Stats) ([]int, error) {
 				continue
 			}
 			output = false
-			hiVal := tr.Value([]int{hi})
+			idx[0] = hi
+			hiVal := tr.Value(idx[:])
 			if hiVal >= ordered.PosInf {
 				return out, nil // some set is exhausted above probe
 			}

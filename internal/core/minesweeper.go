@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"minesweeper/internal/arena"
 	"minesweeper/internal/cds"
 	"minesweeper/internal/certificate"
 	"minesweeper/internal/ordered"
@@ -35,28 +37,130 @@ func MinesweeperStream(p *Problem, stats *certificate.Stats, emit func([]int) bo
 	return MinesweeperStreamContext(context.Background(), p, stats, emit)
 }
 
+// tupleBlockSize is how many output tuples share one flat backing array.
+// Emitted tuples are retainable by the receiver — each is a distinct
+// carve of a block that is never reused — but cost one allocation per
+// block instead of one per tuple.
+const tupleBlockSize = 128
+
+// tupleArena carves retainable tuple copies out of flat blocks.
+type tupleArena struct {
+	width int
+	buf   []int
+}
+
+func (a *tupleArena) copy(t []int) []int {
+	if cap(a.buf)-len(a.buf) < a.width {
+		a.buf = make([]int, 0, tupleBlockSize*a.width)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, t...)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
 // MinesweeperStreamContext is MinesweeperStream with cooperative
 // cancellation: the context is checked once per probe point (the outer
 // loop of Algorithm 2), and evaluation stops with ctx.Err() when it is
 // cancelled or its deadline passes.
+//
+// Emitted tuples are owned by the receiver (they are never reused), and
+// are block-allocated: retaining one keeps its whole block of up to
+// tupleBlockSize tuples reachable.
 func MinesweeperStreamContext(ctx context.Context, p *Problem, stats *certificate.Stats, emit func([]int) bool) error {
+	arena := tupleArena{width: len(p.GAO)}
+	return minesweeperShared(ctx, p, stats, func(t []int) bool {
+		return emit(arena.copy(t))
+	})
+}
+
+// treePools holds per-arity free lists of CDS trees. A released tree
+// keeps its node/pattern arenas and scratch buffers, so the warm path of
+// a served workload re-runs the same query shape without rebuilding or
+// reallocating its constraint store.
+var treePools sync.Map // int (arity) -> *sync.Pool
+
+func arityPool(n int) *sync.Pool {
+	// Load-first: LoadOrStore's value argument is built eagerly, so
+	// going through it on every call would allocate a discarded
+	// sync.Pool on the warm path.
+	if p, ok := treePools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := treePools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+func acquireTree(n int) *cds.Tree {
+	if v := arityPool(n).Get(); v != nil {
+		tr := v.(*cds.Tree)
+		tr.Reset()
+		return tr
+	}
+	return cds.NewTree(n)
+}
+
+func releaseTree(tr *cds.Tree) {
+	tr.SetStats(nil)
+	tr.SetTrace(nil)
+	arityPool(tr.Attrs()).Put(tr)
+}
+
+// msScratch is the per-run working set of the outer algorithm, pooled
+// across executions: the per-atom exploration trees and index-path
+// buffers of Algorithm 2 lines 4–10 and the shared constraint-prefix
+// buffer (safe to reuse per insertion — InsConstraint never retains its
+// input). Steady-state executions allocate nothing from here.
+type msScratch struct {
+	expl   []*gapNode
+	atoms  []atomScratch
+	prefix cds.Pattern
+}
+
+var scratchPool = sync.Pool{New: func() any { return &msScratch{} }}
+
+func (sc *msScratch) prepare(p *Problem, n int) {
+	if cap(sc.expl) < len(p.Atoms) {
+		sc.expl = make([]*gapNode, len(p.Atoms))
+		sc.atoms = make([]atomScratch, len(p.Atoms))
+	}
+	sc.expl = sc.expl[:len(p.Atoms)]
+	sc.atoms = sc.atoms[:len(p.Atoms)]
+	for i := range p.Atoms {
+		k := p.Atoms[i].Tree.Arity()
+		if cap(sc.atoms[i].idx) < k {
+			sc.atoms[i].idx = make([]int, 0, k)
+			sc.atoms[i].pathVals = make([]int, 0, k)
+		}
+	}
+	if cap(sc.prefix) < n-1 {
+		sc.prefix = make(cds.Pattern, n-1)
+	}
+	sc.prefix = sc.prefix[:n-1]
+}
+
+// minesweeperShared is the engine core. emit receives the CDS probe
+// scratch directly — valid only until emit returns — so materializing
+// callers go through a copying wrapper (MinesweeperStreamContext).
+func minesweeperShared(ctx context.Context, p *Problem, stats *certificate.Stats, emit func([]int) bool) error {
 	n := len(p.GAO)
-	tree := cds.NewTree(n)
+	tree := acquireTree(n)
+	defer releaseTree(tree)
 	tree.SetStats(stats)
 	p.Attach(stats)
 	defer p.Detach()
 
-	// explorations[i] caches the per-atom gap exploration of the current
-	// probe point.
-	explorations := make([]*gapNode, len(p.Atoms))
+	sc := scratchPool.Get().(*msScratch)
+	defer scratchPool.Put(sc)
+	sc.prepare(p, n)
+
 	for t := tree.GetProbePoint(); t != nil; t = tree.GetProbePoint() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		output := true
 		for i := range p.Atoms {
-			explorations[i] = exploreAtom(&p.Atoms[i], t)
-			if !explorations[i].allHighMatch {
+			sc.expl[i] = exploreAtom(&p.Atoms[i], t, &sc.atoms[i])
+			if !sc.expl[i].allHighMatch {
 				output = false
 			}
 		}
@@ -64,9 +168,9 @@ func MinesweeperStreamContext(ctx context.Context, p *Problem, stats *certificat
 			if stats != nil {
 				stats.Outputs++
 			}
-			keep := emit(append([]int(nil), t...))
+			keep := emit(t)
 			// Rule the output tuple out: ⟨t1,…,t_{n-1},(t_n−1, t_n+1)⟩.
-			prefix := make(cds.Pattern, n-1)
+			prefix := sc.prefix[:n-1]
 			for j := 0; j < n-1; j++ {
 				prefix[j] = cds.Eq(t[j])
 			}
@@ -80,13 +184,9 @@ func MinesweeperStreamContext(ctx context.Context, p *Problem, stats *certificat
 		// Insert every discovered gap (Algorithm 2 lines 15–20).
 		covered := false
 		for i := range p.Atoms {
-			atom := &p.Atoms[i]
-			insertGaps(tree, atom, n, explorations[i], func(c cds.Constraint) {
-				if p.Debug && c.Covers(t) {
-					covered = true
-				}
-				tree.InsConstraint(c)
-			})
+			if insertGaps(tree, &p.Atoms[i], sc.expl[i], &sc.atoms[i], sc.prefix, p.Debug, t) {
+				covered = true
+			}
 		}
 		if p.Debug && !covered {
 			return fmt.Errorf("core: probe point %v not covered by any discovered gap — Minesweeper would not terminate", t)
@@ -121,7 +221,8 @@ func ruledOutInterval(v int) (lo, hi int) {
 // gapNode is the exploration tree of one atom around the current probe
 // point: node at depth p holds the FindGap result for the index prefix
 // reached by one of the {ℓ,h}^p vectors of Algorithm 2. When lo == hi the
-// ℓ- and h-branches coincide and are shared.
+// ℓ- and h-branches coincide and are shared. Nodes live in the per-atom
+// arena and are recycled every probe iteration.
 type gapNode struct {
 	lo, hi       int
 	loVal, hiVal int
@@ -130,79 +231,106 @@ type gapNode struct {
 	allHighMatch bool // all-h path below (and including) this level hits t exactly
 }
 
-// exploreAtom performs the {ℓ,h}^p FindGap sweep of Algorithm 2 lines
-// 4–10 for one atom around probe point t.
-func exploreAtom(a *Atom, t []int) *gapNode {
-	k := a.Tree.Arity()
-	idx := make([]int, 0, k)
-	var rec func(p int) *gapNode
-	rec = func(p int) *gapNode {
-		target := t[a.Positions[p]]
-		lo, hi := a.Tree.FindGap(idx, target)
-		nd := &gapNode{lo: lo, hi: hi}
-		nd.loVal = a.Tree.Value(append(idx, lo))
-		nd.hiVal = a.Tree.Value(append(idx, hi))
-		exact := lo == hi // target present at this level
-		if p == k-1 {
-			nd.allHighMatch = exact
-			return nd
-		}
-		if a.Tree.InRange(idx, lo) {
-			idx = append(idx, lo)
-			nd.loChild = rec(p + 1)
-			idx = idx[:len(idx)-1]
-		}
-		if exact {
-			nd.hiChild = nd.loChild
-		} else if a.Tree.InRange(idx, hi) {
-			idx = append(idx, hi)
-			nd.hiChild = rec(p + 1)
-			idx = idx[:len(idx)-1]
-		}
-		nd.allHighMatch = exact && nd.hiChild != nil && nd.hiChild.allHighMatch
-		return nd
-	}
-	return rec(0)
+// atomScratch is the reusable exploration state of one atom: the index
+// path of the current {ℓ,h} vector, the value path used when emitting
+// constraints, and the gap-node arena (rewound every probe point, so
+// one exploration allocates only when it outgrows every previous one).
+type atomScratch struct {
+	idx      []int
+	pathVals []int
+	arena    arena.Arena[gapNode]
 }
 
-// insertGaps walks the exploration tree and emits one constraint per node
-// (Algorithm 2 lines 15–20): the pattern fixes the values along the index
-// path at the atom's attribute positions, wildcards elsewhere, and the
-// interval is the discovered gap at the next attribute position.
-func insertGaps(tree *cds.Tree, a *Atom, n int, root *gapNode, ins func(cds.Constraint)) {
-	// pathVals[j] = value of the j-th index along the current path.
-	pathVals := make([]int, 0, a.Tree.Arity())
-	var walk func(nd *gapNode, p int)
-	walk = func(nd *gapNode, p int) {
-		if nd == nil {
-			return
-		}
-		if nd.loVal < nd.hiVal { // non-empty gap
-			prefixLen := a.Positions[p]
-			prefix := make(cds.Pattern, prefixLen)
-			for j := range prefix {
-				prefix[j] = cds.Star
-			}
-			for j := 0; j < p; j++ {
-				prefix[a.Positions[j]] = cds.Eq(pathVals[j])
-			}
-			ins(cds.Constraint{Prefix: prefix, Lo: nd.loVal, Hi: nd.hiVal})
-		}
-		if p == a.Tree.Arity()-1 {
-			return
-		}
-		if nd.loChild != nil && nd.loVal > ordered.NegInf {
-			pathVals = append(pathVals, nd.loVal)
-			walk(nd.loChild, p+1)
-			pathVals = pathVals[:len(pathVals)-1]
-		}
-		if nd.hiChild != nil && nd.hiChild != nd.loChild && nd.hiVal < ordered.PosInf {
-			pathVals = append(pathVals, nd.hiVal)
-			walk(nd.hiChild, p+1)
-			pathVals = pathVals[:len(pathVals)-1]
-		}
+// exploreAtom performs the {ℓ,h}^p FindGap sweep of Algorithm 2 lines
+// 4–10 for one atom around probe point t, into the atom's scratch.
+// The returned tree is valid until the atom's next exploration.
+func exploreAtom(a *Atom, t []int, sc *atomScratch) *gapNode {
+	sc.arena.Rewind()
+	sc.idx = sc.idx[:0]
+	return exploreRec(a, t, sc, 0)
+}
+
+func exploreRec(a *Atom, t []int, sc *atomScratch, p int) *gapNode {
+	k := a.Tree.Arity()
+	idx := sc.idx // current index prefix, length p; cap ≥ k, never moves
+	target := t[a.Positions[p]]
+	lo, hi := a.Tree.FindGap(idx, target)
+	nd := sc.arena.Alloc()
+	*nd = gapNode{} // arena slots are recycled, not zeroed
+	nd.lo, nd.hi = lo, hi
+	nd.loVal = a.Tree.Value(append(idx, lo))
+	nd.hiVal = a.Tree.Value(append(idx, hi))
+	exact := lo == hi // target present at this level
+	if p == k-1 {
+		nd.allHighMatch = exact
+		return nd
 	}
-	walk(root, 0)
+	if a.Tree.InRange(idx, lo) {
+		sc.idx = append(idx, lo)
+		nd.loChild = exploreRec(a, t, sc, p+1)
+		sc.idx = idx
+	}
+	if exact {
+		nd.hiChild = nd.loChild
+	} else if a.Tree.InRange(idx, hi) {
+		sc.idx = append(idx, hi)
+		nd.hiChild = exploreRec(a, t, sc, p+1)
+		sc.idx = idx
+	}
+	nd.allHighMatch = exact && nd.hiChild != nil && nd.hiChild.allHighMatch
+	return nd
+}
+
+// insertGaps walks the exploration tree and inserts one constraint per
+// node (Algorithm 2 lines 15–20): the pattern fixes the values along the
+// index path at the atom's attribute positions, wildcards elsewhere, and
+// the interval is the discovered gap at the next attribute position.
+// The prefix buffer is reused per constraint (the CDS interns what it
+// keeps). When debug is set it reports whether any inserted constraint
+// covers the probe point t — the termination invariant.
+func insertGaps(tree *cds.Tree, a *Atom, root *gapNode, sc *atomScratch, prefixBuf cds.Pattern, debug bool, t []int) bool {
+	sc.pathVals = sc.pathVals[:0]
+	return walkGaps(tree, a, root, 0, sc, prefixBuf, debug, t)
+}
+
+func walkGaps(tree *cds.Tree, a *Atom, nd *gapNode, p int, sc *atomScratch, prefixBuf cds.Pattern, debug bool, t []int) bool {
+	if nd == nil {
+		return false
+	}
+	covered := false
+	if nd.loVal < nd.hiVal { // non-empty gap
+		prefixLen := a.Positions[p]
+		prefix := prefixBuf[:prefixLen]
+		for j := range prefix {
+			prefix[j] = cds.Star
+		}
+		for j := 0; j < p; j++ {
+			prefix[a.Positions[j]] = cds.Eq(sc.pathVals[j])
+		}
+		c := cds.Constraint{Prefix: prefix, Lo: nd.loVal, Hi: nd.hiVal}
+		if debug && c.Covers(t) {
+			covered = true
+		}
+		tree.InsConstraint(c)
+	}
+	if p == a.Tree.Arity()-1 {
+		return covered
+	}
+	if nd.loChild != nil && nd.loVal > ordered.NegInf {
+		sc.pathVals = append(sc.pathVals, nd.loVal)
+		if walkGaps(tree, a, nd.loChild, p+1, sc, prefixBuf, debug, t) {
+			covered = true
+		}
+		sc.pathVals = sc.pathVals[:p]
+	}
+	if nd.hiChild != nil && nd.hiChild != nd.loChild && nd.hiVal < ordered.PosInf {
+		sc.pathVals = append(sc.pathVals, nd.hiVal)
+		if walkGaps(tree, a, nd.hiChild, p+1, sc, prefixBuf, debug, t) {
+			covered = true
+		}
+		sc.pathVals = sc.pathVals[:p]
+	}
+	return covered
 }
 
 // MinesweeperAll runs Minesweeper and collects the output tuples.

@@ -51,19 +51,36 @@ func distinctSorted(lists ...[]int) []int {
 	return out
 }
 
+// partsPool recycles the per-worker tuple buffers of the parallel
+// drivers: the [][]int headers are reused across runs (the tuples they
+// pointed at are handed to emit and owned by the receiver), so a served
+// workload's steady state does not re-grow a fresh buffer per worker
+// per run.
+var partsPool = sync.Pool{New: func() any { return new([][]int) }}
+
+func putParts(buf *[][]int) {
+	b := *buf
+	for i := range b {
+		b[i] = nil // don't pin emitted tuples
+	}
+	*buf = b[:0]
+	partsPool.Put(buf)
+}
+
 // MinesweeperParallelStream evaluates the problem with Minesweeper across
 // workers by partitioning the domain of the first GAO attribute into
 // contiguous ranges. Each worker receives SliceTop views of the atoms
-// containing that attribute and Clone views of the rest, so the cached
+// containing that attribute and detached views of the rest, so the cached
 // indexes are shared — nothing is re-permuted or re-sorted per worker —
 // and the sub-joins are independent with disjoint outputs.
 //
 // Tuples are emitted in GAO-lexicographic order: each worker buffers its
-// (lex-ordered) partition and the driver drains the buffers in range
-// order as workers complete. When emit returns false, outstanding
-// workers are cancelled and the call returns nil; when ctx is cancelled,
-// it returns ctx.Err(). Worker stats are summed into stats, with Outputs
-// corrected to the number of tuples actually emitted.
+// (lex-ordered) partition in a pooled buffer and the driver drains the
+// buffers in range order as workers complete. When emit returns false,
+// outstanding workers are cancelled and the call returns nil; when ctx
+// is cancelled, it returns ctx.Err(). Worker stats are summed into
+// stats, with Outputs corrected to the number of tuples actually
+// emitted.
 func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, stats *certificate.Stats, emit func([]int) bool) error {
 	if workers <= 1 {
 		return MinesweeperStreamContext(ctx, p, stats, emit)
@@ -83,13 +100,14 @@ func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, sta
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	parts := make([][][]int, len(ranges))
+	parts := make([]*[][]int, len(ranges))
 	statsParts := make([]certificate.Stats, len(ranges))
 	errs := make([]error, len(ranges))
 	done := make([]chan struct{}, len(ranges))
 	var wg sync.WaitGroup
 	for w := range ranges {
 		done[w] = make(chan struct{})
+		parts[w] = partsPool.Get().(*[][]int)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -102,17 +120,19 @@ func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, sta
 			rg := ranges[w]
 			sub := &Problem{GAO: p.GAO, Debug: p.Debug}
 			sub.Atoms = make([]Atom, len(p.Atoms))
+			views := make([]reltree.Tree, len(p.Atoms))
 			for i, a := range p.Atoms {
 				var tree *reltree.Tree
 				if len(a.Positions) > 0 && a.Positions[0] == 0 {
 					tree = a.Tree.SliceTop(rg.lo, rg.hi)
 				} else {
-					tree = a.Tree.Clone()
+					views[i] = a.Tree.View()
+					tree = &views[i]
 				}
 				sub.Atoms[i] = Atom{Name: a.Name, Tree: tree, Positions: a.Positions}
 			}
 			errs[w] = MinesweeperStreamContext(wctx, sub, &statsParts[w], func(t []int) bool {
-				parts[w] = append(parts[w], t)
+				*parts[w] = append(*parts[w], t)
 				return true
 			})
 		}(w)
@@ -126,7 +146,7 @@ drain:
 		if errs[w] != nil {
 			break
 		}
-		for _, t := range parts[w] {
+		for _, t := range *parts[w] {
 			emitted++
 			if !emit(t) {
 				stopped = true
@@ -144,6 +164,7 @@ drain:
 		if stats != nil {
 			stats.Add(&statsParts[w])
 		}
+		putParts(parts[w])
 	}
 	if stats != nil {
 		stats.Outputs += emitted - found

@@ -175,14 +175,17 @@ func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
 
 // Snapshot returns a per-run copy of the problem whose atom trees are
 // shallow clones of the originals. The clones share the immutable index
-// nodes, so a snapshot costs O(#atoms); each run attaches its own stats
+// nodes, so a snapshot costs O(#atoms) — three allocations total, the
+// per-atom views live in one block; each run attaches its own stats
 // receiver to its snapshot, which is what makes a cached problem safe for
 // concurrent executions.
 func (p *Problem) Snapshot() *Problem {
 	cp := &Problem{GAO: p.GAO, Debug: p.Debug}
 	cp.Atoms = make([]Atom, len(p.Atoms))
+	views := make([]reltree.Tree, len(p.Atoms))
 	for i, a := range p.Atoms {
-		cp.Atoms[i] = Atom{Name: a.Name, Tree: a.Tree.Clone(), Positions: a.Positions}
+		views[i] = a.Tree.View()
+		cp.Atoms[i] = Atom{Name: a.Name, Tree: &views[i], Positions: a.Positions}
 	}
 	return cp
 }

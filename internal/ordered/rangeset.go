@@ -62,15 +62,25 @@ func OpenToRange(l, r int) Range {
 
 // RangeSet maintains a set of disjoint, non-adjacent closed integer ranges,
 // implementing the paper's IntervalList (Appendix E.2, Proposition E.3) on
-// top of the AVL SortedList: Insert, Covers and Next all run in O(log n)
-// (Insert amortized, as merged ranges are consumed).
+// top of the hybrid SortedList: Insert, Covers and Next all run in O(log n)
+// (Insert amortized, as merged ranges are consumed). The SortedList is
+// embedded by value so a RangeSet — and anything that embeds one, like a
+// CDS node — is a single flat allocation; the zero value is an empty set
+// ready for use.
 type RangeSet struct {
-	list    *SortedList[int] // key = Lo, payload = Hi
-	inserts int              // total Insert calls, for accounting
+	list    SortedList[int] // key = Lo, payload = Hi
+	inserts int             // total Insert calls, for accounting
 }
 
 // NewRangeSet returns an empty RangeSet.
-func NewRangeSet() *RangeSet { return &RangeSet{list: NewSortedList[int]()} }
+func NewRangeSet() *RangeSet { return &RangeSet{} }
+
+// Reset empties the set, retaining the backing storage of the embedded
+// list so a refill does not allocate.
+func (s *RangeSet) Reset() {
+	s.list.Reset()
+	s.inserts = 0
+}
 
 // Len returns the number of maximal ranges currently stored.
 func (s *RangeSet) Len() int { return s.list.Len() }

@@ -1,8 +1,8 @@
 // Package ordered provides the ordered building blocks of the Minesweeper
-// join algorithm: an AVL-tree SortedList (Appendix E.1 of the paper), an
-// IntervalList of disjoint open intervals built on top of it (Appendix E.2),
-// and the dyadic interval tree used by the specialized triangle-query
-// constraint data structure (Appendix L.1).
+// join algorithm: a hybrid SortedList (Appendix E.1 of the paper, see
+// below), an IntervalList of disjoint open intervals built on top of it
+// (Appendix E.2), and the dyadic interval tree used by the specialized
+// triangle-query constraint data structure (Appendix L.1).
 //
 // All values are ints. The sentinels NegInf and PosInf stand for the paper's
 // -∞ and +∞; they are never stored inside a SortedList but may appear as
@@ -21,15 +21,35 @@ const (
 // IsFinite reports whether v is a finite domain value (not a sentinel).
 func IsFinite(v int) bool { return v > NegInf && v < PosInf }
 
-// SortedList stores a set of distinct int keys, each with a payload of type
-// V, in an AVL tree. It supports the operations of Appendix E.1:
-// Find, FindLub (least key ≥ v), Insert, Delete, and DeleteInterval
-// (delete every key strictly inside an open interval). All operations run
-// in O(log n) worst case except DeleteInterval, which is O((k+1) log n) for
-// k deleted keys and therefore O(log n) amortized against their insertions.
+// smallMax is the hybrid threshold: a SortedList holds up to this many
+// keys in a flat sorted array (binary search + memmove) and only
+// promotes to the AVL tree beyond it. CDS nodes overwhelmingly stay
+// tiny — most hold a handful of equality children or ruled-out
+// intervals — so the common case is two cache lines of ints with no
+// pointer chasing and no per-key allocation.
+const smallMax = 32
+
+// SortedList stores a set of distinct int keys, each with a payload of
+// type V, and supports the operations of Appendix E.1: Find, FindLub
+// (least key ≥ v), Insert, Delete, and DeleteInterval (delete every key
+// strictly inside an open interval). Up to smallMax keys live in a
+// sorted array; beyond that the list promotes itself to an AVL tree,
+// preserving the O(log n) worst case of the paper's analysis.
+// DeleteInterval is O((k+1) log n) for k deleted keys and therefore
+// O(log n) amortized against their insertions.
+//
+// AVL nodes removed by Delete/DeleteInterval are recycled on a
+// free-list, so the insert/delete churn that constraint memoization
+// puts on a hot node stops allocating once the list has reached its
+// high-water size.
+//
+// The zero value is an empty list ready for use.
 type SortedList[V any] struct {
+	keys []int // sorted; small mode iff root == nil
+	vals []V
 	root *avlNode[V]
 	size int
+	free *avlNode[V] // recycled nodes, linked through right
 }
 
 type avlNode[V any] struct {
@@ -44,6 +64,83 @@ func NewSortedList[V any]() *SortedList[V] { return &SortedList[V]{} }
 
 // Len returns the number of stored keys.
 func (s *SortedList[V]) Len() int { return s.size }
+
+// Reset empties the list, retaining its array capacity and moving every
+// live AVL node to the free-list, so refilling a reset list does not
+// allocate.
+func (s *SortedList[V]) Reset() {
+	if s.root != nil {
+		s.recycleTree(s.root)
+		s.root = nil
+	}
+	s.keys = s.keys[:0]
+	s.vals = s.vals[:0]
+	s.size = 0
+}
+
+func (s *SortedList[V]) recycleTree(n *avlNode[V]) {
+	if n == nil {
+		return
+	}
+	s.recycleTree(n.left)
+	s.recycleTree(n.right)
+	s.recycle(n)
+}
+
+// recycle pushes a detached node onto the free-list, clearing its
+// payload so recycled nodes don't pin garbage.
+func (s *SortedList[V]) recycle(n *avlNode[V]) {
+	var zero V
+	n.val = zero
+	n.left = nil
+	n.right = s.free
+	s.free = n
+}
+
+// newNode pops a recycled node or allocates a fresh one.
+func (s *SortedList[V]) newNode(key int, val V) *avlNode[V] {
+	n := s.free
+	if n == nil {
+		return &avlNode[V]{key: key, val: val, height: 1}
+	}
+	s.free = n.right
+	n.key, n.val, n.left, n.right, n.height = key, val, nil, nil, 1
+	return n
+}
+
+// search returns the index of the first key ≥ v in the small-mode array.
+func (s *SortedList[V]) search(v int) int {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.keys[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// promote converts the small-mode arrays into a perfectly balanced AVL
+// tree, leaving the arrays empty (capacity retained for a later Reset).
+func (s *SortedList[V]) promote() {
+	s.root = s.balanced(0, len(s.keys))
+	s.keys = s.keys[:0]
+	s.vals = s.vals[:0]
+}
+
+func (s *SortedList[V]) balanced(lo, hi int) *avlNode[V] {
+	if lo >= hi {
+		return nil
+	}
+	mid := int(uint(lo+hi) >> 1)
+	n := s.newNode(s.keys[mid], s.vals[mid])
+	n.left = s.balanced(lo, mid)
+	n.right = s.balanced(mid+1, hi)
+	update(n)
+	return n
+}
 
 func height[V any](n *avlNode[V]) int {
 	if n == nil {
@@ -100,24 +197,49 @@ func rebalance[V any](n *avlNode[V]) *avlNode[V] {
 // Insert stores val under key, replacing any existing payload.
 // It reports whether the key was newly inserted.
 func (s *SortedList[V]) Insert(key int, val V) bool {
+	if s.root == nil {
+		i := s.search(key)
+		if i < len(s.keys) && s.keys[i] == key {
+			s.vals[i] = val
+			return false
+		}
+		if len(s.keys) < smallMax {
+			if s.keys == nil {
+				// Skip the first append doublings: small lists are the
+				// common case, so land on a useful capacity immediately.
+				s.keys = make([]int, 0, 8)
+				s.vals = make([]V, 0, 8)
+			}
+			var zero V
+			s.keys = append(s.keys, 0)
+			s.vals = append(s.vals, zero)
+			copy(s.keys[i+1:], s.keys[i:])
+			copy(s.vals[i+1:], s.vals[i:])
+			s.keys[i] = key
+			s.vals[i] = val
+			s.size++
+			return true
+		}
+		s.promote()
+	}
 	var added bool
-	s.root, added = insertNode(s.root, key, val)
+	s.root, added = s.insertNode(s.root, key, val)
 	if added {
 		s.size++
 	}
 	return added
 }
 
-func insertNode[V any](n *avlNode[V], key int, val V) (*avlNode[V], bool) {
+func (s *SortedList[V]) insertNode(n *avlNode[V], key int, val V) (*avlNode[V], bool) {
 	if n == nil {
-		return &avlNode[V]{key: key, val: val, height: 1}, true
+		return s.newNode(key, val), true
 	}
 	var added bool
 	switch {
 	case key < n.key:
-		n.left, added = insertNode(n.left, key, val)
+		n.left, added = s.insertNode(n.left, key, val)
 	case key > n.key:
-		n.right, added = insertNode(n.right, key, val)
+		n.right, added = s.insertNode(n.right, key, val)
 	default:
 		n.val = val
 		return n, false
@@ -127,6 +249,14 @@ func insertNode[V any](n *avlNode[V], key int, val V) (*avlNode[V], bool) {
 
 // Find returns the payload stored under key and whether it exists.
 func (s *SortedList[V]) Find(key int) (V, bool) {
+	if s.root == nil {
+		i := s.search(key)
+		if i < len(s.keys) && s.keys[i] == key {
+			return s.vals[i], true
+		}
+		var zero V
+		return zero, false
+	}
 	n := s.root
 	for n != nil {
 		switch {
@@ -145,6 +275,14 @@ func (s *SortedList[V]) Find(key int) (V, bool) {
 // FindLub returns the smallest key ≥ v together with its payload.
 // ok is false when every stored key is < v.
 func (s *SortedList[V]) FindLub(v int) (key int, val V, ok bool) {
+	if s.root == nil {
+		i := s.search(v)
+		if i < len(s.keys) {
+			return s.keys[i], s.vals[i], true
+		}
+		var zero V
+		return 0, zero, false
+	}
 	n := s.root
 	var best *avlNode[V]
 	for n != nil {
@@ -165,6 +303,14 @@ func (s *SortedList[V]) FindLub(v int) (key int, val V, ok bool) {
 // FindGlb returns the largest key ≤ v together with its payload.
 // ok is false when every stored key is > v.
 func (s *SortedList[V]) FindGlb(v int) (key int, val V, ok bool) {
+	if s.root == nil {
+		i := s.search(v + 1) // first key > v (keys are < PosInf, no overflow)
+		if i > 0 {
+			return s.keys[i-1], s.vals[i-1], true
+		}
+		var zero V
+		return 0, zero, false
+	}
 	n := s.root
 	var best *avlNode[V]
 	for n != nil {
@@ -184,11 +330,14 @@ func (s *SortedList[V]) FindGlb(v int) (key int, val V, ok bool) {
 
 // Min returns the smallest stored key. ok is false on an empty list.
 func (s *SortedList[V]) Min() (key int, val V, ok bool) {
-	n := s.root
-	if n == nil {
-		var zero V
-		return 0, zero, false
+	if s.root == nil {
+		if len(s.keys) == 0 {
+			var zero V
+			return 0, zero, false
+		}
+		return s.keys[0], s.vals[0], true
 	}
+	n := s.root
 	for n.left != nil {
 		n = n.left
 	}
@@ -197,11 +346,15 @@ func (s *SortedList[V]) Min() (key int, val V, ok bool) {
 
 // Max returns the largest stored key. ok is false on an empty list.
 func (s *SortedList[V]) Max() (key int, val V, ok bool) {
-	n := s.root
-	if n == nil {
-		var zero V
-		return 0, zero, false
+	if s.root == nil {
+		if len(s.keys) == 0 {
+			var zero V
+			return 0, zero, false
+		}
+		i := len(s.keys) - 1
+		return s.keys[i], s.vals[i], true
 	}
+	n := s.root
 	for n.right != nil {
 		n = n.right
 	}
@@ -210,39 +363,63 @@ func (s *SortedList[V]) Max() (key int, val V, ok bool) {
 
 // Delete removes key and reports whether it was present.
 func (s *SortedList[V]) Delete(key int) bool {
+	if s.root == nil {
+		i := s.search(key)
+		if i >= len(s.keys) || s.keys[i] != key {
+			return false
+		}
+		s.deleteAt(i)
+		return true
+	}
 	var removed bool
-	s.root, removed = deleteNode(s.root, key)
+	s.root, removed = s.deleteNode(s.root, key)
 	if removed {
 		s.size--
 	}
 	return removed
 }
 
-func deleteNode[V any](n *avlNode[V], key int) (*avlNode[V], bool) {
+func (s *SortedList[V]) deleteAt(i int) {
+	var zero V
+	copy(s.keys[i:], s.keys[i+1:])
+	copy(s.vals[i:], s.vals[i+1:])
+	last := len(s.keys) - 1
+	s.vals[last] = zero
+	s.keys = s.keys[:last]
+	s.vals = s.vals[:last]
+	s.size--
+}
+
+func (s *SortedList[V]) deleteNode(n *avlNode[V], key int) (*avlNode[V], bool) {
 	if n == nil {
 		return nil, false
 	}
 	var removed bool
 	switch {
 	case key < n.key:
-		n.left, removed = deleteNode(n.left, key)
+		n.left, removed = s.deleteNode(n.left, key)
 	case key > n.key:
-		n.right, removed = deleteNode(n.right, key)
+		n.right, removed = s.deleteNode(n.right, key)
 	default:
-		removed = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			s.recycle(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			s.recycle(n)
+			return l, true
 		}
-		// Replace with in-order successor.
+		// Replace with in-order successor; the successor's node is the
+		// one physically unlinked (and recycled) by the nested delete.
 		succ := n.right
 		for succ.left != nil {
 			succ = succ.left
 		}
 		n.key, n.val = succ.key, succ.val
-		n.right, _ = deleteNode(n.right, succ.key)
+		n.right, _ = s.deleteNode(n.right, succ.key)
+		removed = true
 	}
 	return rebalance(n), removed
 }
@@ -250,25 +427,72 @@ func deleteNode[V any](n *avlNode[V], key int) (*avlNode[V], bool) {
 // DeleteInterval removes every key strictly inside the open interval (l, r)
 // and returns the removed keys in ascending order. Either endpoint may be a
 // sentinel. Cost is O((k+1) log n) for k removed keys, so O(log n) amortized
-// against the insertions that created them (Proposition E.2).
+// against the insertions that created them (Proposition E.2). Callers that
+// only need the count should use DeleteIntervalCount, which does not
+// allocate.
 func (s *SortedList[V]) DeleteInterval(l, r int) []int {
 	var removed []int
+	s.deleteInterval(l, r, func(key int) { removed = append(removed, key) })
+	return removed
+}
+
+// DeleteIntervalCount is DeleteInterval without materializing the
+// removed keys: it returns how many were deleted.
+func (s *SortedList[V]) DeleteIntervalCount(l, r int) int {
+	n := 0
+	s.deleteInterval(l, r, func(int) { n++ })
+	return n
+}
+
+func (s *SortedList[V]) deleteInterval(l, r int, visit func(key int)) {
+	if s.root == nil {
+		// Small mode: one contiguous span [i, j) of the array.
+		i := s.search(l + 1)
+		if l == NegInf {
+			i = 0
+		}
+		j := i
+		for j < len(s.keys) && s.keys[j] < r {
+			visit(s.keys[j])
+			j++
+		}
+		if j > i {
+			var zero V
+			copy(s.keys[i:], s.keys[j:])
+			copy(s.vals[i:], s.vals[j:])
+			for k := len(s.keys) - (j - i); k < len(s.vals); k++ {
+				s.vals[k] = zero
+			}
+			s.keys = s.keys[:len(s.keys)-(j-i)]
+			s.vals = s.vals[:len(s.vals)-(j-i)]
+			s.size -= j - i
+		}
+		return
+	}
 	for {
 		key, _, ok := s.FindLub(l + 1)
 		if l == NegInf {
 			key, _, ok = s.Min()
 		}
 		if !ok || key >= r {
-			return removed
+			return
 		}
 		s.Delete(key)
-		removed = append(removed, key)
+		visit(key)
 	}
 }
 
 // Ascend calls fn on every (key, payload) pair in ascending key order until
 // fn returns false.
 func (s *SortedList[V]) Ascend(fn func(key int, val V) bool) {
+	if s.root == nil {
+		for i, k := range s.keys {
+			if !fn(k, s.vals[i]) {
+				return
+			}
+		}
+		return
+	}
 	ascend(s.root, fn)
 }
 
@@ -288,6 +512,14 @@ func ascend[V any](n *avlNode[V], fn func(int, V) bool) bool {
 // AscendFrom calls fn on every pair with key ≥ from, ascending, until fn
 // returns false.
 func (s *SortedList[V]) AscendFrom(from int, fn func(key int, val V) bool) {
+	if s.root == nil {
+		for i := s.search(from); i < len(s.keys); i++ {
+			if !fn(s.keys[i], s.vals[i]) {
+				return
+			}
+		}
+		return
+	}
 	ascendFrom(s.root, from, fn)
 }
 

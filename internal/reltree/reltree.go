@@ -89,6 +89,29 @@ func New(name string, arity int, tuples [][]int) (*Tree, error) {
 	return t, nil
 }
 
+// NewFromValues builds the arity-1 search tree for a plain value list —
+// the shape the set-intersection solvers use — without wrapping every
+// element in a one-int tuple: three allocations total instead of one
+// per element. Duplicates collapse; the input slice is not retained.
+func NewFromValues(name string, values []int) (*Tree, error) {
+	vs := make([]int, len(values))
+	copy(vs, values)
+	sort.Ints(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if v < 0 || v >= ordered.PosInf {
+			return nil, fmt.Errorf("reltree: relation %q: value %d out of domain [0, PosInf)", name, v)
+		}
+		if i > 0 && v == vs[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	t := &Tree{name: name, arity: 1, size: len(out), root: &Node{Values: out}}
+	builds.Add(1)
+	return t, nil
+}
+
 func lexLess(a, b []int) bool {
 	for i := range a {
 		if a[i] != b[i] {
@@ -165,31 +188,50 @@ func (t *Tree) SetStats(s *certificate.Stats) { t.stats = s }
 // concurrent executions over a cached index can each attach their own
 // counters without racing. O(1).
 func (t *Tree) Clone() *Tree {
+	cp := t.View()
+	return &cp
+}
+
+// View is Clone by value: a detached copy sharing the immutable node
+// structure, with no stats receiver. Callers that clone many trees per
+// run (Problem.Snapshot, the parallel workers) store Views in one
+// block instead of paying one heap allocation per Clone.
+func (t *Tree) View() Tree {
 	cp := *t
 	cp.stats = nil
-	return &cp
+	return cp
+}
+
+// sliceView packs a sliced tree and its root node into one allocation;
+// SliceTop runs once per worker per atom per parallel execution, so the
+// saved allocation is on a served workload's steady-state path.
+type sliceView struct {
+	tree Tree
+	node Node
 }
 
 // SliceTop returns a view of the tree restricted to the tuples whose
 // first attribute lies in [lo, hi]. The view shares all nodes with the
 // receiver (nothing is re-sorted or rebuilt), which is how range-parallel
 // executions hand each worker its partition of a cached index. The view
-// carries no stats receiver. O(log fanout).
+// carries no stats receiver. O(log fanout), one allocation.
 func (t *Tree) SliceTop(lo, hi int) *Tree {
 	root := t.root
 	i := sort.SearchInts(root.Values, lo)
 	j := sort.SearchInts(root.Values, hi+1)
-	nr := &Node{Values: root.Values[i:j]}
+	v := &sliceView{}
+	v.node.Values = root.Values[i:j]
 	size := j - i // leaf level: one tuple per value
 	if root.Children != nil {
-		nr.Children = root.Children[i:j]
-		nr.Counts = root.Counts[i:j]
+		v.node.Children = root.Children[i:j]
+		v.node.Counts = root.Counts[i:j]
 		size = 0
-		for _, c := range nr.Counts {
+		for _, c := range v.node.Counts {
 			size += c
 		}
 	}
-	return &Tree{name: t.name, arity: t.arity, size: size, root: nr}
+	v.tree = Tree{name: t.name, arity: t.arity, size: size, root: &v.node}
+	return &v.tree
 }
 
 // node returns the node addressed by the index tuple x (all components

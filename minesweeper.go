@@ -541,12 +541,15 @@ func (q *Query) atomSpecs() []core.AtomSpec {
 }
 
 // Intersect computes the intersection of the given integer sets with the
-// specialized Minesweeper of Appendix H (Algorithm 8), adaptively
-// skipping over provably empty regions. The returned stats include the
-// FindGap count, the paper's certificate-size estimate.
+// specialized Minesweeper of Appendix H, picking the CDS strategy per
+// instance (Appendix H.2): the minimum-comparison merge when the sets
+// have comparable sizes, and the gap-skipping interval list (Algorithm
+// 8) once the size skew makes remembered gaps pay for themselves. The
+// returned stats include the FindGap count, the paper's
+// certificate-size estimate.
 func Intersect(sets ...[]int) ([]int, Stats, error) {
 	var s Stats
-	out, err := core.IntersectSets(sets, &s)
+	out, err := core.IntersectSetsAdaptive(sets, &s)
 	return out, s, err
 }
 

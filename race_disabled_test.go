@@ -1,0 +1,5 @@
+//go:build !race
+
+package minesweeper
+
+const raceEnabled = false
