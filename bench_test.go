@@ -185,6 +185,12 @@ func BenchmarkGAODependenceCAB(b *testing.B) {
 	benchsuite.GAODependence(b, []string{"C", "A", "B"})
 }
 
+// --- E10/E11: selection pushdown and streaming aggregation ---------------
+
+func BenchmarkSelectivePushdown(b *testing.B)   { benchsuite.SelectivePushdown(b) }
+func BenchmarkSelectivePostFilter(b *testing.B) { benchsuite.SelectivePostFilter(b) }
+func BenchmarkAggregateGroupCount(b *testing.B) { benchsuite.AggregateGroupCount(b) }
+
 // --- Substrate micro-benchmarks ------------------------------------------
 
 func BenchmarkCDSProbeInsertLoop(b *testing.B) { benchsuite.CDSProbeInsertLoop(b) }

@@ -29,6 +29,9 @@ func FullCertificate(q *Query, gao []string) (*Certificate, error) {
 	if len(gao) == 0 {
 		gao, _ = q.RecommendGAO()
 	}
+	// The certificate machinery works over the internal evaluation order,
+	// which leads with the hidden constant attributes (if any).
+	gao = q.extendGAO(gao)
 	p, err := core.NewProblem(gao, q.atomSpecs())
 	if err != nil {
 		return nil, err

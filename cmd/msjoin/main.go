@@ -13,11 +13,17 @@
 //	msjoin -engine minesweeper -stats r.rel s.rel t.rel
 //	msjoin -gao A,B,C r.rel s.rel
 //	msjoin -limit 10 -timeout 2s r.rel s.rel
+//	msjoin -select 'A, count(*)' -where 'B < 100' r.rel s.rel
 //
 // Results stream as the engine discovers them: -limit stops after k
-// tuples (the anytime behaviour of probe-driven evaluation) and
-// -timeout aborts the run at the deadline, printing whatever streamed
-// out before it.
+// tuples (the anytime behaviour of probe-driven evaluation; ≤ 0 means
+// no limit) and -timeout aborts the run at the deadline, printing
+// whatever streamed out before it.
+//
+// -select projects the output onto the listed variables (set semantics)
+// and/or computes grouped aggregates: count(*), count(distinct X),
+// sum(X), min(X), max(X). -where conjoins per-variable range filters
+// ("A < 10 and B >= 3"), pushed down into the engines' index walks.
 //
 // Lines starting with '#' and blank lines are ignored.
 package main
@@ -40,8 +46,10 @@ func main() {
 	gaoFlag := flag.String("gao", "", "comma-separated global attribute order (default: recommended)")
 	statsFlag := flag.Bool("stats", false, "print run statistics")
 	quiet := flag.Bool("quiet", false, "suppress tuple output (count only)")
-	limitFlag := flag.Int("limit", 0, "stop after this many output tuples (0 = no limit)")
+	limitFlag := flag.Int("limit", 0, "stop after this many output tuples (<= 0 = no limit)")
 	timeoutFlag := flag.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
+	selectFlag := flag.String("select", "", "projection/aggregate list, e.g. 'A, count(*), sum(B)'")
+	whereFlag := flag.String("where", "", "range filters, e.g. 'A < 10 and B >= 3'")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -73,6 +81,23 @@ func main() {
 	if *gaoFlag != "" {
 		opts.GAO = strings.Split(*gaoFlag, ",")
 	}
+	if *selectFlag != "" {
+		sel, aggs, err := minesweeper.ParseSelect(*selectFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Select = sel
+		opts.Aggregates = aggs
+	}
+	if *whereFlag != "" {
+		where, err := minesweeper.ParseWhere(*whereFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Where = where
+	}
 	pq, err := q.Prepare(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
@@ -84,7 +109,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
 		defer cancel()
 	}
-	fmt.Printf("-- vars: %s\n", strings.Join(pq.GAO(), " "))
+	fmt.Printf("-- vars: %s\n", strings.Join(pq.OutputVars(), " "))
 	w := bufio.NewWriter(os.Stdout)
 	count := 0
 	stats, err := pq.StreamContext(ctx, func(tup []int) bool {

@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"minesweeper"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -59,5 +62,49 @@ func TestLoadRelationJoinsEndToEnd(t *testing.T) {
 	}
 	if ra.Rel.Len() != 2 || sa.Rel.Len() != 2 {
 		t.Fatal("relations not loaded")
+	}
+}
+
+// TestShapingFlagsEndToEnd mirrors main's -select/-where wiring: loaded
+// relations, clause parsing, prepared execution.
+func TestShapingFlagsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rp := writeFile(t, dir, "r.rel", "R: A B\n1 2\n2 3\n4 3\n")
+	sp := writeFile(t, dir, "s.rel", "S: B C\n2 5\n3 7\n")
+	ra, err := loadRelation(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := loadRelation(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := minesweeper.NewQuery(ra, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, aggs, err := minesweeper.ParseSelect("B, count(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	where, err := minesweeper.ParseWhere("A < 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := q.Prepare(&minesweeper.Options{Select: sel, Aggregates: aggs, Where: where})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pq.OutputVars(); len(got) != 2 || got[1] != "count(*)" {
+		t.Fatalf("OutputVars = %v", got)
+	}
+	res, err := pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join (A,B,C): (1,2,5),(2,3,7),(4,3,7); A<4 drops the last. Groups:
+	// B=2 count 1, B=3 count 1.
+	if !reflect.DeepEqual(res.Tuples, [][]int{{2, 1}, {3, 1}}) {
+		t.Fatalf("rows = %v", res.Tuples)
 	}
 }

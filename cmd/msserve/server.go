@@ -45,10 +45,11 @@ type server struct {
 // variants stay bound across catalog mutations — PreparedQuery re-binds
 // itself on epoch changes — so registration is a one-time cost.
 type registeredQuery struct {
-	name string
-	expr string
-	opts minesweeper.Options
-	q    *minesweeper.Query
+	name    string
+	expr    string
+	opts    minesweeper.Options
+	q       *minesweeper.Query
+	outVars []string // output column names of the default variant
 
 	mu       sync.Mutex // guards prepared only
 	prepared map[string]*minesweeper.PreparedQuery
@@ -205,15 +206,24 @@ func (s *server) handleMutateRelation(w http.ResponseWriter, r *http.Request) {
 
 // --- queries ---------------------------------------------------------
 
-// querySpec is the JSON body of POST /queries and POST /query.
+// querySpec is the JSON body of POST /queries and POST /query. The
+// query expression itself may carry select/where clauses ("R(x, 7),
+// S(x, y) select x, count(*) where y < 100"); the optional Select and
+// Where fields take the same clause syntax and override the expression's
+// clauses when set.
 type querySpec struct {
 	Name    string   `json:"name,omitempty"`
 	Query   string   `json:"query"`
 	Engine  string   `json:"engine,omitempty"`
 	GAO     []string `json:"gao,omitempty"`
 	Workers int      `json:"workers,omitempty"`
+	// Select is a projection/aggregate list, e.g. "x, count(*), sum(y)".
+	Select string `json:"select,omitempty"`
+	// Where is a filter list, e.g. "x < 100 and y >= 3".
+	Where string `json:"where,omitempty"`
 	// Limit and Timeout apply to ad-hoc POST /query runs; registered
-	// queries take them per run as URL parameters.
+	// queries take them per run as URL parameters. A negative limit
+	// means unlimited, like limit 0.
 	Limit   int    `json:"limit,omitempty"`
 	Timeout string `json:"timeout,omitempty"`
 }
@@ -231,21 +241,39 @@ func (s *server) buildQuery(spec *querySpec) (*registeredQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := minesweeper.Options{Engine: eng, GAO: spec.GAO, Workers: spec.Workers}
+	if spec.Select != "" {
+		sel, aggs, err := minesweeper.ParseSelect(spec.Select)
+		if err != nil {
+			return nil, err
+		}
+		opts.Select = sel
+		opts.Aggregates = aggs
+	}
+	if spec.Where != "" {
+		where, err := minesweeper.ParseWhere(spec.Where)
+		if err != nil {
+			return nil, err
+		}
+		opts.Where = where
+	}
 	rq := &registeredQuery{
 		name: spec.Name,
 		expr: spec.Query,
 		q:    q,
-		opts: minesweeper.Options{Engine: eng, GAO: spec.GAO, Workers: spec.Workers},
+		opts: opts,
 	}
-	// Prepare the default variant eagerly so registration surfaces GAO
-	// and engine errors immediately.
+	// Prepare the default variant eagerly so registration surfaces GAO,
+	// clause and engine errors immediately.
 	resolved := eng
 	if resolved == minesweeper.EngineAuto {
 		resolved = minesweeper.EngineMinesweeper
 	}
-	if _, err := rq.variant(resolved, spec.Workers); err != nil {
+	pq, err := rq.variant(resolved, spec.Workers)
+	if err != nil {
 		return nil, err
 	}
+	rq.outVars = pq.OutputVars()
 	return rq, nil
 }
 
@@ -274,7 +302,7 @@ func (s *server) handleRegisterQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "query %q already registered", spec.Name)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": spec.Name, "vars": rq.q.Vars()})
+	writeJSON(w, http.StatusOK, map[string]any{"name": spec.Name, "vars": rq.outVars})
 }
 
 func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {
@@ -325,8 +353,11 @@ func parseRunParams(r *http.Request) (runParams, error) {
 	q := r.URL.Query()
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
+		if err != nil {
 			return p, fmt.Errorf("bad limit %q", v)
+		}
+		if n < 0 {
+			n = 0 // negative means unlimited, like the library's ExecuteLimit
 		}
 		p.limit = n
 	}
@@ -377,6 +408,9 @@ func (s *server) handleAdhocQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	params := runParams{limit: spec.Limit, workers: -1}
+	if params.limit < 0 {
+		params.limit = 0 // negative means unlimited
+	}
 	if spec.Timeout != "" {
 		d, err := time.ParseDuration(spec.Timeout)
 		if err != nil || d < 0 {
@@ -443,7 +477,10 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 			flusher.Flush()
 		}
 	}
-	enc.Encode(map[string]any{"vars": pq.GAO(), "engine": pq.Engine().String(), "gao": pq.GAO()})
+	// "vars" is the column order of the tuple lines (projection or
+	// first-appearance order); "gao" is the evaluation order the stream
+	// is sorted by. They are distinct invariants — see Result.Vars/GAO.
+	enc.Encode(map[string]any{"vars": pq.OutputVars(), "engine": pq.Engine().String(), "gao": pq.GAO()})
 	flush()
 
 	// Tuples are encoded by hand into one per-stream scratch buffer —

@@ -302,3 +302,70 @@ func TestRunStreamsInOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryShapingOverHTTP covers the select/where/constant surface:
+// textual clauses in the query expression, the spec-level select/where
+// fields, the vars-vs-gao header invariant, and negative limits.
+func TestQueryShapingOverHTTP(t *testing.T) {
+	s := newTestServer(t)
+
+	// Constants + clauses inside the query expression. R ⋈ S joins to
+	// (A,B,C) ∈ {(1,2,5),(2,3,7),(2,3,9)}; B = 3 keeps the last two.
+	rec := do(t, s, "POST", "/query", `{"query":"R(A, 3), S(3, C)"}`)
+	wantStatus(t, rec, http.StatusOK)
+	run := parseRun(t, rec.Body)
+	if len(run.tuples) != 2 {
+		t.Fatalf("constant query tuples = %v", run.tuples)
+	}
+	vars, _ := run.header["vars"].([]any)
+	if !reflect.DeepEqual(vars, []any{"A", "C"}) {
+		t.Fatalf("constant query vars = %v", vars)
+	}
+
+	// Aggregates through the expression text.
+	rec = do(t, s, "POST", "/query", `{"query":"R(A,B), S(B,C) select B, count(*)"}`)
+	wantStatus(t, rec, http.StatusOK)
+	run = parseRun(t, rec.Body)
+	if !reflect.DeepEqual(run.tuples, [][]int{{2, 1}, {3, 2}}) {
+		t.Fatalf("aggregate rows = %v", run.tuples)
+	}
+
+	// Spec-level select/where fields.
+	rec = do(t, s, "POST", "/query", `{"query":"R(A,B), S(B,C)","select":"C","where":"C >= 7"}`)
+	wantStatus(t, rec, http.StatusOK)
+	run = parseRun(t, rec.Body)
+	if !reflect.DeepEqual(run.tuples, [][]int{{7}, {9}}) {
+		t.Fatalf("select/where rows = %v", run.tuples)
+	}
+
+	// The header carries both column order and evaluation order.
+	rec = do(t, s, "GET", "/queries/rs/run", "")
+	run = parseRun(t, rec.Body)
+	if _, ok := run.header["gao"].([]any); !ok {
+		t.Fatalf("header missing gao: %v", run.header)
+	}
+	if _, ok := run.header["vars"].([]any); !ok {
+		t.Fatalf("header missing vars: %v", run.header)
+	}
+
+	// Negative limit means unlimited.
+	rec = do(t, s, "GET", "/queries/rs/run?limit=-1", "")
+	wantStatus(t, rec, http.StatusOK)
+	run = parseRun(t, rec.Body)
+	if len(run.tuples) != 3 || run.footer["limited"] != false {
+		t.Fatalf("limit=-1: %d tuples, footer %v", len(run.tuples), run.footer)
+	}
+
+	// Bad clauses are 400s.
+	wantStatus(t, do(t, s, "POST", "/query", `{"query":"R(A,B)","where":"Z < 1"}`), http.StatusBadRequest)
+	wantStatus(t, do(t, s, "POST", "/query", `{"query":"R(A,B)","select":"sum(*)"}`), http.StatusBadRequest)
+
+	// Registration echoes the output vars of a shaped query.
+	rec = do(t, s, "POST", "/queries", `{"name":"counts","query":"R(A,B) select A, count(*)"}`)
+	wantStatus(t, rec, http.StatusOK)
+	var reg map[string]any
+	json.Unmarshal(rec.Body.Bytes(), &reg)
+	if !reflect.DeepEqual(reg["vars"], []any{"A", "count(*)"}) {
+		t.Fatalf("registration vars = %v", reg)
+	}
+}

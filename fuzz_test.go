@@ -18,6 +18,17 @@ func FuzzParseQuery(f *testing.F) {
 		"R (A , B)   S(B,C)",
 		strings.Repeat("R(A,B),", 50),
 		"Unknown(X)",
+		// Extended grammar: constants, select/where clauses, aggregates.
+		"R(A, 2), S(2, C)",
+		"R(A, 99999999999999999999)",
+		"R(A,B) select A, count(*), sum(B) where A < 10 and B >= 3",
+		"R(A,B) select count(distinct B)",
+		"R(A,B) where A = 2, B <= 3 select B",
+		"R(A,B) select sum(*)",
+		"R(A,B) where A ! 3",
+		"R(A,B) select",
+		"R(A,B) where A < -5",
+		"R(A,B) select min(A), max(B)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

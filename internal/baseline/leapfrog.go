@@ -160,6 +160,17 @@ func LeapfrogStream(ctx context.Context, p *core.Problem, stats *certificate.Sta
 				iters[ai].up()
 			}
 		}()
+		bound := core.FullBound()
+		if p.Bounds != nil {
+			bound = p.Bounds[level]
+			if bound.Lo > 0 {
+				// Pushed-down selection: leap every iterator straight to
+				// the lower bound before intersecting.
+				for _, ai := range parts {
+					iters[ai].seek(bound.Lo)
+				}
+			}
+		}
 		// Leapfrog intersection.
 		for {
 			// max of current keys; if any iterator is exhausted, done.
@@ -173,7 +184,7 @@ func LeapfrogStream(ctx context.Context, p *core.Problem, stats *certificate.Sta
 					maxKey = k
 				}
 			}
-			if anyEnd {
+			if anyEnd || maxKey > bound.Hi {
 				return nil
 			}
 			agree := true

@@ -92,6 +92,9 @@ func NPRRStream(ctx context.Context, p *core.Problem, stats *certificate.Stats, 
 		// the streaming contract promises lexicographic emission.
 		cands := make([]int, 0, len(cursor[minIdx].children))
 		for v := range cursor[minIdx].children {
+			if p.Bounds != nil && !p.Bounds[level].Contains(v) {
+				continue // pushed-down selection: candidate outside the bound
+			}
 			cands = append(cands, v)
 		}
 		sort.Ints(cands)

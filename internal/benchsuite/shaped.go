@@ -1,0 +1,116 @@
+package benchsuite
+
+import (
+	"context"
+	"testing"
+
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/engine"
+)
+
+// selectiveN is the per-relation size of the E10/E11 workloads.
+const selectiveN = 10000
+
+// selectiveProblem builds R(c, x) ⋈ S(x, y) with c = x mod 100: pinning
+// c to one value keeps 1% of R. When bounded, the constant is pushed
+// down as Problem.Bounds — the path the public API's R(x, 7) takes.
+func selectiveProblem(bounded bool) *core.Problem {
+	var rt, st [][]int
+	for i := 0; i < selectiveN; i++ {
+		rt = append(rt, []int{i % 100, i})
+		st = append(st, []int{i, (i * 7) % 1000})
+	}
+	gao := []string{"c", "x", "y"}
+	p, err := core.NewProblem(gao, []core.AtomSpec{
+		{Name: "R", Attrs: []string{"c", "x"}, Tuples: rt},
+		{Name: "S", Attrs: []string{"x", "y"}, Tuples: st},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if bounded {
+		p.Bounds = []core.Bound{{Lo: 7, Hi: 7}, core.FullBound(), core.FullBound()}
+	}
+	return p
+}
+
+// SelectivePushdown (E10) measures the constant-selective join with the
+// bound seeded into the CDS: cost should track the 1% selectivity, not
+// the full join.
+func SelectivePushdown(b *testing.B) {
+	p := selectiveProblem(true)
+	var stats certificate.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	outputs := 0
+	for i := 0; i < b.N; i++ {
+		outputs = 0
+		err := core.MinesweeperStreamContext(context.Background(), p.Snapshot(), &stats, func([]int) bool {
+			outputs++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if outputs != selectiveN/100 {
+			b.Fatalf("outputs = %d, want %d", outputs, selectiveN/100)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+// SelectivePostFilter (E10) is the baseline the pushdown is measured
+// against: the same query evaluated as a full join with the constant
+// checked per emitted tuple.
+func SelectivePostFilter(b *testing.B) {
+	p := selectiveProblem(false)
+	var stats certificate.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	outputs := 0
+	for i := 0; i < b.N; i++ {
+		outputs = 0
+		err := core.MinesweeperStreamContext(context.Background(), p.Snapshot(), &stats, func(t []int) bool {
+			if t[0] == 7 {
+				outputs++
+			}
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if outputs != selectiveN/100 {
+			b.Fatalf("outputs = %d, want %d", outputs, selectiveN/100)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+// AggregateGroupCount (E11) measures the streaming aggregation sink:
+// count(*) grouped by c over the full R ⋈ S join, through the shared
+// emit adapter, materializing only the 100 group states.
+func AggregateGroupCount(b *testing.B) {
+	p := selectiveProblem(false)
+	sh := &engine.Shape{
+		Cols:       []int{0},
+		Aggregates: []engine.Aggregate{{Op: engine.AggCount, Col: -1}},
+	}
+	var stats certificate.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		err := engine.RunShaped(context.Background(), core.MinesweeperStreamContext, p.Snapshot(), sh, &stats, func([]int) bool {
+			rows++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != 100 {
+			b.Fatalf("groups = %d, want 100", rows)
+		}
+	}
+	report(b, &stats, b.N)
+}

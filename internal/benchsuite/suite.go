@@ -1,6 +1,7 @@
 // Package benchsuite defines the repo's tracked benchmark suite: one
-// entry per experiment of DESIGN.md's index (E1–E9) plus the CDS / hot
-// path micro-benchmarks, each runnable both as a conventional testing.B
+// entry per experiment of DESIGN.md's index (E1–E9), the selection
+// pushdown and streaming aggregation workloads (E10/E11), and the CDS /
+// hot path micro-benchmarks, each runnable both as a conventional testing.B
 // benchmark (bench_test.go delegates here) and programmatically via
 // testing.Benchmark for the machine-readable BENCH_<n>.json trajectory
 // that `msbench -json` emits.
@@ -48,6 +49,9 @@ func Suite() []Bench {
 		{"Memoization", "E8", Memoization},
 		{"GAODependenceABC", "E9", func(b *testing.B) { GAODependence(b, []string{"A", "B", "C"}) }},
 		{"GAODependenceCAB", "E9", func(b *testing.B) { GAODependence(b, []string{"C", "A", "B"}) }},
+		{"SelectivePushdown/sel=1%", "E10", SelectivePushdown},
+		{"SelectivePostFilter", "E10", SelectivePostFilter},
+		{"AggregateGroupCount", "E11", AggregateGroupCount},
 		{"CDSProbeInsertLoop", "micro", CDSProbeInsertLoop},
 		{"CDSInsConstraint", "micro", CDSInsConstraint},
 		{"RangeSetInsert", "micro", RangeSetInsert},

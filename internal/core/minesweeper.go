@@ -152,6 +152,7 @@ func minesweeperShared(ctx context.Context, p *Problem, stats *certificate.Stats
 	sc := scratchPool.Get().(*msScratch)
 	defer scratchPool.Put(sc)
 	sc.prepare(p, n)
+	seedBounds(tree, p.Bounds, sc.prefix)
 
 	for t := tree.GetProbePoint(); t != nil; t = tree.GetProbePoint() {
 		if err := ctx.Err(); err != nil {
@@ -193,6 +194,35 @@ func minesweeperShared(ctx context.Context, p *Problem, stats *certificate.Stats
 		}
 	}
 	return nil
+}
+
+// seedBounds pushes per-position value bounds into the CDS before the
+// first probe: for a position restricted to [Lo, Hi], the open intervals
+// (−∞, Lo) and (Hi, +∞) under the all-wildcard prefix rule out every
+// disallowed value, so probe points — and therefore all index
+// exploration work — never leave the selected region. This is what
+// makes a constant-selective query cost work proportional to its
+// selectivity instead of the full join. prefixBuf is scratch of length
+// ≥ len(bounds)-1 (InsConstraint never retains its input).
+func seedBounds(tree *cds.Tree, bounds []Bound, prefixBuf cds.Pattern) {
+	if bounds == nil {
+		return
+	}
+	for i, b := range bounds {
+		if b.Full() {
+			continue
+		}
+		prefix := prefixBuf[:i]
+		for j := range prefix {
+			prefix[j] = cds.Star
+		}
+		if b.Lo > 0 {
+			tree.InsConstraint(cds.Constraint{Prefix: prefix, Lo: ordered.NegInf, Hi: b.Lo})
+		}
+		if b.Hi < ordered.PosInf-1 {
+			tree.InsConstraint(cds.Constraint{Prefix: prefix, Lo: b.Hi, Hi: ordered.PosInf})
+		}
+	}
 }
 
 // ruledOutInterval returns the open interval (lo, hi) that rules out

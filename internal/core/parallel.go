@@ -68,9 +68,10 @@ func putParts(buf *[][]int) {
 }
 
 // MinesweeperParallelStream evaluates the problem with Minesweeper across
-// workers by partitioning the domain of the first GAO attribute into
-// contiguous ranges. Each worker receives SliceTop views of the atoms
-// containing that attribute and detached views of the rest, so the cached
+// workers by partitioning the domain of the first non-constant GAO
+// attribute (the first one whose bound, if any, is not a single point)
+// into contiguous ranges. Each worker receives SliceTop views of the
+// atoms leading with that attribute and detached views of the rest, so the cached
 // indexes are shared — nothing is re-permuted or re-sorted per worker —
 // and the sub-joins are independent with disjoint outputs.
 //
@@ -85,16 +86,44 @@ func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, sta
 	if workers <= 1 {
 		return MinesweeperStreamContext(ctx, p, stats, emit)
 	}
+	// Partition on the first GAO position whose bound is not pinned to a
+	// single value: leading point bounds (pushed-down constants) leave
+	// at most one distinct value, which would collapse every worker into
+	// one. All positions before pp are single-valued, so draining the
+	// workers in pp-range order still yields GAO-lex emission.
+	pp := 0
+	if p.Bounds != nil {
+		for pp < len(p.GAO)-1 && p.Bounds[pp].Lo == p.Bounds[pp].Hi {
+			pp++
+		}
+	}
 	var lists [][]int
 	for i := range p.Atoms {
 		a := &p.Atoms[i]
-		if len(a.Positions) > 0 && a.Positions[0] == 0 {
+		if len(a.Positions) > 0 && a.Positions[0] == pp {
 			lists = append(lists, a.Tree.Root().Values)
 		}
 	}
+	if pp > 0 && len(lists) == 0 {
+		// Every atom covering position pp leads with an earlier constant
+		// column, so there is no tree root to slice: run sequentially.
+		return MinesweeperStreamContext(ctx, p, stats, emit)
+	}
 	distinct := distinctSorted(lists...)
+	if p.Bounds != nil && !p.Bounds[pp].Full() {
+		// Values the partition-position bound rules out can never appear
+		// in an output tuple; dropping them keeps every worker inside
+		// the selected region.
+		kept := distinct[:0]
+		for _, v := range distinct {
+			if p.Bounds[pp].Contains(v) {
+				kept = append(kept, v)
+			}
+		}
+		distinct = kept
+	}
 	if len(distinct) == 0 {
-		return nil // every atom on the first attribute is empty
+		return nil // every atom on the partition attribute is empty
 	}
 	ranges := splitRanges(distinct, workers)
 
@@ -118,12 +147,12 @@ func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, sta
 				}
 			}()
 			rg := ranges[w]
-			sub := &Problem{GAO: p.GAO, Debug: p.Debug}
+			sub := &Problem{GAO: p.GAO, Bounds: p.Bounds, Debug: p.Debug}
 			sub.Atoms = make([]Atom, len(p.Atoms))
 			views := make([]reltree.Tree, len(p.Atoms))
 			for i, a := range p.Atoms {
 				var tree *reltree.Tree
-				if len(a.Positions) > 0 && a.Positions[0] == 0 {
+				if len(a.Positions) > 0 && a.Positions[0] == pp {
 					tree = a.Tree.SliceTop(rg.lo, rg.hi)
 				} else {
 					views[i] = a.Tree.View()

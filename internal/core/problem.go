@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"minesweeper/internal/certificate"
+	"minesweeper/internal/ordered"
 	"minesweeper/internal/reltree"
 )
 
@@ -33,11 +34,57 @@ type Atom struct {
 	Positions []int
 }
 
+// Bound is an inclusive allowed value range for one GAO position — the
+// pushed-down form of a constant selection ([v, v]) or a range filter.
+// The zero Bound is NOT full; use FullBound.
+type Bound struct{ Lo, Hi int }
+
+// FullBound allows the whole tuple domain [0, ordered.PosInf).
+func FullBound() Bound { return Bound{0, ordered.PosInf - 1} }
+
+// Full reports whether the bound allows the whole domain.
+func (b Bound) Full() bool { return b.Lo <= 0 && b.Hi >= ordered.PosInf-1 }
+
+// Empty reports whether the bound allows no value at all.
+func (b Bound) Empty() bool { return b.Lo > b.Hi }
+
+// Contains reports whether v satisfies the bound.
+func (b Bound) Contains(v int) bool { return v >= b.Lo && v <= b.Hi }
+
+// Intersect returns the conjunction of two bounds.
+func (b Bound) Intersect(o Bound) Bound {
+	if o.Lo > b.Lo {
+		b.Lo = o.Lo
+	}
+	if o.Hi < b.Hi {
+		b.Hi = o.Hi
+	}
+	return b
+}
+
+// FullBounds reports whether every bound in the slice is full (a nil
+// slice is trivially full).
+func FullBounds(bounds []Bound) bool {
+	for _, b := range bounds {
+		if !b.Full() {
+			return false
+		}
+	}
+	return true
+}
+
 // Problem is a join query bound to a global attribute order, with all
 // relations indexed consistently with the GAO (Section 2.1).
 type Problem struct {
 	GAO   []string
 	Atoms []Atom
+	// Bounds, when non-nil, restricts each GAO position to an inclusive
+	// value range (len(Bounds) == len(GAO)). Every engine honors the
+	// bounds: Minesweeper seeds them into the CDS as pre-ruled-out gaps
+	// before the first probe, the backtracking engines clamp their
+	// per-level searches, and the materializing engines consume
+	// bounds-filtered Specs. Out-of-bounds tuples are never emitted.
+	Bounds []Bound
 	// Debug enables the per-iteration soundness check that each non-output
 	// probe point is covered by a freshly inserted constraint (the
 	// termination invariant of Theorem 3.2's proof). O(2^n log W) per probe.
@@ -180,7 +227,7 @@ func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
 // receiver to its snapshot, which is what makes a cached problem safe for
 // concurrent executions.
 func (p *Problem) Snapshot() *Problem {
-	cp := &Problem{GAO: p.GAO, Debug: p.Debug}
+	cp := &Problem{GAO: p.GAO, Bounds: p.Bounds, Debug: p.Debug}
 	cp.Atoms = make([]Atom, len(p.Atoms))
 	views := make([]reltree.Tree, len(p.Atoms))
 	for i, a := range p.Atoms {
@@ -193,15 +240,39 @@ func (p *Problem) Snapshot() *Problem {
 // Specs reconstructs GAO-consistent atom specs from the built indexes
 // (attribute names looked up through the GAO, tuples materialized from
 // the trees). Engines that work on raw tuple lists rather than search
-// trees — Yannakakis, the pairwise hash plans — consume these.
+// trees — Yannakakis, the pairwise hash plans — consume these. When the
+// problem carries Bounds, tuples violating a bound on one of the atom's
+// columns are dropped here, so materializing engines evaluate the
+// selection-reduced inputs rather than post-filtering the join.
 func (p *Problem) Specs() []AtomSpec {
 	specs := make([]AtomSpec, len(p.Atoms))
 	for i, a := range p.Atoms {
 		attrs := make([]string, len(a.Positions))
+		bounded := false
 		for j, gp := range a.Positions {
 			attrs[j] = p.GAO[gp]
+			if p.Bounds != nil && !p.Bounds[gp].Full() {
+				bounded = true
+			}
 		}
-		specs[i] = AtomSpec{Name: a.Name, Attrs: attrs, Tuples: a.Tree.Tuples()}
+		tuples := a.Tree.Tuples()
+		if bounded {
+			kept := make([][]int, 0, len(tuples))
+			for _, tup := range tuples {
+				ok := true
+				for j, gp := range a.Positions {
+					if !p.Bounds[gp].Contains(tup[j]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, tup)
+				}
+			}
+			tuples = kept
+		}
+		specs[i] = AtomSpec{Name: a.Name, Attrs: attrs, Tuples: tuples}
 	}
 	return specs
 }

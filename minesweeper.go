@@ -287,21 +287,51 @@ func (r *Relation) Replace(tuples [][]int) error {
 	return nil
 }
 
-// Atom binds a relation's columns to query variables.
+// Atom binds a relation's columns to query variables. A Vars entry that
+// is a non-negative integer literal (e.g. "7" in R(x, 7)) is a constant
+// selection on that column rather than a variable: it is pushed down
+// into the index walk as a pre-ruled-out gap in the constraint store, so
+// the engines skip the unselected region instead of filtering after the
+// join. Constants never join across atoms and do not appear in
+// Query.Vars or the output.
 type Atom struct {
 	Rel  *Relation
 	Vars []string
 }
 
+// constName builds the internal variable name of a constant column.
+// Names start with '#', which no user identifier can, so they can never
+// collide with query variables.
+func constName(atom, col int) string { return fmt.Sprintf("#c%d_%d", atom, col) }
+
+// hiddenConst is one constant selection: the internal GAO attribute
+// standing in for the constant column, and the value it is pinned to.
+type hiddenConst struct {
+	name string
+	val  int
+}
+
 // Query is a natural join query: the join of its atoms on shared
-// variables.
+// variables, optionally shaped by a projection list, per-variable range
+// filters and aggregates (set by ParseQuery's select/where clauses, or
+// per execution through Options).
 type Query struct {
-	atoms []Atom
-	vars  []string
-	hg    *hypergraph.Hypergraph
+	atoms  []Atom
+	vars   []string
+	hidden []hiddenConst
+	hg     *hypergraph.Hypergraph
+
+	// Shaping clauses parsed from the query text (ParseQuery); nil when
+	// absent. Options fields, when set, take precedence at Prepare.
+	sel   []string
+	where []Filter
+	aggs  []Aggregate
 }
 
 // NewQuery validates the atoms and derives the query hypergraph.
+// Constant columns (integer-literal Vars entries) are rewritten to
+// hidden equality-bound attributes; every atom must keep at least one
+// real variable.
 func NewQuery(atoms ...Atom) (*Query, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("minesweeper: query needs at least one atom")
@@ -317,26 +347,114 @@ func NewQuery(atoms ...Atom) (*Query, error) {
 			return nil, fmt.Errorf("minesweeper: atom %d binds %d vars to %d-ary relation %q",
 				i, len(a.Vars), a.Rel.arity, a.Rel.name)
 		}
+		vars := append([]string(nil), a.Vars...)
+		var real []string
 		dup := map[string]bool{}
-		for _, v := range a.Vars {
+		for j, v := range vars {
+			if c, ok := parseConstant(v); ok {
+				if c < 0 || c >= ordered.PosInf {
+					return nil, fmt.Errorf("minesweeper: atom %d column %d: constant %q out of domain [0, %d)",
+						i, j, v, ordered.PosInf)
+				}
+				name := constName(i, j)
+				q.hidden = append(q.hidden, hiddenConst{name: name, val: c})
+				vars[j] = name
+				continue
+			}
+			if !validVarName(v) {
+				return nil, fmt.Errorf("minesweeper: atom %d column %d: %q is neither a variable nor a non-negative integer constant", i, j, v)
+			}
 			if dup[v] {
 				return nil, fmt.Errorf("minesweeper: atom %d repeats variable %q", i, v)
 			}
 			dup[v] = true
+			real = append(real, v)
 			if !seen[v] {
 				seen[v] = true
 				q.vars = append(q.vars, v)
 			}
 		}
-		edges[i] = a.Vars
-		q.atoms = append(q.atoms, Atom{Rel: a.Rel, Vars: append([]string(nil), a.Vars...)})
+		if len(real) == 0 {
+			return nil, fmt.Errorf("minesweeper: atom %d (%s) binds only constants; every atom needs at least one variable",
+				i, a.Rel.name)
+		}
+		// The hypergraph ranges over the real variables only: constants
+		// are selections, not join structure, so acyclicity and width
+		// are those of the residual query.
+		edges[i] = real
+		q.atoms = append(q.atoms, Atom{Rel: a.Rel, Vars: vars})
 	}
 	q.hg = hypergraph.New(edges)
 	return q, nil
 }
 
+// validVarName reports whether s is a legal variable name: an
+// identifier (letter or underscore, then letters, digits or
+// underscores). Names starting with a digit are constants; anything
+// else is rejected so constants and variables stay unambiguous.
+func validVarName(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+			continue
+		}
+		if !isIdentRune(r) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// parseConstant reports whether the Vars entry denotes an integer
+// constant (a non-empty all-digit string; identifiers cannot start with
+// a digit, so the forms are disjoint).
+func parseConstant(s string) (int, bool) {
+	if s == "" || s[0] < '0' || s[0] > '9' {
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
 // Vars returns all query variables in order of first appearance.
+// Constant columns are not variables and are excluded. This is the
+// column order of executed results and streamed tuples (unless a
+// projection narrows it); the evaluation order may differ — see
+// Result.GAO.
 func (q *Query) Vars() []string { return append([]string(nil), q.vars...) }
+
+// Select returns the query's parsed projection list (nil when the query
+// text had no select clause).
+func (q *Query) Select() []string { return append([]string(nil), q.sel...) }
+
+// Where returns the query's parsed range filters (nil when the query
+// text had no where clause).
+func (q *Query) Where() []Filter { return append([]Filter(nil), q.where...) }
+
+// Aggregates returns the query's parsed aggregate outputs (nil when the
+// query text had none).
+func (q *Query) Aggregates() []Aggregate { return append([]Aggregate(nil), q.aggs...) }
+
+// extendGAO prepends the hidden constant attributes to a GAO over the
+// real variables, yielding the internal evaluation order. Constants
+// lead: each contributes exactly one value, so the order over the real
+// variables is untouched, while the index walks restrict to the
+// selected region at their outermost levels — where it prunes most.
+func (q *Query) extendGAO(gao []string) []string {
+	if len(q.hidden) == 0 {
+		return gao
+	}
+	ext := make([]string, 0, len(q.hidden)+len(gao))
+	for _, h := range q.hidden {
+		ext = append(ext, h.name)
+	}
+	return append(ext, gao...)
+}
 
 // Relations returns the distinct relations the query binds, in order of
 // first appearance (self-joins contribute one entry). Long-lived
@@ -447,7 +565,8 @@ func (e Engine) String() string {
 }
 
 // Options configures Execute. The zero value (or nil) means: recommended
-// GAO, Minesweeper engine, sequential.
+// GAO, Minesweeper engine, sequential, full output (no projection,
+// filters or aggregates beyond those parsed into the query itself).
 type Options struct {
 	Engine Engine
 	// GAO fixes the global attribute order (a permutation of the query's
@@ -458,10 +577,35 @@ type Options struct {
 	Workers int
 	// Debug enables internal soundness checks (slower).
 	Debug bool
+	// Select projects the output onto the given variables, in order,
+	// under set semantics (dropped columns never produce duplicate
+	// rows). nil keeps every variable; with Aggregates set it is the
+	// group-by list, and an empty non-nil list aggregates the whole
+	// result as one group. When nil, the query's own parsed select
+	// clause (if any) applies.
+	Select []string
+	// Where conjoins per-variable range filters, pushed down into the
+	// engines' index walks (Minesweeper seeds them into the constraint
+	// store as pre-ruled-out gaps, so run cost tracks selectivity).
+	// When nil, the query's own parsed where clause (if any) applies.
+	Where []Filter
+	// Aggregates computes grouped aggregates (grouped by Select) instead
+	// of returning tuples. When nil, the query's own parsed aggregates
+	// (if any) apply.
+	Aggregates []Aggregate
 }
 
-// Result is a join result: Tuples over Vars (the GAO used), sorted
-// lexicographically, plus the run's cost counters.
+// Result is a join result.
+//
+// Invariants: Vars is the output column order — the projection list if
+// one applies, otherwise Query.Vars (first-appearance order), plus one
+// labelled column per aggregate. GAO is the evaluation order actually
+// used, which may be a different permutation: Tuples are emitted and
+// sorted GAO-lexicographically (aggregate rows sort by group key), so
+// rows are NOT generally sorted by their visible column order unless
+// Vars and GAO coincide. Stats.Outputs counts the raw join tuples the
+// engine discovered; under projection or aggregation this can exceed
+// len(Tuples).
 type Result struct {
 	Vars   []string
 	Tuples [][]int
@@ -496,7 +640,12 @@ func ExecuteContext(ctx context.Context, q *Query, opts *Options) (*Result, erro
 // them. Every engine honors the limit through the streaming executor;
 // for the materializing engines (Yannakakis, hash plan) it bounds the
 // returned tuples but not the evaluation work. The returned tuples are
-// the k lexicographically smallest, identical across engines.
+// the k GAO-lexicographically smallest, identical across engines.
+//
+// A negative limit means unlimited (equivalent to Execute); limit 0
+// returns an empty result without evaluating. The same convention holds
+// across PreparedQuery.ExecuteLimit*, msserve's limit parameter and
+// msjoin's -limit flag.
 func ExecuteLimit(q *Query, opts *Options, limit int) (*Result, error) {
 	return ExecuteLimitContext(context.Background(), q, opts, limit)
 }
@@ -513,9 +662,14 @@ func ExecuteLimitContext(ctx context.Context, q *Query, opts *Options, limit int
 }
 
 // ExecuteStream evaluates the query, calling yield once per output tuple
-// in GAO-lexicographic order as the engine discovers it. yield returns
-// false to stop the enumeration early (the call then returns nil error).
-// The returned Stats cover the work actually performed.
+// as the engine discovers it. Tuples arrive in GAO-lexicographic
+// discovery order, but their columns are presented in output order —
+// Query.Vars (first appearance) or the projection list — exactly like
+// Result.Tuples; use Prepare and PreparedQuery.GAO/OutputVars to
+// inspect both orders. yield returns false to stop the enumeration
+// early (the call then returns nil error). The returned Stats cover the
+// work actually performed. Aggregate queries yield their group rows
+// only after the evaluation completes.
 func ExecuteStream(q *Query, opts *Options, yield func([]int) bool) (Stats, error) {
 	return ExecuteStreamContext(context.Background(), q, opts, yield)
 }
@@ -532,6 +686,8 @@ func ExecuteStreamContext(ctx context.Context, q *Query, opts *Options, yield fu
 
 // atomSpecs renders the query's atoms as core specs with unique names
 // (used by the certificate machinery, which indexes outside the cache).
+// Attribute lists include the hidden constant attributes; pair with
+// extendGAO.
 func (q *Query) atomSpecs() []core.AtomSpec {
 	specs := make([]core.AtomSpec, len(q.atoms))
 	for i, a := range q.atoms {
@@ -547,9 +703,21 @@ func (q *Query) atomSpecs() []core.AtomSpec {
 // 8) once the size skew makes remembered gaps pay for themselves. The
 // returned stats include the FindGap count, the paper's
 // certificate-size estimate.
+//
+// At least one set is required: the intersection of zero sets is the
+// whole (unbounded) domain, which cannot be materialized, so
+// Intersect() — and Intersect(nil...) with an empty slice — returns an
+// error. A present-but-empty set is fine and yields an empty
+// intersection.
 func Intersect(sets ...[]int) ([]int, Stats, error) {
+	if len(sets) == 0 {
+		return nil, Stats{}, fmt.Errorf("minesweeper: Intersect needs at least one set (the empty intersection is the whole domain)")
+	}
 	var s Stats
 	out, err := core.IntersectSetsAdaptive(sets, &s)
+	if err != nil {
+		err = fmt.Errorf("minesweeper: %w", err)
+	}
 	return out, s, err
 }
 

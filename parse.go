@@ -2,6 +2,7 @@ package minesweeper
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -11,18 +12,34 @@ import (
 //	"R(A,B), S(B,C), T(A,C)"
 //	"R(A,B) ⋈ S(B,C)"
 //	"Edge(x,y) Edge(y,z)"
+//	"R(x, 7), S(x, y) select x, count(*) where y < 100"
 //
-// Atoms are RelationName(Var, …); they may be separated by commas, the ⋈
-// operator, or whitespace. Relation names are resolved through rels; the
-// same relation may appear in several atoms (self-joins). Variable and
+// Atoms are RelationName(Term, …); they may be separated by commas, the
+// ⋈ operator, or whitespace. A term is a variable or a non-negative
+// integer constant (a selection on that column, pushed down into the
+// index walk). Relation names are resolved through rels; the same
+// relation may appear in several atoms (self-joins). Variable and
 // relation names start with a letter or underscore and continue with
 // letters, digits or underscores.
+//
+// The atoms may be followed by optional clauses, in either order:
+//
+//   - "select" item, …: projects the output onto the listed variables
+//     (set semantics) and/or computes aggregates — count(*), count(x),
+//     count(distinct x), sum(x), min(x), max(x) — grouped by the listed
+//     variables (the whole result is one group when only aggregates are
+//     listed).
+//   - "where" cond [and/, cond …]: per-variable range filters "x op n"
+//     with op one of < <= > >= = ==, pushed down like constants.
+//
+// The clause keywords only act as keywords when not followed by "(", so
+// relations named "select", "where" or "and" stay usable.
 func ParseQuery(expr string, rels map[string]*Relation) (*Query, error) {
 	p := &queryParser{src: expr}
 	var atoms []Atom
 	for {
 		p.skipSeparators()
-		if p.eof() {
+		if p.eof() || p.hasKeyword("select") || p.hasKeyword("where") {
 			break
 		}
 		name, err := p.ident("relation name")
@@ -35,7 +52,7 @@ func ParseQuery(expr string, rels map[string]*Relation) (*Query, error) {
 		var vars []string
 		for {
 			p.skipSpace()
-			v, err := p.ident("variable")
+			v, err := p.term()
 			if err != nil {
 				return nil, err
 			}
@@ -59,7 +76,219 @@ func ParseQuery(expr string, rels map[string]*Relation) (*Query, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("minesweeper: parse: no atoms in %q", expr)
 	}
-	return NewQuery(atoms...)
+	var sel []string
+	var aggs []Aggregate
+	var where []Filter
+	sawSelect := false
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.hasKeyword("select"):
+			p.pos += len("select")
+			s, a, err := p.selectItems()
+			if err != nil {
+				return nil, err
+			}
+			sawSelect = true
+			sel = append(sel, s...)
+			aggs = append(aggs, a...)
+		case p.hasKeyword("where"):
+			p.pos += len("where")
+			f, err := p.whereConds()
+			if err != nil {
+				return nil, err
+			}
+			where = append(where, f...)
+		default:
+			return nil, fmt.Errorf("minesweeper: parse: unexpected input at offset %d in %q", p.pos, expr)
+		}
+	}
+	q, err := NewQuery(atoms...)
+	if err != nil {
+		return nil, err
+	}
+	if sawSelect && len(sel) == 0 && len(aggs) == 0 {
+		return nil, fmt.Errorf("minesweeper: parse: empty select clause in %q", expr)
+	}
+	if sawSelect && len(sel) > 0 {
+		q.sel = sel
+	}
+	q.aggs = aggs
+	q.where = where
+	// Validate the clauses eagerly so ParseQuery reports a bad select or
+	// where immediately rather than at first execution.
+	gao, _ := q.RecommendGAO()
+	if _, _, err := q.buildShape(gao, &Options{}); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// term parses one atom argument: a variable name or an integer constant.
+func (p *queryParser) term() (string, error) {
+	p.skipSpace()
+	if c := p.peek(); c >= '0' && c <= '9' {
+		return p.number()
+	}
+	return p.ident("variable or constant")
+}
+
+// number consumes a run of digits.
+func (p *queryParser) number() (string, error) {
+	start := p.pos
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("minesweeper: parse: expected number at offset %d in %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// aggFuncs maps select-item function names to aggregate ops.
+var aggFuncs = map[string]AggOp{
+	"count": AggCount,
+	"sum":   AggSum,
+	"min":   AggMin,
+	"max":   AggMax,
+}
+
+// selectItems parses the comma-separated items of a select clause:
+// variables and aggregate calls, in any mix.
+func (p *queryParser) selectItems() (sel []string, aggs []Aggregate, err error) {
+	for {
+		p.skipSpace()
+		name, err := p.ident("select item")
+		if err != nil {
+			return nil, nil, err
+		}
+		p.skipSpace()
+		if op, isAgg := aggFuncs[name]; isAgg && p.peek() == '(' {
+			p.pos++
+			p.skipSpace()
+			var agg Aggregate
+			if op == AggCount && p.peek() == '*' {
+				p.pos++
+				agg = Aggregate{Op: AggCount}
+			} else {
+				v, err := p.ident("aggregate variable")
+				if err != nil {
+					return nil, nil, err
+				}
+				p.skipSpace()
+				if op == AggCount && v == "distinct" && p.peek() != ')' {
+					v, err = p.ident("aggregate variable")
+					if err != nil {
+						return nil, nil, err
+					}
+					op = AggCountDistinct
+				}
+				agg = Aggregate{Op: op, Var: v}
+			}
+			if err := p.expect(')'); err != nil {
+				return nil, nil, err
+			}
+			aggs = append(aggs, agg)
+		} else {
+			sel = append(sel, name)
+		}
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		return sel, aggs, nil
+	}
+}
+
+// whereConds parses the conjuncts of a where clause: "var op value"
+// separated by commas or the "and" keyword.
+func (p *queryParser) whereConds() ([]Filter, error) {
+	var out []Filter
+	for {
+		p.skipSpace()
+		v, err := p.ident("filter variable")
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		op, err := p.compareOp()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		neg := false
+		if p.peek() == '-' {
+			neg = true
+			p.pos++
+		}
+		num, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		val, err := strconv.Atoi(num)
+		if err != nil {
+			return nil, fmt.Errorf("minesweeper: parse: bad filter value %q: %v", num, err)
+		}
+		if neg {
+			val = -val
+		}
+		out = append(out, Filter{Var: v, Op: op, Value: val})
+		p.skipSpace()
+		switch {
+		case p.peek() == ',':
+			p.pos++
+		case p.hasKeyword("and"):
+			p.pos += len("and")
+		default:
+			return out, nil
+		}
+	}
+}
+
+// compareOp consumes a comparison operator.
+func (p *queryParser) compareOp() (string, error) {
+	for _, op := range []string{"<=", ">=", "==", "<", ">", "="} {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			p.pos += len(op)
+			return op, nil
+		}
+	}
+	return "", fmt.Errorf("minesweeper: parse: expected comparison operator at offset %d in %q", p.pos, p.src)
+}
+
+// ParseSelect parses a standalone select list ("x, count(*), sum(y)"),
+// the msjoin -select / msserve "select" syntax. It returns the
+// projected variables and the aggregates, either possibly empty.
+func ParseSelect(list string) (sel []string, aggs []Aggregate, err error) {
+	p := &queryParser{src: list}
+	sel, aggs, err = p.selectItems()
+	if err != nil {
+		return nil, nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, nil, fmt.Errorf("minesweeper: parse: unexpected input at offset %d in %q", p.pos, list)
+	}
+	return sel, aggs, nil
+}
+
+// ParseWhere parses a standalone filter list ("x < 100 and y >= 3"),
+// the msjoin -where / msserve "where" syntax.
+func ParseWhere(list string) ([]Filter, error) {
+	p := &queryParser{src: list}
+	out, err := p.whereConds()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("minesweeper: parse: unexpected input at offset %d in %q", p.pos, list)
+	}
+	return out, nil
 }
 
 type queryParser struct {

@@ -136,6 +136,158 @@ func TestParseQueryErrors(t *testing.T) {
 	}
 }
 
+func TestParseQueryConstants(t *testing.T) {
+	rels := parserRels(t)
+	// R = {(1,2),(2,3)}: R(A, 2) keeps only (1,2).
+	q, err := ParseQuery("R(A, 2)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"A"}) {
+		t.Fatalf("Vars = %v", got)
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]int{{1}}) {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+	// Constants join through shared variables: R(A,2), S(2,C).
+	q, err = ParseQuery("R(A, 2) , S(2, C)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S = {(2,5)}: result (A,C) = (1,5).
+	if len(res.Tuples) != 1 {
+		t.Fatalf("tuples = %v over %v", res.Tuples, res.Vars)
+	}
+}
+
+func TestParseQuerySelectWhere(t *testing.T) {
+	rels := parserRels(t)
+	q, err := ParseQuery("R(A,B), S(B,C) select A, C where A < 10 and C >= 5", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Select(), []string{"A", "C"}) {
+		t.Fatalf("Select = %v", q.Select())
+	}
+	if !reflect.DeepEqual(q.Where(), []Filter{{Var: "A", Op: "<", Value: 10}, {Var: "C", Op: ">=", Value: 5}}) {
+		t.Fatalf("Where = %v", q.Where())
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"A", "C"}) {
+		t.Fatalf("res.Vars = %v", res.Vars)
+	}
+	// R ⋈ S = {(1,2,5)}: projected (A,C) = (1,5).
+	if !reflect.DeepEqual(res.Tuples, [][]int{{1, 5}}) {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+	// where-before-select order parses too.
+	if _, err := ParseQuery("R(A,B) where B < 5 select A", rels); err != nil {
+		t.Fatal(err)
+	}
+	// Comma-separated conjuncts.
+	if _, err := ParseQuery("R(A,B) where A < 5, B > 1", rels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseQueryAggregates(t *testing.T) {
+	rels := parserRels(t)
+	q, err := ParseQuery("R(A,B) select A, count(*), sum(B), min(B), max(B), count(distinct B)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Aggregate{
+		{Op: AggCount}, {Op: AggSum, Var: "B"}, {Op: AggMin, Var: "B"},
+		{Op: AggMax, Var: "B"}, {Op: AggCountDistinct, Var: "B"},
+	}
+	if !reflect.DeepEqual(q.Aggregates(), want) {
+		t.Fatalf("Aggregates = %v", q.Aggregates())
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R = {(1,2),(2,3)}: groups A=1 and A=2.
+	wantRows := [][]int{{1, 1, 2, 2, 2, 1}, {2, 1, 3, 3, 3, 1}}
+	if !reflect.DeepEqual(res.Tuples, wantRows) {
+		t.Fatalf("rows = %v", res.Tuples)
+	}
+	// Bare aggregate: whole result is one group.
+	q, err = ParseQuery("R(A,B) select count(*)", rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"count(*)"}) || !reflect.DeepEqual(res.Tuples, [][]int{{2}}) {
+		t.Fatalf("count(*): vars %v rows %v", res.Vars, res.Tuples)
+	}
+}
+
+func TestParseClauseHelpers(t *testing.T) {
+	sel, aggs, err := ParseSelect("x, count(*), sum(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, []string{"x"}) || len(aggs) != 2 {
+		t.Fatalf("sel %v aggs %v", sel, aggs)
+	}
+	where, err := ParseWhere("x < 100 and y >= 3, z = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(where) != 3 || where[2] != (Filter{Var: "z", Op: "=", Value: 5}) {
+		t.Fatalf("where = %v", where)
+	}
+	if _, _, err := ParseSelect("x,"); err == nil {
+		t.Fatal("trailing comma must error")
+	}
+	if _, err := ParseWhere("x <"); err == nil {
+		t.Fatal("missing value must error")
+	}
+}
+
+func TestParseQueryClauseErrors(t *testing.T) {
+	rels := parserRels(t)
+	cases := []string{
+		"R(A,B) select",                  // empty select
+		"R(A,B) select Z",                // unknown projection var
+		"R(A,B) where Z < 3",             // unknown filter var
+		"R(A,B) select sum(*)",           // sum needs a variable
+		"R(A,B) select count(",           // unterminated
+		"R(A,B) where A ! 3",             // bad operator
+		"R(A,B) garbage",                 // trailing junk
+		"R(A, 999999999999999999999999)", // constant out of range
+	}
+	for _, e := range cases {
+		if _, err := ParseQuery(e, rels); err == nil {
+			t.Errorf("%q: expected error", e)
+		}
+	}
+	// A relation literally named "select" stays usable.
+	selRel := rel(t, "select", 1, [][]int{{1}})
+	q, err := ParseQuery("select(A)", map[string]*Relation{"select": selRel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := Execute(q, nil); err != nil || len(res.Tuples) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
 func TestParseQueryUnicodeIdent(t *testing.T) {
 	rels := map[string]*Relation{"Rel_1": rel(t, "Rel_1", 1, [][]int{{7}})}
 	q, err := ParseQuery("Rel_1(x_0)", rels)

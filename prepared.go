@@ -30,9 +30,17 @@ import (
 type PreparedQuery struct {
 	query  *Query
 	opts   Options
-	gao    []string
+	gao    []string // reported GAO over the query variables
+	ext    []string // internal evaluation order: hidden constants + gao
 	eng    Engine
 	runner engine.Engine
+
+	// Resolved query shaping: the output column names and the engine
+	// adapter plan (nil for a pass-through run). bounds live inside both
+	// the shape (uniform-semantics net) and each binding's problem
+	// (engine pushdown).
+	outVars []string
+	shape   *engine.Shape
 
 	mu  sync.Mutex
 	cur *binding
@@ -53,7 +61,7 @@ type binding struct {
 // bind two different versions of the same relation; distinct relations
 // may still bind at different epochs (mutations are per-relation, there
 // are no cross-relation transactions).
-func (q *Query) bind(gao []string, debug bool) (*binding, error) {
+func (q *Query) bind(gao []string, bounds []core.Bound, debug bool) (*binding, error) {
 	atoms := make([]core.Atom, len(q.atoms))
 	epochs := make([]uint64, len(q.atoms))
 	perms := make([][]int, len(q.atoms))
@@ -95,6 +103,7 @@ func (q *Query) bind(gao []string, debug bool) (*binding, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Bounds = bounds
 	p.Debug = debug
 	return &binding{problem: p, epochs: epochs}, nil
 }
@@ -124,27 +133,53 @@ func (q *Query) Prepare(opts *Options) (*PreparedQuery, error) {
 	if !ok {
 		return nil, fmt.Errorf("minesweeper: unknown engine %v", eng)
 	}
-	b, err := q.bind(gao, o.Debug)
+	outVars, shape, err := q.buildShape(gao, &o)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{query: q, opts: o, gao: gao, eng: eng, runner: runner, cur: b}, nil
+	var bounds []core.Bound
+	if shape != nil {
+		bounds = shape.Bounds
+	}
+	ext := q.extendGAO(gao)
+	b, err := q.bind(ext, bounds, o.Debug)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{
+		query: q, opts: o, gao: gao, ext: ext, eng: eng, runner: runner,
+		outVars: outVars, shape: shape, cur: b,
+	}, nil
 }
 
-// GAO returns the resolved global attribute order.
+// GAO returns the resolved global attribute order — the evaluation (and
+// tuple emission) order over the query's variables. It may differ from
+// OutputVars, the presentation column order.
 func (pq *PreparedQuery) GAO() []string { return append([]string(nil), pq.gao...) }
+
+// OutputVars returns the column names of emitted tuples, in order: the
+// projection list (or all query variables in first-appearance order)
+// followed by one labelled column per aggregate. This matches
+// Result.Vars of the Execute family.
+func (pq *PreparedQuery) OutputVars() []string { return append([]string(nil), pq.outVars...) }
 
 // Engine returns the resolved engine (never EngineAuto).
 func (pq *PreparedQuery) Engine() Engine { return pq.eng }
 
 // snapshot returns a per-run problem copy, re-binding first when any
 // bound relation has been mutated since the current binding was taken.
+// Re-binding reuses the prepared shape, so pushed-down constants and
+// filters survive epoch changes.
 func (pq *PreparedQuery) snapshot() (*core.Problem, error) {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
 	for i, a := range pq.query.atoms {
 		if a.Rel.Epoch() != pq.cur.epochs[i] {
-			b, err := pq.query.bind(pq.gao, pq.opts.Debug)
+			var bounds []core.Bound
+			if pq.shape != nil {
+				bounds = pq.shape.Bounds
+			}
+			b, err := pq.query.bind(pq.ext, bounds, pq.opts.Debug)
 			if err != nil {
 				return nil, err
 			}
@@ -156,25 +191,33 @@ func (pq *PreparedQuery) snapshot() (*core.Problem, error) {
 }
 
 // Stream evaluates the prepared query, calling yield once per output
-// tuple in GAO-lexicographic order. yield returns false to stop early.
+// tuple in GAO-lexicographic discovery order, with columns presented in
+// OutputVars order. yield returns false to stop early.
 func (pq *PreparedQuery) Stream(yield func([]int) bool) (Stats, error) {
 	return pq.StreamContext(context.Background(), yield)
 }
 
 // StreamContext is Stream with cancellation: a cancelled or expired
 // context aborts the run with ctx.Err(). Every engine runs through the
-// same streaming executor, so limits and cancellation behave uniformly.
+// same streaming executor and shaping adapter, so limits, cancellation,
+// projection, filters and aggregation behave uniformly.
 func (pq *PreparedQuery) StreamContext(ctx context.Context, yield func([]int) bool) (Stats, error) {
 	var stats Stats
+	if pq.shape != nil && pq.shape.Empty {
+		return stats, nil // contradictory filters: provably empty, no work
+	}
 	run, err := pq.snapshot()
 	if err != nil {
 		return stats, err
 	}
+	rawRun := pq.runner.Run
 	if pq.eng == EngineMinesweeper && pq.opts.Workers > 1 {
-		err := core.MinesweeperParallelStream(ctx, run, pq.opts.Workers, &stats, yield)
-		return stats, err
+		workers := pq.opts.Workers
+		rawRun = func(ctx context.Context, p *core.Problem, stats *Stats, emit func([]int) bool) error {
+			return core.MinesweeperParallelStream(ctx, p, workers, stats, emit)
+		}
 	}
-	err = pq.runner.Run(ctx, run, &stats, yield)
+	err = engine.RunShaped(ctx, rawRun, run, pq.shape, &stats, yield)
 	return stats, err
 }
 
@@ -189,7 +232,7 @@ func (pq *PreparedQuery) Execute() (*Result, error) {
 // callers can serve a partial page: res is non-nil whenever evaluation
 // started, and res.Tuples is a prefix of the full GAO-ordered result.
 func (pq *PreparedQuery) ExecuteContext(ctx context.Context) (*Result, error) {
-	res := &Result{Vars: pq.GAO(), GAO: pq.GAO(), Engine: pq.eng}
+	res := &Result{Vars: pq.OutputVars(), GAO: pq.GAO(), Engine: pq.eng}
 	stats, err := pq.StreamContext(ctx, func(t []int) bool {
 		res.Tuples = append(res.Tuples, t)
 		return true
@@ -199,8 +242,10 @@ func (pq *PreparedQuery) ExecuteContext(ctx context.Context) (*Result, error) {
 }
 
 // ExecuteLimit evaluates the prepared query, stopping after at most
-// limit output tuples (the lexicographically smallest ones — engines
-// emit in order, so the prefix is engine-independent).
+// limit output tuples (the GAO-lexicographically smallest ones —
+// engines emit in order, so the prefix is engine-independent). A
+// negative limit means unlimited; limit 0 returns an empty result
+// without evaluating.
 func (pq *PreparedQuery) ExecuteLimit(limit int) (*Result, error) {
 	return pq.ExecuteLimitContext(context.Background(), limit)
 }
@@ -209,8 +254,11 @@ func (pq *PreparedQuery) ExecuteLimit(limit int) (*Result, error) {
 // ExecuteContext, a cancelled or expired context returns the partial
 // result collected so far alongside the error.
 func (pq *PreparedQuery) ExecuteLimitContext(ctx context.Context, limit int) (*Result, error) {
-	res := &Result{Vars: pq.GAO(), GAO: pq.GAO(), Engine: pq.eng}
-	if limit <= 0 {
+	if limit < 0 {
+		return pq.ExecuteContext(ctx)
+	}
+	res := &Result{Vars: pq.OutputVars(), GAO: pq.GAO(), Engine: pq.eng}
+	if limit == 0 {
 		return res, nil
 	}
 	stats, err := pq.StreamContext(ctx, func(t []int) bool {

@@ -1,0 +1,284 @@
+package minesweeper
+
+import (
+	"fmt"
+
+	"minesweeper/internal/core"
+	"minesweeper/internal/engine"
+	"minesweeper/internal/ordered"
+)
+
+// Filter is one conjunct of a query's where-clause: a comparison between
+// a query variable and an integer constant, e.g. {Var: "x", Op: "<",
+// Value: 100}. Filters on the same variable conjoin (their ranges
+// intersect); a contradictory conjunction makes the query provably empty
+// and skips evaluation entirely. Supported operators: "<", "<=", ">",
+// ">=", "=" (alias "==").
+type Filter struct {
+	Var   string `json:"var"`
+	Op    string `json:"op"`
+	Value int    `json:"value"`
+}
+
+// emptyBound is a bound no value satisfies (Lo > Hi).
+var emptyBound = core.Bound{Lo: 1, Hi: 0}
+
+// bound converts the filter to an inclusive value range. The ±1
+// adjustments of the strict operators must not wrap at the int
+// extremes: a filter no domain value can satisfy becomes the explicit
+// empty bound rather than a silently-full one.
+func (f Filter) bound() (core.Bound, error) {
+	switch f.Op {
+	case "<":
+		if f.Value <= 0 {
+			return emptyBound, nil // domain is non-negative
+		}
+		return core.Bound{Lo: 0, Hi: f.Value - 1}, nil
+	case "<=":
+		return core.Bound{Lo: 0, Hi: f.Value}, nil
+	case ">":
+		if f.Value >= ordered.PosInf-1 {
+			return emptyBound, nil // nothing above the domain maximum
+		}
+		return core.Bound{Lo: f.Value + 1, Hi: ordered.PosInf - 1}, nil
+	case ">=":
+		return core.Bound{Lo: f.Value, Hi: ordered.PosInf - 1}, nil
+	case "=", "==":
+		return core.Bound{Lo: f.Value, Hi: f.Value}, nil
+	}
+	return core.Bound{}, fmt.Errorf("minesweeper: filter %s %s %d: unknown operator %q (want <, <=, >, >=, =)",
+		f.Var, f.Op, f.Value, f.Op)
+}
+
+func (f Filter) String() string { return fmt.Sprintf("%s %s %d", f.Var, f.Op, f.Value) }
+
+// AggOp is an aggregate function over the join result.
+type AggOp int
+
+const (
+	// AggCount counts the join tuples of the group (COUNT(*)).
+	AggCount AggOp = iota
+	// AggSum sums the aggregated variable over the group.
+	AggSum
+	// AggMin takes the minimum of the aggregated variable.
+	AggMin
+	// AggMax takes the maximum of the aggregated variable.
+	AggMax
+	// AggCountDistinct counts the distinct values of the aggregated
+	// variable within the group.
+	AggCountDistinct
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCountDistinct:
+		return "countdistinct"
+	}
+	return fmt.Sprintf("aggop(%d)", int(op))
+}
+
+// engineOp maps the public op onto the executor's.
+func (op AggOp) engineOp() (engine.AggOp, error) {
+	switch op {
+	case AggCount:
+		return engine.AggCount, nil
+	case AggSum:
+		return engine.AggSum, nil
+	case AggMin:
+		return engine.AggMin, nil
+	case AggMax:
+		return engine.AggMax, nil
+	case AggCountDistinct:
+		return engine.AggCountDistinct, nil
+	}
+	return 0, fmt.Errorf("minesweeper: unknown aggregate op %v", op)
+}
+
+// Aggregate is one aggregate output column of a query: an operation
+// applied per group to the join result, grouped by the query's
+// projection list (the whole result forms a single group when the
+// projection is empty). Var names the aggregated variable; it must be
+// empty for AggCount ("count(*)") and set for every other op. Aggregate
+// queries stream no tuples: only the per-group states are held, so the
+// memory footprint is the number of groups, not the join size.
+type Aggregate struct {
+	Op  AggOp  `json:"op"`
+	Var string `json:"var,omitempty"`
+}
+
+// Label renders the result-column name of the aggregate, e.g.
+// "count(*)", "sum(y)", "count(distinct y)".
+func (a Aggregate) Label() string {
+	switch {
+	case a.Op == AggCount && a.Var == "":
+		return "count(*)"
+	case a.Op == AggCountDistinct:
+		return fmt.Sprintf("count(distinct %s)", a.Var)
+	default:
+		return fmt.Sprintf("%s(%s)", a.Op, a.Var)
+	}
+}
+
+// buildShape resolves the effective shaping of an execution — the
+// query's parsed clauses overridden by any set Options fields — into
+// the executor plan: the output column names, the engine-level shape
+// (nil for a pass-through run) and the per-position bounds of the
+// extended evaluation order (hidden constants first, then gao).
+func (q *Query) buildShape(gao []string, opts *Options) (outVars []string, sh *engine.Shape, err error) {
+	sel := opts.Select
+	if sel == nil {
+		sel = q.sel
+	}
+	where := opts.Where
+	if where == nil {
+		where = q.where
+	}
+	aggs := opts.Aggregates
+	if aggs == nil {
+		aggs = q.aggs
+	}
+
+	ext := q.extendGAO(gao)
+	pos := make(map[string]int, len(ext))
+	for i, v := range ext {
+		pos[v] = i
+	}
+	isVar := make(map[string]bool, len(q.vars))
+	for _, v := range q.vars {
+		isVar[v] = true
+	}
+	lookup := func(v, what string) (int, error) {
+		if !isVar[v] {
+			return 0, fmt.Errorf("minesweeper: %s references unknown variable %q", what, v)
+		}
+		p, ok := pos[v]
+		if !ok {
+			return 0, fmt.Errorf("minesweeper: %s variable %q not in GAO %v", what, v, gao)
+		}
+		return p, nil
+	}
+
+	// Bounds: constants pin their hidden positions, filters conjoin onto
+	// their variables' positions.
+	var bounds []core.Bound
+	ensureBounds := func() {
+		if bounds == nil {
+			bounds = make([]core.Bound, len(ext))
+			for i := range bounds {
+				bounds[i] = core.FullBound()
+			}
+		}
+	}
+	if len(q.hidden) > 0 {
+		ensureBounds()
+		for i, h := range q.hidden {
+			bounds[i] = core.Bound{Lo: h.val, Hi: h.val}
+		}
+	}
+	for _, f := range where {
+		p, err := lookup(f.Var, "filter")
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := f.bound()
+		if err != nil {
+			return nil, nil, err
+		}
+		ensureBounds()
+		bounds[p] = bounds[p].Intersect(b)
+	}
+	if core.FullBounds(bounds) {
+		bounds = nil // every filter was a no-op (e.g. x >= 0)
+	}
+	empty := false
+	for _, b := range bounds {
+		if b.Empty() {
+			empty = true
+			break
+		}
+	}
+
+	// Projection: the select list; all variables when unspecified — or
+	// no group-by columns at all for a bare aggregate query.
+	proj := sel
+	if proj == nil {
+		if len(aggs) > 0 {
+			proj = []string{}
+		} else {
+			proj = q.vars
+		}
+	}
+	if len(proj) == 0 && len(aggs) == 0 {
+		return nil, nil, fmt.Errorf("minesweeper: empty projection without aggregates selects nothing")
+	}
+	cols := make([]int, len(proj))
+	projSet := make(map[string]bool, len(proj))
+	for i, v := range proj {
+		if projSet[v] {
+			return nil, nil, fmt.Errorf("minesweeper: projection repeats variable %q", v)
+		}
+		projSet[v] = true
+		p, err := lookup(v, "projection")
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = p
+	}
+	// Dedup is needed exactly when a real variable is projected away:
+	// dropped constants are single-valued and cannot create duplicates.
+	distinct := false
+	for _, v := range q.vars {
+		if !projSet[v] {
+			distinct = true
+			break
+		}
+	}
+
+	outVars = append([]string(nil), proj...)
+	var eAggs []engine.Aggregate
+	for _, a := range aggs {
+		op, err := a.Op.engineOp()
+		if err != nil {
+			return nil, nil, err
+		}
+		col := -1
+		if a.Op == AggCount {
+			if a.Var != "" {
+				if _, err := lookup(a.Var, "aggregate"); err != nil {
+					return nil, nil, err
+				}
+			}
+		} else {
+			if a.Var == "" {
+				return nil, nil, fmt.Errorf("minesweeper: aggregate %s needs a variable", a.Op)
+			}
+			c, err := lookup(a.Var, "aggregate")
+			if err != nil {
+				return nil, nil, err
+			}
+			col = c
+		}
+		eAggs = append(eAggs, engine.Aggregate{Op: op, Col: col})
+		outVars = append(outVars, a.Label())
+	}
+
+	sh = &engine.Shape{
+		Cols:       cols,
+		Distinct:   distinct && len(eAggs) == 0,
+		Aggregates: eAggs,
+		Bounds:     bounds,
+		Empty:      empty,
+	}
+	if sh.Identity() {
+		sh = nil
+	}
+	return outVars, sh, nil
+}

@@ -1,0 +1,641 @@
+package minesweeper
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sortTuples lex-sorts a tuple list in place (presentation order).
+func sortTuples(ts [][]int) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// shapeData builds R(x, c) with c = x%100 and S(x, y): selecting c = 7
+// keeps 1% of R.
+func shapeData(t *testing.T) (*Relation, *Relation) {
+	t.Helper()
+	var rt, st [][]int
+	for i := 0; i < 500; i++ {
+		rt = append(rt, []int{i, i % 100})
+		st = append(st, []int{i, (i * 3) % 50})
+	}
+	return rel(t, "R", 2, rt), rel(t, "S", 2, st)
+}
+
+// TestConstantPushdownAllEngines: R(x, 7) ⋈ S(x, y) must equal the full
+// join post-filtered on c == 7, projected to (x, y), for every engine
+// and for parallel Minesweeper.
+func TestConstantPushdownAllEngines(t *testing.T) {
+	r, s := shapeData(t)
+	full, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "c"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := Execute(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, v := range fres.Vars {
+		pos[v] = i
+	}
+	var want [][]int
+	for _, tup := range fres.Tuples {
+		if tup[pos["c"]] == 7 {
+			want = append(want, []int{tup[pos["x"]], tup[pos["y"]]})
+		}
+	}
+	sortTuples(want)
+	if len(want) == 0 {
+		t.Fatal("post-filter reference is empty; test data broken")
+	}
+
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "7"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Vars = %v (constants must not be variables)", got)
+	}
+	for _, eng := range allEngines {
+		res, err := Execute(q, &Options{Engine: eng, Debug: true})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if !reflect.DeepEqual(res.Vars, []string{"x", "y"}) {
+			t.Fatalf("engine %v: Vars = %v", eng, res.Vars)
+		}
+		got := append([][]int(nil), res.Tuples...)
+		sortTuples(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("engine %v: got %d tuples, want %d\ngot  %v\nwant %v",
+				eng, len(got), len(want), got, want)
+		}
+	}
+	par, err := Execute(q, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([][]int(nil), par.Tuples...)
+	sortTuples(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel: diverges from reference")
+	}
+}
+
+// TestConstantPushdownSavesWork: the pushed-down constant must make the
+// selective run much cheaper than the full join, not just smaller.
+func TestConstantPushdownSavesWork(t *testing.T) {
+	r, s := shapeData(t)
+	full, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "c"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := Execute(full, &Options{GAO: []string{"x", "c", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "7"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Execute(sel, &Options{GAO: []string{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Stats.ProbePoints*10 > fres.Stats.ProbePoints {
+		t.Fatalf("selective run probes %d vs full %d: pushdown not saving work",
+			sres.Stats.ProbePoints, fres.Stats.ProbePoints)
+	}
+}
+
+// TestWhereFiltersAllEngines: range filters agree across engines and
+// match the post-filtered full join.
+func TestWhereFiltersAllEngines(t *testing.T) {
+	r, s := shapeData(t)
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "c"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, v := range fres.Vars {
+		pos[v] = i
+	}
+	var want [][]int
+	for _, tup := range fres.Tuples {
+		x, c, y := tup[pos["x"]], tup[pos["c"]], tup[pos["y"]]
+		if x < 50 && y >= 3 {
+			want = append(want, []int{x, c, y})
+		}
+	}
+	sortTuples(want)
+	if len(want) == 0 {
+		t.Fatal("filter reference empty")
+	}
+	where := []Filter{{Var: "x", Op: "<", Value: 50}, {Var: "y", Op: ">=", Value: 3}}
+	for _, eng := range allEngines {
+		res, err := Execute(q, &Options{Engine: eng, Where: where, Debug: true})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if !reflect.DeepEqual(res.Vars, []string{"x", "c", "y"}) {
+			t.Fatalf("engine %v: Vars = %v", eng, res.Vars)
+		}
+		got := append([][]int(nil), res.Tuples...)
+		sortTuples(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("engine %v: filtered result diverges (%d vs %d tuples)", eng, len(got), len(want))
+		}
+	}
+	// Contradictory filters: provably empty, no error, no tuples.
+	res, err := Execute(q, &Options{Where: []Filter{
+		{Var: "x", Op: ">", Value: 10}, {Var: "x", Op: "<", Value: 5},
+	}})
+	if err != nil || len(res.Tuples) != 0 {
+		t.Fatalf("contradictory filters: %v, %v", res.Tuples, err)
+	}
+	// Unknown variable and bad operator are errors.
+	if _, err := Execute(q, &Options{Where: []Filter{{Var: "zz", Op: "<", Value: 1}}}); err == nil {
+		t.Fatal("unknown filter variable must error")
+	}
+	if _, err := Execute(q, &Options{Where: []Filter{{Var: "x", Op: "!=", Value: 1}}}); err == nil {
+		t.Fatal("unsupported operator must error")
+	}
+}
+
+// TestProjectionDistinct: projecting away a join variable dedups under
+// set semantics, identically across engines.
+func TestProjectionDistinct(t *testing.T) {
+	r := rel(t, "R", 2, [][]int{{1, 10}, {1, 20}, {2, 10}, {3, 30}})
+	s := rel(t, "S", 2, [][]int{{10, 5}, {20, 5}, {30, 6}})
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"a", "b"}},
+		Atom{Rel: s, Vars: []string{"b", "c"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full join: (1,10,5) (1,20,5) (2,10,5) (3,30,6). Projection to c:
+	// {5, 6}.
+	for _, eng := range allEngines {
+		res, err := Execute(q, &Options{Engine: eng, Select: []string{"c"}})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if !reflect.DeepEqual(res.Vars, []string{"c"}) {
+			t.Fatalf("engine %v: Vars = %v", eng, res.Vars)
+		}
+		got := append([][]int(nil), res.Tuples...)
+		sortTuples(got)
+		if !reflect.DeepEqual(got, [][]int{{5}, {6}}) {
+			t.Fatalf("engine %v: projected = %v", eng, got)
+		}
+	}
+	// Projection to (c, a): order of the select list is the column order.
+	res, err := Execute(q, &Options{Select: []string{"c", "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([][]int(nil), res.Tuples...)
+	sortTuples(got)
+	want := [][]int{{5, 1}, {5, 2}, {6, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("select c,a = %v, want %v", got, want)
+	}
+	// Unknown projection variable errors.
+	if _, err := Execute(q, &Options{Select: []string{"zz"}}); err == nil {
+		t.Fatal("unknown select variable must error")
+	}
+}
+
+// TestAggregatesAllEngines checks every aggregate op, grouped and
+// global, against a hand-computed reference, across engines.
+func TestAggregatesAllEngines(t *testing.T) {
+	r := rel(t, "R", 2, [][]int{{1, 10}, {1, 20}, {2, 10}, {3, 30}})
+	s := rel(t, "S", 2, [][]int{{10, 5}, {20, 5}, {30, 6}})
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"a", "b"}},
+		Atom{Rel: s, Vars: []string{"b", "c"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join tuples (a,b,c): (1,10,5) (1,20,5) (2,10,5) (3,30,6).
+	aggs := []Aggregate{
+		{Op: AggCount},
+		{Op: AggSum, Var: "b"},
+		{Op: AggMin, Var: "b"},
+		{Op: AggMax, Var: "b"},
+		{Op: AggCountDistinct, Var: "b"},
+	}
+	wantVars := []string{"c", "count(*)", "sum(b)", "min(b)", "max(b)", "count(distinct b)"}
+	want := [][]int{
+		{5, 3, 40, 10, 20, 2},
+		{6, 1, 30, 30, 30, 1},
+	}
+	for _, eng := range allEngines {
+		res, err := Execute(q, &Options{Engine: eng, Select: []string{"c"}, Aggregates: aggs})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if !reflect.DeepEqual(res.Vars, wantVars) {
+			t.Fatalf("engine %v: Vars = %v, want %v", eng, res.Vars, wantVars)
+		}
+		if !reflect.DeepEqual(res.Tuples, want) {
+			t.Fatalf("engine %v: rows = %v, want %v", eng, res.Tuples, want)
+		}
+	}
+	// Global aggregate: one group, one row.
+	res, err := Execute(q, &Options{Aggregates: []Aggregate{{Op: AggCount}, {Op: AggSum, Var: "a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"count(*)", "sum(a)"}) {
+		t.Fatalf("global Vars = %v", res.Vars)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]int{{4, 7}}) {
+		t.Fatalf("global rows = %v", res.Tuples)
+	}
+	// Global aggregate over an empty join: no groups, no rows.
+	empty, err := Execute(q, &Options{
+		Aggregates: []Aggregate{{Op: AggCount}},
+		Where:      []Filter{{Var: "a", Op: ">", Value: 1000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Tuples) != 0 {
+		t.Fatalf("empty-join aggregate rows = %v", empty.Tuples)
+	}
+	// sum/min/max without a variable is an error.
+	if _, err := Execute(q, &Options{Aggregates: []Aggregate{{Op: AggSum}}}); err == nil {
+		t.Fatal("sum without variable must error")
+	}
+}
+
+// TestCrossProductAllEngines: disconnected queries evaluate as cross
+// products, identically across engines (with projection and aggregation
+// riding along).
+func TestCrossProductAllEngines(t *testing.T) {
+	r := rel(t, "R", 1, [][]int{{1}, {2}})
+	s := rel(t, "S", 1, [][]int{{10}, {20}, {30}})
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x"}},
+		Atom{Rel: s, Vars: []string{"y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}}
+	for _, eng := range allEngines {
+		res, err := Execute(q, &Options{Engine: eng, Debug: true})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		got := append([][]int(nil), res.Tuples...)
+		sortTuples(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("engine %v: cross product = %v", eng, got)
+		}
+	}
+	// Binary atoms, disconnected: R2(a,b) × S2(c,d).
+	r2 := rel(t, "R2", 2, [][]int{{1, 2}, {3, 4}})
+	s2 := rel(t, "S2", 2, [][]int{{5, 6}})
+	q2, err := NewQuery(
+		Atom{Rel: r2, Vars: []string{"a", "b"}},
+		Atom{Rel: s2, Vars: []string{"c", "d"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref [][]int
+	for _, eng := range allEngines {
+		res, err := Execute(q2, &Options{Engine: eng, Debug: true})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		got := append([][]int(nil), res.Tuples...)
+		sortTuples(got)
+		if ref == nil {
+			ref = got
+			if len(ref) != 2 {
+				t.Fatalf("cross product size = %d, want 2", len(ref))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("engine %v diverges on disconnected query", eng)
+		}
+	}
+	// Aggregate over a cross product.
+	res, err := Execute(q, &Options{Select: []string{"x"}, Aggregates: []Aggregate{{Op: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]int{{1, 3}, {2, 3}}) {
+		t.Fatalf("cross-product counts = %v", res.Tuples)
+	}
+}
+
+// TestPreparedConstantsSurviveMutation: epoch-triggered re-binds must
+// preserve pushed-down constants and filters.
+func TestPreparedConstantsSurviveMutation(t *testing.T) {
+	r := rel(t, "R", 2, [][]int{{1, 7}, {2, 8}})
+	s := rel(t, "S", 2, [][]int{{1, 100}, {2, 200}, {3, 300}})
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "7"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := q.Prepare(&Options{Where: []Filter{{Var: "y", Op: "<", Value: 250}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]int{{1, 100}}) {
+		t.Fatalf("before mutation: %v", res.Tuples)
+	}
+	// Insert a matching and a non-matching row; the re-bound execution
+	// must still apply c = 7 and y < 250.
+	if err := r.Insert([]int{3, 7}, []int{3, 9}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([][]int(nil), res.Tuples...)
+	sortTuples(got)
+	if !reflect.DeepEqual(got, [][]int{{1, 100}}) {
+		t.Fatalf("after insert: %v (y<250 keeps only x=1; x=3 has y=300)", got)
+	}
+	// Drop the filter blocker: replacing S re-binds again.
+	if err := s.Replace([][]int{{3, 30}, {1, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append([][]int(nil), res.Tuples...)
+	sortTuples(got)
+	if !reflect.DeepEqual(got, [][]int{{1, 100}, {3, 30}}) {
+		t.Fatalf("after replace: %v", got)
+	}
+}
+
+// TestStreamVarsOrder pins the stream-ordering bugfix: streamed tuples
+// present columns in Vars()/OutputVars order even when the GAO reorders
+// the variables, and the prepared query exposes both orders.
+func TestStreamVarsOrder(t *testing.T) {
+	r := rel(t, "R", 2, [][]int{{1, 2}, {3, 4}})
+	s := rel(t, "S", 2, [][]int{{2, 5}, {4, 9}})
+	// First appearance order: b, c, a. Force GAO a, b, c.
+	q, err := NewQuery(
+		Atom{Rel: s, Vars: []string{"b", "c"}},
+		Atom{Rel: r, Vars: []string{"a", "b"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := q.Prepare(&Options{GAO: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pq.GAO(), []string{"a", "b", "c"}) {
+		t.Fatalf("GAO = %v", pq.GAO())
+	}
+	if !reflect.DeepEqual(pq.OutputVars(), []string{"b", "c", "a"}) {
+		t.Fatalf("OutputVars = %v", pq.OutputVars())
+	}
+	var streamed [][]int
+	if _, err := pq.Stream(func(tup []int) bool {
+		streamed = append(streamed, tup)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Join tuples (a,b,c): (1,2,5), (3,4,9) — presented as (b,c,a).
+	want := [][]int{{2, 5, 1}, {4, 9, 3}}
+	if !reflect.DeepEqual(streamed, want) {
+		t.Fatalf("streamed = %v, want %v (Vars order)", streamed, want)
+	}
+	res, err := pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"b", "c", "a"}) || !reflect.DeepEqual(res.Tuples, want) {
+		t.Fatalf("Execute: vars %v tuples %v", res.Vars, res.Tuples)
+	}
+	if !reflect.DeepEqual(res.GAO, []string{"a", "b", "c"}) {
+		t.Fatalf("Result.GAO = %v", res.GAO)
+	}
+	// The top-level stream API agrees.
+	streamed = nil
+	if _, err := ExecuteStream(q, &Options{GAO: []string{"a", "b", "c"}}, func(tup []int) bool {
+		streamed = append(streamed, tup)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, want) {
+		t.Fatalf("ExecuteStream = %v, want %v", streamed, want)
+	}
+}
+
+// TestIntersectZeroSets: the public API wraps the internal error and
+// stays consistent for empty input forms.
+func TestIntersectZeroSets(t *testing.T) {
+	if _, _, err := Intersect(); err == nil || !strings.HasPrefix(err.Error(), "minesweeper:") {
+		t.Fatalf("Intersect() error = %v, want minesweeper:-prefixed", err)
+	}
+	var none [][]int
+	if _, _, err := Intersect(none...); err == nil || !strings.HasPrefix(err.Error(), "minesweeper:") {
+		t.Fatalf("Intersect(none...) error = %v", err)
+	}
+	// One nil set is a present-but-empty set: empty result, no error.
+	out, _, err := Intersect(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Intersect(nil) = %v, %v", out, err)
+	}
+}
+
+// TestNegativeLimitUnlimited: limit < 0 means unlimited, across the
+// library surface.
+func TestNegativeLimitUnlimited(t *testing.T) {
+	q := streamQuery(t, 31)
+	full, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Tuples) == 0 {
+		t.Fatal("want non-empty result")
+	}
+	res, err := ExecuteLimit(q, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, full.Tuples) {
+		t.Fatalf("ExecuteLimit(-1) = %d tuples, want %d", len(res.Tuples), len(full.Tuples))
+	}
+	pq, err := q.Prepare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = pq.ExecuteLimit(-7)
+	if err != nil || !reflect.DeepEqual(res.Tuples, full.Tuples) {
+		t.Fatalf("PreparedQuery.ExecuteLimit(-7): %d tuples, err %v", len(res.Tuples), err)
+	}
+}
+
+// TestConstantValidation: constant-only atoms and out-of-domain
+// constants are rejected; constants never merge across atoms.
+func TestConstantValidation(t *testing.T) {
+	r := rel(t, "R", 2, [][]int{{1, 7}})
+	if _, err := NewQuery(Atom{Rel: r, Vars: []string{"1", "2"}}); err == nil {
+		t.Fatal("constant-only atom must error")
+	}
+	if _, err := NewQuery(Atom{Rel: r, Vars: []string{"x", "-3"}}); err == nil {
+		t.Fatal("negative constant must error (parsed as neither var nor constant)")
+	}
+	// Same constant twice in one atom is fine (distinct hidden columns).
+	rr := rel(t, "RR", 3, [][]int{{5, 5, 1}, {5, 6, 2}})
+	q, err := NewQuery(Atom{Rel: rr, Vars: []string{"5", "5", "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]int{{1}}) {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+}
+
+// TestFilterIntExtremes: strict comparisons at the int extremes must
+// read as provably-empty bounds, not wrap around and become no-ops.
+func TestFilterIntExtremes(t *testing.T) {
+	r := rel(t, "R", 1, [][]int{{1}, {2}, {3}})
+	q, err := NewQuery(Atom{Rel: r, Vars: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxInt = int(^uint(0) >> 1)
+	for _, f := range []Filter{
+		{Var: "x", Op: ">", Value: maxInt},
+		{Var: "x", Op: "<", Value: -maxInt - 1},
+		{Var: "x", Op: "<", Value: 0},
+		{Var: "x", Op: "<=", Value: -1},
+		{Var: "x", Op: ">=", Value: maxInt},
+	} {
+		res, err := Execute(q, &Options{Where: []Filter{f}})
+		if err != nil {
+			t.Fatalf("filter %v: %v", f, err)
+		}
+		if len(res.Tuples) != 0 {
+			t.Fatalf("filter %v returned %v, want empty", f, res.Tuples)
+		}
+	}
+	// Sanity: the non-degenerate forms still pass everything through.
+	res, err := Execute(q, &Options{Where: []Filter{{Var: "x", Op: "<=", Value: maxInt}, {Var: "x", Op: ">", Value: -maxInt - 1}}})
+	if err != nil || len(res.Tuples) != 3 {
+		t.Fatalf("wide filters: %v, %v", res.Tuples, err)
+	}
+}
+
+// TestParallelPartitionSkipsConstants: a constant-led extended GAO must
+// still shard range-parallel runs on the first real variable, and the
+// all-constant-led fallback stays correct.
+func TestParallelPartitionSkipsConstants(t *testing.T) {
+	var rt, st [][]int
+	for i := 0; i < 300; i++ {
+		rt = append(rt, []int{i, i % 100})
+		st = append(st, []int{i, i % 9})
+	}
+	r := rel(t, "R", 2, rt)
+	s := rel(t, "S", 2, st)
+	q, err := NewQuery(
+		Atom{Rel: r, Vars: []string{"x", "7"}},
+		Atom{Rel: s, Vars: []string{"x", "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Execute(q, &Options{GAO: []string{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Tuples) != 3 {
+		t.Fatalf("sequential = %v", seq.Tuples)
+	}
+	par, err := Execute(q, &Options{GAO: []string{"x", "y"}, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.Tuples, seq.Tuples) {
+		t.Fatalf("parallel %v != sequential %v", par.Tuples, seq.Tuples)
+	}
+	// Workload big enough that sharding shows up in merged stats: the
+	// parallel run must have actually split (more than one worker's
+	// FindGaps merged — weak proxy: stats non-zero and result correct).
+	if par.Stats.FindGaps == 0 {
+		t.Fatal("parallel stats not merged")
+	}
+	// Every atom covering the partition variable leads with a constant:
+	// the driver must fall back to a sequential run, not return empty.
+	r3 := rel(t, "R3", 2, [][]int{{3, 1}, {3, 2}, {4, 5}})
+	s3 := rel(t, "S3", 2, [][]int{{5, 1}, {5, 2}})
+	q2, err := NewQuery(
+		Atom{Rel: r3, Vars: []string{"3", "x"}},
+		Atom{Rel: s3, Vars: []string{"5", "x"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := Execute(q2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := Execute(q2, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par2.Tuples, seq2.Tuples) || len(seq2.Tuples) != 2 {
+		t.Fatalf("all-constant-led: parallel %v, sequential %v", par2.Tuples, seq2.Tuples)
+	}
+}
