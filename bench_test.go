@@ -191,6 +191,14 @@ func BenchmarkSelectivePushdown(b *testing.B)   { benchsuite.SelectivePushdown(b
 func BenchmarkSelectivePostFilter(b *testing.B) { benchsuite.SelectivePostFilter(b) }
 func BenchmarkAggregateGroupCount(b *testing.B) { benchsuite.AggregateGroupCount(b) }
 
+// --- E12: data-aware GAO planning + dense-domain dictionaries --------
+
+func BenchmarkSparseSkewDefault(b *testing.B)         { benchsuite.SparseSkewDefault(b) }
+func BenchmarkSparseSkewPlanned(b *testing.B)         { benchsuite.SparseSkewPlanned(b) }
+func BenchmarkSparseHeavyEnumDefault(b *testing.B)    { benchsuite.SparseHeavyEnumDefault(b) }
+func BenchmarkSparseHeavyEnumPlannedRaw(b *testing.B) { benchsuite.SparseHeavyEnumPlannedRaw(b) }
+func BenchmarkSparseHeavyEnumPlanned(b *testing.B)    { benchsuite.SparseHeavyEnumPlanned(b) }
+
 // --- Substrate micro-benchmarks ------------------------------------------
 
 func BenchmarkCDSProbeInsertLoop(b *testing.B) { benchsuite.CDSProbeInsertLoop(b) }

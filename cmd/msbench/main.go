@@ -19,6 +19,7 @@
 //	msbench -json BENCH_1.json -label optimized   # measure + record
 //	msbench -json BENCH_1.json -bench 'CDS'       # subset by substring
 //	msbench -compare BENCH_0.json,BENCH_1.json    # diff two artifacts
+//	msbench -compare old.json,new.json -fail-over 10   # gate: exit 1 on >10% ns regressions
 package main
 
 import (
@@ -39,10 +40,11 @@ func main() {
 	label := flag.String("label", "", "label stored in the -json artifact (e.g. baseline, optimized)")
 	benchFilter := flag.String("bench", "", "with -json: only run suite benchmarks whose name contains one of these comma-separated substrings")
 	compare := flag.String("compare", "", "compare two BENCH_*.json files: old.json,new.json")
+	failOver := flag.Float64("fail-over", 0, "with -compare: exit non-zero when any benchmark's ns/op regresses by more than this percentage (0 = report only)")
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare))
+		os.Exit(runCompare(*compare, *failOver))
 	}
 	if *jsonOut != "" {
 		os.Exit(runJSON(*jsonOut, *label, *benchFilter))
@@ -125,8 +127,13 @@ func runJSON(path, label, filter string) int {
 	return 0
 }
 
-// runCompare prints the per-benchmark deltas of two artifacts.
-func runCompare(spec string) int {
+// runCompare prints the per-benchmark deltas of two artifacts. When
+// failOver > 0 it acts as a regression gate: any benchmark whose ns/op
+// grew by more than failOver percent makes the exit status non-zero,
+// so CI (or a pre-merge hook) can hard-fail on a measured slowdown
+// instead of just printing it. failOver == 0 keeps the historical
+// report-only behaviour.
+func runCompare(spec string, failOver float64) int {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 {
 		fmt.Fprintln(os.Stderr, "msbench: -compare wants old.json,new.json")
@@ -153,10 +160,19 @@ func runCompare(spec string) int {
 	}
 	fmt.Printf("%-32s %14s %14s %8s %12s %12s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "ns Δ", "old allocs", "new allocs", "allocs Δ")
+	var regressed []string
 	for _, d := range deltas {
 		fmt.Printf("%-32s %14.0f %14.0f %7.0f%% %12.1f %12.1f %7.0f%%\n",
 			d.Name, d.OldNs, d.NewNs, (d.NsRatio()-1)*100,
 			d.OldAllocs, d.NewAllocs, (d.AllocsRatio()-1)*100)
+		if failOver > 0 && (d.NsRatio()-1)*100 > failOver {
+			regressed = append(regressed, fmt.Sprintf("%s (+%.0f%%)", d.Name, (d.NsRatio()-1)*100))
+		}
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "msbench: %d benchmark(s) regressed beyond -fail-over %.1f%%: %s\n",
+			len(regressed), failOver, strings.Join(regressed, ", "))
+		return 1
 	}
 	return 0
 }

@@ -25,6 +25,10 @@
 // sum(X), min(X), max(X). -where conjoins per-variable range filters
 // ("A < 10 and B >= 3"), pushed down into the engines' index walks.
 //
+// -explain prints the plan — the chosen GAO (data-aware unless -gao
+// forces one), its elimination width, the cost model's estimate and any
+// dictionary-encoded attributes — without evaluating the join.
+//
 // Lines starting with '#' and blank lines are ignored.
 package main
 
@@ -50,6 +54,7 @@ func main() {
 	timeoutFlag := flag.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
 	selectFlag := flag.String("select", "", "projection/aggregate list, e.g. 'A, count(*), sum(B)'")
 	whereFlag := flag.String("where", "", "range filters, e.g. 'A < 10 and B >= 3'")
+	explainFlag := flag.Bool("explain", false, "print the chosen plan (GAO, width, estimated cost, dictionary attributes) without evaluating")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -103,6 +108,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
 		os.Exit(1)
 	}
+	if *explainFlag {
+		fmt.Println(formatExplain(pq.Explain()))
+		return
+	}
 	ctx := context.Background()
 	if *timeoutFlag > 0 {
 		var cancel context.CancelFunc
@@ -153,6 +162,19 @@ func main() {
 	if timedOut {
 		os.Exit(3)
 	}
+}
+
+// formatExplain renders the -explain line: the chosen GAO, its
+// elimination width, the planner's cost estimate, whether the data
+// overrode the structural order, the engine, and any dictionary-encoded
+// attributes.
+func formatExplain(ex minesweeper.Explain) string {
+	line := fmt.Sprintf("-- explain: gao=%s width=%d cost=%.4g planned=%v engine=%s",
+		strings.Join(ex.GAO, ","), ex.Width, ex.EstCost, ex.Planned, ex.Engine)
+	if len(ex.DictAttrs) > 0 {
+		line += " dict=" + strings.Join(ex.DictAttrs, ",")
+	}
+	return line
 }
 
 // loadRelation parses "Name: V1 V2 ..." plus integer tuple rows.

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"minesweeper"
@@ -106,5 +108,56 @@ func TestShapingFlagsEndToEnd(t *testing.T) {
 	// B=2 count 1, B=3 count 1.
 	if !reflect.DeepEqual(res.Tuples, [][]int{{2, 1}, {3, 1}}) {
 		t.Fatalf("rows = %v", res.Tuples)
+	}
+}
+
+// TestExplainFlag mirrors main's -explain wiring: relations loaded from
+// files, the query prepared, and the plan line formatted. The skewed
+// sparse instance makes the planner override the structural order and
+// dictionary-encode the sparse attributes, so every field of the line
+// is exercised.
+func TestExplainFlag(t *testing.T) {
+	dir := t.TempDir()
+	var rBuf, sBuf strings.Builder
+	rBuf.WriteString("R: A B\n")
+	for i := 0; i < 4000; i++ {
+		fmt.Fprintf(&rBuf, "%d %d\n", i*10007+7, i*10007+3)
+	}
+	sBuf.WriteString("S: B C\n")
+	for j := 0; j < 20; j++ {
+		fmt.Fprintf(&sBuf, "%d %d\n", (j*11+5)*10007+1, j)
+	}
+	rp := writeFile(t, dir, "r.rel", rBuf.String())
+	sp := writeFile(t, dir, "s.rel", sBuf.String())
+	ra, err := loadRelation(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := loadRelation(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := minesweeper.NewQuery(ra, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := q.Prepare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := formatExplain(pq.Explain())
+	for _, want := range []string{"-- explain: gao=", "width=1", "cost=", "planned=true", "engine=minesweeper", "dict="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("explain line %q missing %q", line, want)
+		}
+	}
+	// A forced GAO is reported verbatim and never marked planned.
+	pqForced, err := q.Prepare(&minesweeper.Options{GAO: []string{"A", "B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := formatExplain(pqForced.Explain())
+	if !strings.Contains(forced, "gao=A,B,C") || !strings.Contains(forced, "planned=false") {
+		t.Errorf("forced explain line %q", forced)
 	}
 }

@@ -56,6 +56,31 @@ type registeredQuery struct {
 	runs     atomic.Int64
 }
 
+// defaultVariant returns the prepared query registration built eagerly
+// (default engine and workers resolution).
+func (rq *registeredQuery) defaultVariant() (*minesweeper.PreparedQuery, error) {
+	eng := rq.opts.Engine
+	if eng == minesweeper.EngineAuto {
+		eng = minesweeper.EngineMinesweeper
+	}
+	return rq.variant(eng, rq.opts.Workers)
+}
+
+// liveExplain reports the default variant's current plan. Mutations
+// re-plan prepared queries transparently, so this is the plan the next
+// run will use (refreshed first) — never the stale registration-time
+// copy.
+func (rq *registeredQuery) liveExplain() (minesweeper.Explain, error) {
+	pq, err := rq.defaultVariant()
+	if err != nil {
+		return minesweeper.Explain{}, err
+	}
+	if err := pq.Refresh(); err != nil {
+		return minesweeper.Explain{}, err
+	}
+	return pq.Explain(), nil
+}
+
 // variant returns the prepared query for the given engine/workers
 // combination, preparing and caching it on first use. Workers are
 // clamped to GOMAXPROCS on every path — beyond that parallelism buys
@@ -302,27 +327,47 @@ func (s *server) handleRegisterQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "query %q already registered", spec.Name)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": spec.Name, "vars": rq.outVars})
+	explain, err := rq.liveExplain()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": spec.Name, "vars": rq.outVars, "explain": explain})
 }
 
 func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {
 	type queryInfo struct {
-		Name    string   `json:"name"`
-		Query   string   `json:"query"`
-		Engine  string   `json:"engine"`
-		GAO     []string `json:"gao,omitempty"`
-		Workers int      `json:"workers,omitempty"`
-		Runs    int64    `json:"runs"`
+		Name    string              `json:"name"`
+		Query   string              `json:"query"`
+		Engine  string              `json:"engine"`
+		GAO     []string            `json:"gao,omitempty"`
+		Workers int                 `json:"workers,omitempty"`
+		Runs    int64               `json:"runs"`
+		Explain minesweeper.Explain `json:"explain"`
 	}
 	s.mu.Lock()
-	out := make([]queryInfo, 0, len(s.queries))
+	queries := make(map[string]*registeredQuery, len(s.queries))
 	for name, rq := range s.queries {
+		queries[name] = rq
+	}
+	s.mu.Unlock()
+	out := make([]queryInfo, 0, len(queries))
+	for name, rq := range queries {
+		// Live plan, refreshed against the current data — a mutation
+		// re-plans prepared queries, and the listing must agree with
+		// what the next run's stream header will say. Computed outside
+		// s.mu: Refresh can rebuild indexes.
+		explain, err := rq.liveExplain()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "query %q: %v", name, err)
+			return
+		}
 		out = append(out, queryInfo{
 			Name: name, Query: rq.expr, Engine: rq.opts.Engine.String(),
 			GAO: rq.opts.GAO, Workers: rq.opts.Workers, Runs: rq.runs.Load(),
+			Explain: explain,
 		})
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -460,6 +505,14 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Refresh before the response status goes out: a mutation since the
+	// last run may re-plan, and a re-plan failure (e.g. a relation
+	// emptied into an invalid state) should surface as a clean 400
+	// here, while the HTTP status can still carry it.
+	if err := pq.Refresh(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	ctx := r.Context()
 	if params.timeout > 0 {
@@ -480,8 +533,14 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	// "vars" is the column order of the tuple lines (projection or
 	// first-appearance order); "gao" is the evaluation order the stream
 	// is sorted by. They are distinct invariants — see Result.Vars/GAO.
-	enc.Encode(map[string]any{"vars": pq.OutputVars(), "engine": pq.Engine().String(), "gao": pq.GAO()})
-	flush()
+	// The header is written from the run's own pinned plan (the plan
+	// callback fires after any transparent re-plan, before the first
+	// tuple), so "gao" always names the order the stream is actually
+	// sorted by, even when a mutation races the run.
+	writeHeader := func(ex minesweeper.Explain) {
+		enc.Encode(map[string]any{"vars": pq.OutputVars(), "engine": pq.Engine().String(), "gao": ex.GAO})
+		flush()
+	}
 
 	// Tuples are encoded by hand into one per-stream scratch buffer —
 	// a JSON array of ints needs no escaping or reflection — so the
@@ -489,7 +548,7 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	// paying json.Encoder's per-Encode marshalling.
 	line := make([]byte, 0, 64)
 	count := 0
-	stats, runErr := pq.StreamContext(ctx, func(t []int) bool {
+	stats, runErr := pq.StreamContextExplained(ctx, writeHeader, func(t []int) bool {
 		line = appendTupleLine(line[:0], t)
 		w.Write(line)
 		flush()

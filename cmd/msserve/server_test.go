@@ -369,3 +369,124 @@ func TestQueryShapingOverHTTP(t *testing.T) {
 		t.Fatalf("registration vars = %v", reg)
 	}
 }
+
+// TestExplainInQueryResponses: registration and the query listing both
+// carry the plan — GAO, width, cost estimate and planned flag — so
+// clients can see what order a served query runs under without an
+// extra round trip.
+func TestExplainInQueryResponses(t *testing.T) {
+	s := newTestServer(t)
+
+	rec := do(t, s, "POST", "/queries", `{"name":"rs2","query":"R(x, y), S(y, z)"}`)
+	wantStatus(t, rec, http.StatusOK)
+	var reg struct {
+		Name    string `json:"name"`
+		Explain struct {
+			GAO     []string `json:"gao"`
+			Width   int      `json:"width"`
+			EstCost float64  `json:"est_cost"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reg); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Explain.GAO) != 3 || reg.Explain.Width != 1 || reg.Explain.EstCost <= 0 {
+		t.Fatalf("register explain = %+v", reg.Explain)
+	}
+
+	rec = do(t, s, "GET", "/queries", "")
+	wantStatus(t, rec, http.StatusOK)
+	var infos []struct {
+		Name    string `json:"name"`
+		Explain struct {
+			GAO   []string `json:"gao"`
+			Width int      `json:"width"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("queries = %+v", infos)
+	}
+	for _, info := range infos {
+		if len(info.Explain.GAO) != 3 {
+			t.Fatalf("query %q explain = %+v", info.Name, info.Explain)
+		}
+	}
+}
+
+// TestRunHeaderGAOMatchesEmissionOrder: a mutation between runs can
+// re-plan the evaluation order; the NDJSON header's "gao" must name
+// the order the stream is actually sorted by (the run refreshes the
+// plan before writing the header).
+func TestRunHeaderGAOMatchesEmissionOrder(t *testing.T) {
+	s := newTestServer(t)
+	// Mutate R so the next run re-plans against fresh statistics.
+	wantStatus(t, do(t, s, "POST", "/relations/R/insert", `{"tuples":[[9,2],[7,3],[8,2]]}`), http.StatusOK)
+	rec := do(t, s, "GET", "/queries/rs/run", "")
+	wantStatus(t, rec, http.StatusOK)
+	run := parseRun(t, rec.Body)
+
+	vars, _ := run.header["vars"].([]any)
+	gao, _ := run.header["gao"].([]any)
+	if len(vars) == 0 || len(gao) == 0 {
+		t.Fatalf("header = %v", run.header)
+	}
+	pos := map[string]int{}
+	for i, v := range vars {
+		pos[v.(string)] = i
+	}
+	perm := make([]int, len(gao)) // gao position -> tuple column
+	for i, g := range gao {
+		perm[i] = pos[g.(string)]
+	}
+	for i := 1; i < len(run.tuples); i++ {
+		prev, cur := run.tuples[i-1], run.tuples[i]
+		less := false
+		for _, c := range perm {
+			if prev[c] != cur[c] {
+				less = prev[c] < cur[c]
+				break
+			}
+		}
+		if !less {
+			t.Fatalf("tuples not sorted by header gao %v: %v then %v", gao, prev, cur)
+		}
+	}
+}
+
+// TestListQueriesExplainTracksMutations: GET /queries reports the live
+// plan — after a mutation re-plans the prepared query, the listing's
+// gao must match what the next run's stream header says, not the
+// registration-time copy.
+func TestListQueriesExplainTracksMutations(t *testing.T) {
+	s := newTestServer(t)
+	wantStatus(t, do(t, s, "POST", "/relations/R/insert", `{"tuples":[[9,2],[7,3],[8,2]]}`), http.StatusOK)
+
+	rec := do(t, s, "GET", "/queries", "")
+	wantStatus(t, rec, http.StatusOK)
+	var infos []struct {
+		Explain struct {
+			GAO []string `json:"gao"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("queries = %+v", infos)
+	}
+	listed := infos[0].Explain.GAO
+
+	run := parseRun(t, do(t, s, "GET", "/queries/rs/run", "").Body)
+	headerGAO, _ := run.header["gao"].([]any)
+	if len(headerGAO) != len(listed) {
+		t.Fatalf("listing gao %v vs run header gao %v", listed, headerGAO)
+	}
+	for i, g := range headerGAO {
+		if g.(string) != listed[i] {
+			t.Fatalf("listing gao %v diverges from run header gao %v", listed, headerGAO)
+		}
+	}
+}

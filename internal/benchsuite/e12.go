@@ -1,0 +1,169 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/dataset"
+	"minesweeper/internal/planner"
+)
+
+// --- E12: data-aware planning + dense-domain dictionaries ------------
+//
+// The E12 benchmarks mirror the public Prepare pipeline with internal
+// pieces (benchsuite cannot import the root package — bench_test.go
+// lives inside it): planner.Choose over Collect'ed statistics picks the
+// GAO, and the dictionary variants rank-encode every attribute before
+// index build and decode on emit, exactly like the prepared-query
+// layer. Default variants run the structural order on raw values — the
+// PR 4 behaviour — so each pair measures what the planning layer buys.
+
+func e12PlannerAtoms(specs []core.AtomSpec) []planner.Atom {
+	atoms := make([]planner.Atom, len(specs))
+	for i, s := range specs {
+		st := planner.Collect(s.Tuples, len(s.Attrs))
+		atoms[i] = planner.Atom{Attrs: s.Attrs, Rows: st.Rows, Cols: st.Cols}
+	}
+	return atoms
+}
+
+// e12Dicts builds one order-preserving dictionary per GAO attribute
+// from the participating spec columns.
+func e12Dicts(gao []string, specs []core.AtomSpec) *core.DictSet {
+	ds := &core.DictSet{ByPos: make([]*core.Dict, len(gao))}
+	for p, attr := range gao {
+		var lists [][]int
+		for _, s := range specs {
+			for j, a := range s.Attrs {
+				if a == attr {
+					col := make([]int, len(s.Tuples))
+					for i, tup := range s.Tuples {
+						col[i] = tup[j]
+					}
+					lists = append(lists, col)
+				}
+			}
+		}
+		ds.ByPos[p] = core.NewDict(lists...)
+	}
+	return ds
+}
+
+// e12Encode returns specs with every column rank-encoded under the
+// dictionaries (column-wise, before the per-atom GAO permutation —
+// equivalent to encoding after, and simpler).
+func e12Encode(gao []string, specs []core.AtomSpec, ds *core.DictSet) []core.AtomSpec {
+	pos := map[string]int{}
+	for p, a := range gao {
+		pos[a] = p
+	}
+	out := make([]core.AtomSpec, len(specs))
+	for i, s := range specs {
+		enc := core.AtomSpec{Name: s.Name, Attrs: s.Attrs}
+		enc.Tuples = make([][]int, len(s.Tuples))
+		for r, tup := range s.Tuples {
+			row := make([]int, len(tup))
+			for j, v := range tup {
+				d := ds.ByPos[pos[s.Attrs[j]]]
+				c, ok := d.Encode(v)
+				if !ok {
+					panic("benchsuite: dictionary misses its own column value")
+				}
+				row[j] = c
+			}
+			enc.Tuples[r] = row
+		}
+		out[i] = enc
+	}
+	return out
+}
+
+func e12Run(b *testing.B, gao []string, specs []core.AtomSpec, dict bool) {
+	var ds *core.DictSet
+	if dict {
+		ds = e12Dicts(gao, specs)
+		specs = e12Encode(gao, specs, ds)
+	}
+	p, err := core.NewProblem(gao, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats certificate.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := 0
+		err := core.MinesweeperStream(p, &stats, func(t []int) bool {
+			if ds != nil {
+				ds.DecodeInPlace(t) // decode cost belongs to the measurement
+			}
+			out++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out == 0 && i == 0 {
+			b.Log("warning: E12 join is empty")
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+func sparseSkewSpecs() []core.AtomSpec {
+	e, f := dataset.SparseSkewJoin(20000, 64, 10007)
+	return []core.AtomSpec{
+		{Name: "E", Attrs: []string{"A", "B"}, Tuples: e},
+		{Name: "F", Attrs: []string{"B", "C"}, Tuples: f},
+	}
+}
+
+func sparseHeavySpecs() []core.AtomSpec {
+	e, f := dataset.SparseHeavyEnum(64, 32, 20000, 9973)
+	return []core.AtomSpec{
+		{Name: "E", Attrs: []string{"A", "B"}, Tuples: e},
+		{Name: "F", Attrs: []string{"B", "C"}, Tuples: f},
+	}
+}
+
+// SparseSkewDefault runs the skewed-size instance under the structural
+// default order on raw values — what PR 4's EngineAuto did.
+func SparseSkewDefault(b *testing.B) {
+	specs := sparseSkewSpecs()
+	gao, _ := planner.Structural(e12PlannerAtoms(specs))
+	e12Run(b, gao, specs, false)
+}
+
+// SparseSkewPlanned runs the same instance under the cost-based plan
+// with dictionary encoding — what EngineAuto does now.
+func SparseSkewPlanned(b *testing.B) {
+	specs := sparseSkewSpecs()
+	gao := planner.Choose(e12PlannerAtoms(specs), planner.Config{}).GAO
+	e12Run(b, gao, specs, true)
+}
+
+// SparseHeavyEnumDefault: output-heavy sparse enumeration, structural
+// order, raw values.
+func SparseHeavyEnumDefault(b *testing.B) {
+	specs := sparseHeavySpecs()
+	gao, _ := planner.Structural(e12PlannerAtoms(specs))
+	e12Run(b, gao, specs, false)
+}
+
+// SparseHeavyEnumPlannedRaw isolates the planner: chosen order, raw
+// values (the delta to SparseHeavyEnumPlanned is the dictionary).
+func SparseHeavyEnumPlannedRaw(b *testing.B) {
+	specs := sparseHeavySpecs()
+	gao := planner.Choose(e12PlannerAtoms(specs), planner.Config{}).GAO
+	e12Run(b, gao, specs, false)
+}
+
+// SparseHeavyEnumPlanned: chosen order plus dictionaries — phantom
+// successor probes disappear and the per-output rule-out intervals
+// coalesce.
+func SparseHeavyEnumPlanned(b *testing.B) {
+	specs := sparseHeavySpecs()
+	gao := planner.Choose(e12PlannerAtoms(specs), planner.Config{}).GAO
+	e12Run(b, gao, specs, true)
+}

@@ -52,6 +52,11 @@ func Suite() []Bench {
 		{"SelectivePushdown/sel=1%", "E10", SelectivePushdown},
 		{"SelectivePostFilter", "E10", SelectivePostFilter},
 		{"AggregateGroupCount", "E11", AggregateGroupCount},
+		{"SparseSkew/Default", "E12", SparseSkewDefault},
+		{"SparseSkew/Planned", "E12", SparseSkewPlanned},
+		{"SparseHeavyEnum/Default", "E12", SparseHeavyEnumDefault},
+		{"SparseHeavyEnum/PlannedRaw", "E12", SparseHeavyEnumPlannedRaw},
+		{"SparseHeavyEnum/Planned", "E12", SparseHeavyEnumPlanned},
 		{"CDSProbeInsertLoop", "micro", CDSProbeInsertLoop},
 		{"CDSInsConstraint", "micro", CDSInsConstraint},
 		{"RangeSetInsert", "micro", RangeSetInsert},

@@ -36,6 +36,13 @@ type Stats struct {
 	// Backtracks counts getProbePoint back-tracking steps
 	// (line 16 of Algorithm 3).
 	Backtracks int64
+	// PlanWidth and PlanCost describe the executed plan rather than the
+	// run's work: the elimination width of the GAO the run evaluated
+	// under and the planner's estimated cost for it (0 when no estimate
+	// was made, e.g. direct core-level runs). They are set once per run
+	// by the public execution layer and are not accumulated by Add.
+	PlanWidth int
+	PlanCost  float64
 }
 
 // Add accumulates o into s.
@@ -54,7 +61,11 @@ func (s *Stats) Add(o *Stats) {
 func (s *Stats) CertificateEstimate() int64 { return s.FindGaps }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"findgaps=%d cmp=%d probes=%d constraints=%d cdsops=%d outputs=%d backtracks=%d",
 		s.FindGaps, s.Comparisons, s.ProbePoints, s.Constraints, s.CDSOps, s.Outputs, s.Backtracks)
+	if s.PlanCost > 0 {
+		out += fmt.Sprintf(" planwidth=%d plancost=%.3g", s.PlanWidth, s.PlanCost)
+	}
+	return out
 }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"minesweeper/internal/ordered"
+)
+
+// Dict is an order-preserving dictionary for one attribute: the sorted
+// distinct values the attribute takes anywhere in the query, mapped to
+// their ranks [0, n). Rank encoding is strictly monotone, so every
+// comparison-based structure — the relation trees, the CDS interval
+// lists, the certificate argument — behaves identically on codes and on
+// raw values (Section 6.2: certificates are value-oblivious); what
+// changes is density. A sparse, skewed domain fragments the constraint
+// store into many tiny ruled-out intervals; under rank encoding,
+// adjacent ruled-out values become adjacent codes whose intervals
+// coalesce, which is the Kalinsky et al. domain-ordering win.
+type Dict struct {
+	values []int // sorted, distinct
+}
+
+// NewDict builds the dictionary of the given value lists (the columns
+// the attribute binds, concatenated). Values are deduplicated; the
+// inputs are not retained.
+func NewDict(lists ...[]int) *Dict {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	buf := make([]int, 0, n)
+	for _, l := range lists {
+		buf = append(buf, l...)
+	}
+	sort.Ints(buf)
+	out := buf[:0]
+	for i, v := range buf {
+		if i > 0 && v == buf[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	// Dictionaries live as long as their prepared query; when dedup
+	// shed most of the concatenated input, keeping the original backing
+	// array alive would pin sum(|columns|) ints for a fraction of the
+	// values. Copy down to size in that case.
+	if cap(buf) > 2*len(out) {
+		out = append(make([]int, 0, len(out)), out...)
+	}
+	return &Dict{values: out}
+}
+
+// Len returns the code-space size n (codes are [0, n)).
+func (d *Dict) Len() int { return len(d.values) }
+
+// Encode returns the rank of v, or ok=false when v is not in the
+// dictionary (such a value cannot appear in any join output).
+func (d *Dict) Encode(v int) (int, bool) {
+	i := sort.SearchInts(d.values, v)
+	if i < len(d.values) && d.values[i] == v {
+		return i, true
+	}
+	return 0, false
+}
+
+// Decode returns the value of code c. Codes outside [0, n) clamp to the
+// domain sentinels, mirroring the index convention for ±∞.
+func (d *Dict) Decode(c int) int {
+	switch {
+	case c < 0:
+		return ordered.NegInf
+	case c >= len(d.values):
+		return ordered.PosInf
+	}
+	return d.values[c]
+}
+
+// LoCode returns the smallest code whose value is ≥ v (len when none):
+// the encoded form of an inclusive lower bound.
+func (d *Dict) LoCode(v int) int { return sort.SearchInts(d.values, v) }
+
+// HiCode returns the largest code whose value is ≤ v (-1 when none):
+// the encoded form of an inclusive upper bound.
+func (d *Dict) HiCode(v int) int { return sort.SearchInts(d.values, v+1) - 1 }
+
+// DictSet carries one optional dictionary per GAO position (nil = the
+// position stays raw). It is immutable once built; the prepared-query
+// layer rebuilds it when a bound relation's epoch changes.
+type DictSet struct {
+	ByPos []*Dict
+}
+
+// Any reports whether at least one position is encoded.
+func (ds *DictSet) Any() bool {
+	if ds == nil {
+		return false
+	}
+	for _, d := range ds.ByPos {
+		if d != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodeTuples rank-encodes the columns of GAO-permuted tuples in
+// place: column j of every tuple holds the value of GAO position
+// positions[j]. Rows are assumed to be freshly permuted copies owned by
+// the caller. Every value is present in its dictionary by construction
+// (dictionaries are built from the same columns).
+func (ds *DictSet) EncodeTuples(tuples [][]int, positions []int) {
+	for j, gp := range positions {
+		d := ds.ByPos[gp]
+		if d == nil {
+			continue
+		}
+		for _, row := range tuples {
+			c, ok := d.Encode(row[j])
+			if !ok {
+				// Unreachable when the dictionary covers the column; keep
+				// a defined order-preserving fallback rather than panic.
+				c = d.LoCode(row[j])
+			}
+			row[j] = c
+		}
+	}
+}
+
+// EncodeBounds translates per-position inclusive bounds into code
+// space. A bound that no dictionary value satisfies becomes the empty
+// bound — correctly so: the dictionary holds every value the attribute
+// takes anywhere, so an uncovered range cannot contribute output.
+func (ds *DictSet) EncodeBounds(bounds []Bound) []Bound {
+	if bounds == nil {
+		return nil
+	}
+	out := make([]Bound, len(bounds))
+	for i, b := range bounds {
+		d := ds.ByPos[i]
+		if d == nil {
+			out[i] = b
+			continue
+		}
+		if b.Full() {
+			out[i] = FullBound()
+			continue
+		}
+		out[i] = Bound{Lo: d.LoCode(b.Lo), Hi: d.HiCode(b.Hi)}
+	}
+	return out
+}
+
+// DecodeInPlace maps an emitted code tuple (one value per GAO position)
+// back to raw values. Emitted tuples are owned by the receiver, so
+// in-place decoding is safe and allocation-free.
+func (ds *DictSet) DecodeInPlace(t []int) {
+	for i, d := range ds.ByPos {
+		if d != nil {
+			t[i] = d.Decode(t[i])
+		}
+	}
+}

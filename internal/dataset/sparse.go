@@ -1,0 +1,51 @@
+package dataset
+
+// The E12 instances: skewed relation sizes over sparse value domains.
+// Both stress what the structural GAO heuristics cannot see — the data.
+
+// SparseSkewJoin builds the E12 planning instance: Q = E(A,B) ⋈ F(B,C)
+// where E is big (n tuples, every value strided by `stride` so the
+// domain is sparse) and F is tiny (k tuples) with B values that almost
+// all miss E's. The structural default order leads with A — the huge
+// relation's private attribute — and pays Θ(n) probe points; an order
+// leading with F's attributes pays Θ(k). Every k/8-th F tuple hits a
+// B value of E so the join is non-empty (the planner must not win by
+// emptiness alone).
+func SparseSkewJoin(n, k, stride int) (e, f [][]int) {
+	for i := 0; i < n; i++ {
+		e = append(e, []int{i*stride + 7, i*stride + 3})
+	}
+	for j := 0; j < k; j++ {
+		b := (j*11+5)*stride + 1 // interleaves E's B range, misses it
+		if j%8 == 0 {
+			b = (j*11)*stride + 3 // hits E tuple i = j*11
+		}
+		f = append(f, []int{b, j * stride})
+	}
+	return e, f
+}
+
+// SparseHeavyEnum builds the E12 skew+output instance: one heavy join
+// value b* with h sparse A partners in E and w sparse C partners in F
+// (an enumeration of h·w output tuples over stride-sparse values), plus
+// `filler` E tuples of unique sparse (A, B) pairs that never join. The
+// structural default order leads with A and pays a probe round per
+// filler tuple; a data-aware order leads with F's small B domain and
+// pays only for the real output. The sparse values also exercise the
+// dictionary's interval coalescing on the per-output rule-outs.
+func SparseHeavyEnum(h, w, filler, stride int) (e, f [][]int) {
+	const bstar = 1_000_003
+	for i := 0; i < h; i++ {
+		e = append(e, []int{i*stride + 11, bstar})
+	}
+	// Filler lives above the heavy block in A and away from b* in B.
+	aBase := h*stride + 1_000_000_007
+	bBase := 2_000_000_003
+	for i := 0; i < filler; i++ {
+		e = append(e, []int{aBase + i*stride, bBase + i*stride})
+	}
+	for j := 0; j < w; j++ {
+		f = append(f, []int{bstar, j*stride + 13})
+	}
+	return e, f
+}

@@ -197,6 +197,11 @@ func (h *Hypergraph) isNestPoint(edges [][]string, v string) bool {
 // Proposition A.6 such an order exists iff the hypergraph is β-acyclic;
 // the order is built back-to-front by repeatedly extracting a nest point
 // (Brouwer–Kolen guarantees β-acyclic hypergraphs have one).
+//
+// The choice among several nest points is canonical: the
+// lexicographically largest one is eliminated first (i.e. placed
+// latest), so the returned order depends only on the hypergraph — not
+// on the order atoms or attributes were first mentioned in.
 func (h *Hypergraph) NestedEliminationOrder() (order []string, ok bool) {
 	edges := make([][]string, len(h.Edges))
 	copy(edges, h.Edges)
@@ -205,9 +210,8 @@ func (h *Hypergraph) NestedEliminationOrder() (order []string, ok bool) {
 	for len(vertices) > 0 {
 		found := -1
 		for i, v := range vertices {
-			if h.isNestPoint(edges, v) {
+			if (found == -1 || v > vertices[found]) && h.isNestPoint(edges, v) {
 				found = i
-				break
 			}
 		}
 		if found == -1 {
@@ -340,6 +344,11 @@ func isChain(sets [][]string) bool {
 // whose current U(P) is smallest, preferring nest points (so β-acyclic
 // hypergraphs automatically get a nested elimination order). The returned
 // width is the order's elimination width.
+//
+// Ties — equal nest-point status and equal |U(P)| — break to the
+// lexicographically largest vertex (eliminated first, so placed
+// latest), making the result a function of the hypergraph alone rather
+// than of the attribute first-appearance order.
 func (h *Hypergraph) GreedyWidthOrder() (gao []string, width int) {
 	edges := make([][]string, len(h.Edges))
 	copy(edges, h.Edges)
@@ -361,7 +370,9 @@ func (h *Hypergraph) GreedyWidthOrder() (gao []string, width int) {
 			}
 			nest := h.isNestPoint(edges, v)
 			cost := len(uset)
-			if best == -1 || (nest && !bestNest) || (nest == bestNest && cost < bestCost) {
+			better := best == -1 || (nest && !bestNest) ||
+				(nest == bestNest && (cost < bestCost || (cost == bestCost && v > vertices[best])))
+			if better {
 				best, bestCost, bestNest = i, cost, nest
 			}
 		}

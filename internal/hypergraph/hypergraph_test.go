@@ -370,3 +370,61 @@ func TestPrefixPosetsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestOrderTieBreakDeterminism is the regression test for the
+// lexicographic tie-break: equal-width choices must not depend on the
+// order edges (atoms) or vertices were first mentioned in. Every
+// permutation of the edge list must produce the identical order, and
+// symmetric vertices must come out in lexicographic position.
+func TestOrderTieBreakDeterminism(t *testing.T) {
+	// R(X,A) ⋈ S(X,B): A and B are fully symmetric, so only the
+	// tie-break decides their relative position.
+	presentations := [][][]string{
+		{{"X", "A"}, {"X", "B"}},
+		{{"X", "B"}, {"X", "A"}},
+		{{"B", "X"}, {"A", "X"}},
+	}
+	var wantNEO, wantGreedy []string
+	for i, edges := range presentations {
+		h := New(edges)
+		neo, ok := h.NestedEliminationOrder()
+		if !ok {
+			t.Fatalf("presentation %d: no NEO", i)
+		}
+		greedy, _ := h.GreedyWidthOrder()
+		if i == 0 {
+			wantNEO, wantGreedy = neo, greedy
+			continue
+		}
+		if !reflect.DeepEqual(neo, wantNEO) {
+			t.Errorf("presentation %d: NEO = %v, want %v", i, neo, wantNEO)
+		}
+		if !reflect.DeepEqual(greedy, wantGreedy) {
+			t.Errorf("presentation %d: greedy = %v, want %v", i, greedy, wantGreedy)
+		}
+	}
+	// Lexicographic within the tie: the larger of the two symmetric
+	// attributes is eliminated first, i.e. placed later in the order.
+	posA, posB := -1, -1
+	for i, v := range wantNEO {
+		switch v {
+		case "A":
+			posA = i
+		case "B":
+			posB = i
+		}
+	}
+	if posA > posB {
+		t.Errorf("NEO %v places B before A despite the lexicographic tie-break", wantNEO)
+	}
+	// Cyclic tie case: the triangle's three vertices are symmetric too.
+	tri := [][][]string{
+		{{"P", "Q"}, {"Q", "R"}, {"P", "R"}},
+		{{"Q", "R"}, {"P", "R"}, {"P", "Q"}},
+	}
+	g0, _ := New(tri[0]).GreedyWidthOrder()
+	g1, _ := New(tri[1]).GreedyWidthOrder()
+	if !reflect.DeepEqual(g0, g1) {
+		t.Errorf("triangle greedy orders differ across presentations: %v vs %v", g0, g1)
+	}
+}

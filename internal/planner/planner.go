@@ -1,0 +1,451 @@
+package planner
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"minesweeper/internal/hypergraph"
+)
+
+// Atom is one query atom as the planner sees it: its attribute names
+// (real join variables only — constant columns are selections, not
+// order choices) with the per-column statistics of the bound relation.
+type Atom struct {
+	Attrs []string
+	Rows  int
+	Cols  []ColStat // parallel to Attrs
+}
+
+// Plan is the planner's verdict: the chosen order, its elimination
+// width, the model's estimated cost, whether the data changed the
+// choice away from the structural default, and how many candidate
+// orders were costed.
+type Plan struct {
+	GAO        []string
+	Width      int
+	Cost       float64
+	Planned    bool // true when the cost model overrode the structural order
+	Considered int
+}
+
+// Config tunes the search. The zero value uses DefaultBeam.
+type Config struct {
+	// Beam bounds how many partial orders survive each expansion step
+	// (and how many complete candidates are costed per strategy).
+	Beam int
+}
+
+// DefaultBeam is wide enough to cover every order of small queries
+// while keeping planning O(beam · n² · m) for large ones — past the
+// 9-variable wall where exhaustive width search gives up.
+const DefaultBeam = 8
+
+// structuralMargin is the relative cost slack within which the
+// structural order is kept even when a beam candidate models slightly
+// cheaper: estimates that close are noise, and keeping the structural
+// default makes plans stable under small data perturbations.
+const structuralMargin = 1.01
+
+// edges renders the atoms' attribute lists for hypergraph construction.
+func edges(atoms []Atom) [][]string {
+	out := make([][]string, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Attrs
+	}
+	return out
+}
+
+// Structural returns the purely structural order — a nested elimination
+// order when one exists (the β-acyclic Õ(|C|+Z) regime), otherwise the
+// greedy min-width order — exactly the pre-planner RecommendGAO choice.
+func Structural(atoms []Atom) (gao []string, width int) {
+	h := hypergraph.New(edges(atoms))
+	if neo, ok := h.NestedEliminationOrder(); ok {
+		w, err := h.EliminationWidth(neo)
+		if err != nil {
+			panic(err) // unreachable: neo permutes the hypergraph vertices
+		}
+		return neo, w
+	}
+	return h.GreedyWidthOrder()
+}
+
+// Choose runs the data-aware search: it enumerates
+// elimination-width-feasible candidate orders (the structural default,
+// data-guided nested elimination orders for β-acyclic queries, and a
+// forward cost-driven beam for cyclic ones), costs each with the
+// cardinality model, and picks the cheapest order of minimal width —
+// preferring the structural order on near-ties and breaking exact ties
+// lexicographically, so the plan is deterministic.
+func Choose(atoms []Atom, cfg Config) Plan {
+	beam := cfg.Beam
+	if beam <= 0 {
+		beam = DefaultBeam
+	}
+	h := hypergraph.New(edges(atoms))
+	structural, _ := Structural(atoms)
+
+	seen := map[string]bool{}
+	var cands [][]string
+	add := func(order []string) {
+		key := strings.Join(order, "\x00")
+		if !seen[key] {
+			seen[key] = true
+			cands = append(cands, order)
+		}
+	}
+	add(structural)
+	if _, ok := h.NestedEliminationOrder(); ok {
+		for _, o := range nestedBeam(h, atoms, beam) {
+			add(o)
+		}
+	} else {
+		for _, o := range forwardBeam(h, atoms, beam) {
+			add(o)
+		}
+	}
+
+	type scored struct {
+		order []string
+		width int
+		cost  float64
+	}
+	all := make([]scored, 0, len(cands))
+	minW := math.MaxInt
+	for _, o := range cands {
+		w, err := h.EliminationWidth(o)
+		if err != nil {
+			continue // candidate missed an attribute: not a full order
+		}
+		all = append(all, scored{order: o, width: w, cost: CostOf(atoms, o)})
+		if w < minW {
+			minW = w
+		}
+	}
+	best := scored{cost: math.Inf(1)}
+	var structuralPick *scored
+	for i := range all {
+		s := &all[i]
+		if s.width != minW {
+			continue // width dominates cost: the bound is |C|^{w+1}
+		}
+		if lexKey(s.order) == lexKey(structural) {
+			structuralPick = s
+		}
+		if s.cost < best.cost || (s.cost == best.cost && lexKey(s.order) < lexKey(best.order)) {
+			best = *s
+		}
+	}
+	planned := true
+	if structuralPick != nil && structuralPick.cost <= best.cost*structuralMargin {
+		best = *structuralPick
+		planned = false
+	}
+	return Plan{GAO: best.order, Width: best.width, Cost: best.cost, Planned: planned, Considered: len(all)}
+}
+
+func lexKey(order []string) string { return strings.Join(order, "\x00") }
+
+// nestedBeam enumerates nested elimination orders by beam search over
+// the back-to-front nest-point extraction of Proposition A.6: at each
+// step every current nest point is a legal extraction, and the beam
+// keeps the states that push expensive-to-lead attributes latest (an
+// attribute with a small candidate count belongs at the front of the
+// GAO, where it prunes every deeper level). Only complete orders are
+// returned; all of them are nested, so the β-acyclic Õ(|C|+Z) guarantee
+// survives whichever one the cost model picks.
+func nestedBeam(h *hypergraph.Hypergraph, atoms []Atom, beam int) [][]string {
+	type state struct {
+		edges    [][]string
+		vertices []string
+		rev      []string
+		score    float64 // cumulative headCost of extracted attrs, earlier-weighted
+	}
+	head := headCosts(atoms)
+	start := state{edges: append([][]string(nil), h.Edges...), vertices: append([]string(nil), h.Vertices...)}
+	states := []state{start}
+	n := len(h.Vertices)
+	for step := 0; step < n; step++ {
+		var next []state
+		for _, st := range states {
+			for i, v := range st.vertices {
+				if !isNestPointOf(st.edges, v) {
+					continue
+				}
+				ns := state{
+					vertices: make([]string, 0, len(st.vertices)-1),
+					rev:      append(append([]string(nil), st.rev...), v),
+					// Extracted early = placed late: reward big head costs
+					// extracted first (decaying weight keeps it a heuristic,
+					// the exact model re-costs complete orders).
+					score: st.score + math.Log2(head[v]+1)/float64(step+1),
+				}
+				ns.vertices = append(ns.vertices, st.vertices[:i]...)
+				ns.vertices = append(ns.vertices, st.vertices[i+1:]...)
+				ns.edges = make([][]string, len(st.edges))
+				for j, e := range st.edges {
+					ns.edges[j] = without(e, v)
+				}
+				next = append(next, ns)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].score != next[j].score {
+				return next[i].score > next[j].score
+			}
+			return lexKey(next[i].rev) < lexKey(next[j].rev)
+		})
+		if len(next) > beam {
+			next = next[:beam]
+		}
+		states = next
+	}
+	out := make([][]string, 0, len(states))
+	for _, st := range states {
+		order := make([]string, n)
+		for i, v := range st.rev {
+			order[n-1-i] = v
+		}
+		out = append(out, order)
+	}
+	return out
+}
+
+// forwardBeam builds orders front-to-back for cyclic queries, expanding
+// each partial order with every attribute connected to it (any
+// attribute when none is placed yet) and keeping the beam cheapest
+// under the incremental cost model.
+func forwardBeam(h *hypergraph.Hypergraph, atoms []Atom, beam int) [][]string {
+	type state struct {
+		order []string
+		cost  float64
+	}
+	n := len(h.Vertices)
+	states := []state{{}}
+	for step := 0; step < n; step++ {
+		var next []state
+		for _, st := range states {
+			placed := map[string]bool{}
+			for _, v := range st.order {
+				placed[v] = true
+			}
+			for _, v := range h.Vertices {
+				if placed[v] || !(len(st.order) == 0 || connected(atoms, placed, v) || fullyDisconnected(atoms, placed)) {
+					continue
+				}
+				order := append(append([]string(nil), st.order...), v)
+				next = append(next, state{order: order, cost: CostOf(atoms, order)})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].cost != next[j].cost {
+				return next[i].cost < next[j].cost
+			}
+			return lexKey(next[i].order) < lexKey(next[j].order)
+		})
+		if len(next) > beam {
+			next = next[:beam]
+		}
+		states = next
+	}
+	out := make([][]string, 0, len(states))
+	for _, st := range states {
+		out = append(out, st.order)
+	}
+	return out
+}
+
+// connected reports whether v shares an atom with a placed attribute.
+func connected(atoms []Atom, placed map[string]bool, v string) bool {
+	for i := range atoms {
+		has, joins := false, false
+		for _, a := range atoms[i].Attrs {
+			if a == v {
+				has = true
+			} else if placed[a] {
+				joins = true
+			}
+		}
+		if has && joins {
+			return true
+		}
+	}
+	return false
+}
+
+// fullyDisconnected reports whether no unplaced attribute connects to
+// the placed set (a cross-product boundary), in which case any
+// attribute may extend the order.
+func fullyDisconnected(atoms []Atom, placed map[string]bool) bool {
+	for i := range atoms {
+		for _, a := range atoms[i].Attrs {
+			if !placed[a] && connected(atoms, placed, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// headCosts estimates, per attribute, the candidate count it would
+// contribute as the leading GAO attribute: the smallest distinct count
+// over the atoms binding it.
+func headCosts(atoms []Atom) map[string]float64 {
+	out := map[string]float64{}
+	for i := range atoms {
+		for j, a := range atoms[i].Attrs {
+			d := float64(atoms[i].Cols[j].Distinct)
+			if d < 1 {
+				d = 1
+			}
+			if cur, ok := out[a]; !ok || d < cur {
+				out[a] = d
+			}
+		}
+	}
+	return out
+}
+
+func without(edge []string, v string) []string {
+	out := make([]string, 0, len(edge))
+	for _, u := range edge {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// isNestPointOf reports whether the edges containing v form a ⊆-chain.
+func isNestPointOf(edges [][]string, v string) bool {
+	var incident [][]string
+	for _, e := range edges {
+		for _, u := range e {
+			if u == v {
+				incident = append(incident, e)
+				break
+			}
+		}
+	}
+	sort.Slice(incident, func(i, j int) bool { return len(incident[i]) < len(incident[j]) })
+	for i := 1; i < len(incident); i++ {
+		if !subsetOf(incident[i-1], incident[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOf(a, b []string) bool {
+	for _, v := range a {
+		found := false
+		for _, u := range b {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// CostOf runs the forward cardinality model over a complete (or
+// partial) order: walking the order left to right it tracks the
+// estimated number of partial bindings, multiplying in each step's
+// candidate count — the minimum, over the atoms binding the attribute,
+// of the estimated per-binding fanout — and charges each step the
+// running size times the index-probe cost of the participating atoms.
+//
+// The fanout of attribute v in atom a, given the atom's already-placed
+// attributes, blends the independence estimate rows/∏distinct(placed)
+// with the skew sketch (the max-frequency of the most selective placed
+// column): the geometric mean of the average and the worst case, capped
+// by v's distinct count. The model is a heuristic — it decides order
+// preference, not correctness — and is deterministic in its inputs.
+func CostOf(atoms []Atom, gao []string) float64 {
+	placed := make(map[string]bool, len(gao))
+	est := 1.0
+	cost := 0.0
+	for _, v := range gao {
+		cand := math.Inf(1)
+		probe := 1.0
+		for i := range atoms {
+			a := &atoms[i]
+			ci := -1
+			for j, attr := range a.Attrs {
+				if attr == v {
+					ci = j
+					break
+				}
+			}
+			if ci < 0 {
+				continue
+			}
+			f := fanout(a, ci, placed)
+			if f < cand {
+				cand = f
+			}
+			probe += math.Log2(float64(a.Rows) + 2)
+		}
+		if math.IsInf(cand, 1) {
+			cand = 1
+		}
+		est *= cand
+		cost += est * probe
+		placed[v] = true
+	}
+	return cost
+}
+
+// fanout estimates the distinct v-values per binding of the atom's
+// placed attributes.
+func fanout(a *Atom, ci int, placed map[string]bool) float64 {
+	d := float64(a.Cols[ci].Distinct)
+	if d < 1 {
+		d = 1
+	}
+	rows := float64(a.Rows)
+	if rows < 1 {
+		rows = 1
+	}
+	prod := 1.0
+	worst := rows
+	anyPlaced := false
+	for j, attr := range a.Attrs {
+		if j == ci || !placed[attr] {
+			continue
+		}
+		anyPlaced = true
+		pd := float64(a.Cols[j].Distinct)
+		if pd < 1 {
+			pd = 1
+		}
+		prod *= pd
+		mf := float64(a.Cols[j].MaxFreq)
+		if mf < 1 {
+			mf = 1
+		}
+		if mf < worst {
+			worst = mf
+		}
+	}
+	if !anyPlaced {
+		return d
+	}
+	avg := rows / prod
+	if avg < 1 {
+		avg = 1
+	}
+	f := math.Sqrt(avg * worst)
+	if f < 1 {
+		f = 1
+	}
+	if f > d {
+		f = d
+	}
+	return f
+}

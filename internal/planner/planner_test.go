@@ -1,0 +1,162 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	st := Collect([][]int{{5, 1}, {5, 2}, {7, 2}, {9, 2}}, 2)
+	if st.Rows != 4 {
+		t.Fatalf("Rows = %d", st.Rows)
+	}
+	want := []ColStat{
+		{Distinct: 3, Min: 5, Max: 9, MaxFreq: 2},
+		{Distinct: 2, Min: 1, Max: 2, MaxFreq: 3},
+	}
+	if !reflect.DeepEqual(st.Cols, want) {
+		t.Fatalf("Cols = %+v, want %+v", st.Cols, want)
+	}
+	if st.Cols[0].Span() != 5 {
+		t.Fatalf("Span = %d, want 5", st.Cols[0].Span())
+	}
+	empty := Collect(nil, 3)
+	if empty.Rows != 0 || len(empty.Cols) != 3 || empty.Cols[1].Span() != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+// skewedPath builds the planner's bread-and-butter instance: a big
+// relation E(A, B) with N rows and a small F(B, C) with K rows. Leading
+// the order with A costs ~N candidate probes, leading with C costs ~K.
+func skewedPath(n, k int) []Atom {
+	return []Atom{
+		{
+			Attrs: []string{"A", "B"},
+			Rows:  n,
+			Cols: []ColStat{
+				{Distinct: n, Min: 0, Max: 10 * n, MaxFreq: 1},
+				{Distinct: n, Min: 0, Max: 10 * n, MaxFreq: 1},
+			},
+		},
+		{
+			Attrs: []string{"B", "C"},
+			Rows:  k,
+			Cols: []ColStat{
+				{Distinct: k, Min: 0, Max: 10 * n, MaxFreq: 1},
+				{Distinct: k, Min: 0, Max: k, MaxFreq: 1},
+			},
+		},
+	}
+}
+
+func TestCostOfPrefersSmallLead(t *testing.T) {
+	atoms := skewedPath(100000, 50)
+	big := CostOf(atoms, []string{"A", "B", "C"})
+	small := CostOf(atoms, []string{"C", "B", "A"})
+	if small >= big {
+		t.Fatalf("CostOf small-lead %.0f !< big-lead %.0f", small, big)
+	}
+}
+
+func TestChooseDataAware(t *testing.T) {
+	atoms := skewedPath(100000, 50)
+	plan := Choose(atoms, Config{})
+	if plan.Width != 1 {
+		t.Fatalf("width = %d, want 1", plan.Width)
+	}
+	if plan.GAO[0] == "A" {
+		t.Fatalf("plan %v leads with the huge relation's attribute", plan.GAO)
+	}
+	if !plan.Planned {
+		t.Fatal("plan should be data-aware (structural default leads with A)")
+	}
+	if plan.Considered < 2 {
+		t.Fatalf("Considered = %d, want several candidates", plan.Considered)
+	}
+	// The chosen order must be a permutation of all attributes.
+	seen := map[string]bool{}
+	for _, v := range plan.GAO {
+		seen[v] = true
+	}
+	if len(plan.GAO) != 3 || !seen["A"] || !seen["B"] || !seen["C"] {
+		t.Fatalf("plan GAO %v is not a permutation", plan.GAO)
+	}
+}
+
+func TestChooseKeepsStructuralOnUniformData(t *testing.T) {
+	// Symmetric uniform relations: no candidate can model meaningfully
+	// cheaper than the structural order, so the structural order stays.
+	uniform := []Atom{
+		{Attrs: []string{"A", "B"}, Rows: 100, Cols: []ColStat{{Distinct: 100, Min: 0, Max: 99, MaxFreq: 1}, {Distinct: 100, Min: 0, Max: 99, MaxFreq: 1}}},
+		{Attrs: []string{"B", "C"}, Rows: 100, Cols: []ColStat{{Distinct: 100, Min: 0, Max: 99, MaxFreq: 1}, {Distinct: 100, Min: 0, Max: 99, MaxFreq: 1}}},
+	}
+	plan := Choose(uniform, Config{})
+	structural, width := Structural(uniform)
+	if !reflect.DeepEqual(plan.GAO, structural) {
+		t.Fatalf("uniform data: plan %v != structural %v", plan.GAO, structural)
+	}
+	if plan.Planned {
+		t.Fatal("uniform data must not report a data-aware override")
+	}
+	if plan.Width != width {
+		t.Fatalf("width %d != structural %d", plan.Width, width)
+	}
+}
+
+func TestChooseDeterministic(t *testing.T) {
+	atoms := skewedPath(50000, 20)
+	first := Choose(atoms, Config{})
+	for i := 0; i < 5; i++ {
+		if got := Choose(atoms, Config{}); !reflect.DeepEqual(got.GAO, first.GAO) {
+			t.Fatalf("run %d: plan %v != %v", i, got.GAO, first.GAO)
+		}
+	}
+	// Atom order must not matter.
+	swapped := []Atom{atoms[1], atoms[0]}
+	if got := Choose(swapped, Config{}); !reflect.DeepEqual(got.GAO, first.GAO) {
+		t.Fatalf("swapped atoms: plan %v != %v", got.GAO, first.GAO)
+	}
+}
+
+func TestChooseCyclic(t *testing.T) {
+	// Triangle with one tiny relation: the forward beam should lead with
+	// the tiny relation's attributes, and the width must stay 2 (the
+	// triangle's treewidth — every order achieves it).
+	tri := []Atom{
+		{Attrs: []string{"A", "B"}, Rows: 10000, Cols: []ColStat{{Distinct: 10000, Min: 0, Max: 99999, MaxFreq: 1}, {Distinct: 10000, Min: 0, Max: 99999, MaxFreq: 1}}},
+		{Attrs: []string{"B", "C"}, Rows: 10000, Cols: []ColStat{{Distinct: 10000, Min: 0, Max: 99999, MaxFreq: 1}, {Distinct: 10000, Min: 0, Max: 99999, MaxFreq: 1}}},
+		{Attrs: []string{"A", "C"}, Rows: 10, Cols: []ColStat{{Distinct: 10, Min: 0, Max: 99999, MaxFreq: 1}, {Distinct: 10, Min: 0, Max: 99999, MaxFreq: 1}}},
+	}
+	plan := Choose(tri, Config{})
+	if plan.Width != 2 {
+		t.Fatalf("triangle width = %d, want 2", plan.Width)
+	}
+	if plan.GAO[0] != "A" && plan.GAO[0] != "C" {
+		t.Fatalf("plan %v should lead with an attribute of the tiny relation", plan.GAO)
+	}
+	if len(plan.GAO) != 3 {
+		t.Fatalf("plan %v not a full order", plan.GAO)
+	}
+}
+
+func TestChooseBeyondBruteForceLimit(t *testing.T) {
+	// 12-attribute path query: beyond the 9-variable exhaustive-width
+	// wall. The beam must still return a full width-1 order.
+	var atoms []Atom
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i := 0; i+1 < len(names); i++ {
+		atoms = append(atoms, Atom{
+			Attrs: []string{names[i], names[i+1]},
+			Rows:  100,
+			Cols:  []ColStat{{Distinct: 100, Min: 0, Max: 99, MaxFreq: 1}, {Distinct: 100, Min: 0, Max: 99, MaxFreq: 1}},
+		})
+	}
+	plan := Choose(atoms, Config{})
+	if len(plan.GAO) != len(names) {
+		t.Fatalf("plan %v incomplete", plan.GAO)
+	}
+	if plan.Width != 1 {
+		t.Fatalf("path width = %d, want 1", plan.Width)
+	}
+}

@@ -17,6 +17,16 @@
 // Index convention: indexes are 0-based; following the paper's
 // conventions (1) and (2), the out-of-range index -1 denotes the value
 // -∞ and the out-of-range index len denotes +∞.
+//
+// Physically the tree is stored twice over one set of value arrays: a
+// contiguous CSR-style flat layout (one concatenated value array per
+// level plus int32 child-range offsets) that the probe-path primitives
+// — FindGap, Value, InRange, Fanout, Contains — run on with
+// hint-seeded galloping search, and a conventional node view carved out
+// of the same backing arrays for iterator-style consumers (Root,
+// Tuples, Leapfrog). The flat layout replaces per-level pointer chasing
+// with three array reads per level, which is what keeps the Minesweeper
+// probe loop inside a few cache lines on immutable snapshots.
 package reltree
 
 import (
@@ -49,6 +59,22 @@ var builds atomic.Int64
 // Builds returns the process-wide count of New calls.
 func Builds() int64 { return builds.Load() }
 
+// flatIndex is the CSR-style layout of a relation tree: levels[d] holds
+// every depth-d value in depth-first order, and offs[d][p] is the start
+// of entry p's children inside levels[d+1] (offs[d] carries one trailing
+// sentinel, so entry p's children occupy levels[d+1][offs[d][p]:
+// offs[d][p+1]]). The layout is immutable and shared by every view of
+// the tree; the node hierarchy returned by Root carves its Values
+// slices out of the same arrays.
+type flatIndex struct {
+	levels [][]int
+	offs   [][]int32 // len arity-1; offs[d] has len(levels[d])+1 entries
+}
+
+// maxHintLevels bounds the per-view galloping hints; deeper levels fall
+// back to plain binary search (atom arities beyond this are rare).
+const maxHintLevels = 8
+
 // Tree is an indexed relation: a search tree over tuples of fixed arity
 // whose level order equals the (GAO-consistent) attribute order used to
 // build it.
@@ -57,7 +83,15 @@ type Tree struct {
 	arity int
 	size  int // number of tuples
 	root  *Node
+	flat  *flatIndex
+	top0  int // absolute offset of this view's level-0 segment
 	stats *certificate.Stats
+	// hints remembers, per level, where the last flat search landed.
+	// Probe points ascend lexicographically, so seeding the next search
+	// there turns most binary searches into a short gallop. The array is
+	// part of the struct value: every per-run View carries its own
+	// hints, so concurrent runs over one cached index never share them.
+	hints [maxHintLevels]int32
 }
 
 // New builds the search tree for the given tuples. All tuples must have
@@ -84,7 +118,9 @@ func New(name string, arity int, tuples [][]int) (*Tree, error) {
 	sort.Slice(sorted, func(i, j int) bool { return lexLess(sorted[i], sorted[j]) })
 	sorted = dedup(sorted)
 	t := &Tree{name: name, arity: arity, size: len(sorted)}
-	t.root = build(sorted, 0, arity)
+	t.flat = buildFlat(sorted, arity)
+	t.root = t.flat.carve(0, 0, len(t.flat.levels[0]), arity)
+	t.flat.rootCounts(t.root, arity)
 	builds.Add(1)
 	return t, nil
 }
@@ -108,6 +144,7 @@ func NewFromValues(name string, values []int) (*Tree, error) {
 		out = append(out, v)
 	}
 	t := &Tree{name: name, arity: 1, size: len(out), root: &Node{Values: out}}
+	t.flat = &flatIndex{levels: [][]int{out}}
 	builds.Add(1)
 	return t, nil
 }
@@ -141,34 +178,70 @@ func equal(a, b []int) bool {
 	return true
 }
 
-// build constructs the level for attribute position depth from the sorted,
-// deduplicated tuple block.
-func build(block [][]int, depth, arity int) *Node {
-	n := &Node{}
-	if len(block) == 0 {
-		return n
+// buildFlat constructs the CSR layout from the sorted, deduplicated
+// tuples in one pass: a depth-d entry opens whenever the length-(d+1)
+// prefix changes, and its child range starts wherever level d+1 has
+// grown to at that moment (children are appended contiguously right
+// after, depth-first).
+func buildFlat(sorted [][]int, arity int) *flatIndex {
+	f := &flatIndex{levels: make([][]int, arity)}
+	if arity > 1 {
+		f.offs = make([][]int32, arity-1)
 	}
-	leaf := depth == arity-1
-	if !leaf {
-		n.Children = n.Children[:0]
-	}
-	i := 0
-	for i < len(block) {
-		v := block[i][depth]
-		j := i
-		for j < len(block) && block[j][depth] == v {
-			j++
-		}
-		n.Values = append(n.Values, v)
-		if !leaf {
-			n.Children = append(n.Children, build(block[i:j], depth+1, arity))
-			if depth == 0 {
-				n.Counts = append(n.Counts, j-i)
+	for i, tup := range sorted {
+		d0 := 0
+		if i > 0 {
+			prev := sorted[i-1]
+			for prev[d0] == tup[d0] {
+				d0++
 			}
 		}
-		i = j
+		for d := d0; d < arity; d++ {
+			if d < arity-1 {
+				f.offs[d] = append(f.offs[d], int32(len(f.levels[d+1])))
+			}
+			f.levels[d] = append(f.levels[d], tup[d])
+		}
+	}
+	for d := 0; d < arity-1; d++ {
+		f.offs[d] = append(f.offs[d], int32(len(f.levels[d+1])))
+	}
+	return f
+}
+
+// carve builds the node view of the flat entry range [lo, hi) at level
+// d. Node Values alias the flat level arrays — the two representations
+// share one copy of the data.
+func (f *flatIndex) carve(d, lo, hi, arity int) *Node {
+	n := &Node{}
+	if lo < hi {
+		n.Values = f.levels[d][lo:hi:hi]
+	}
+	if d < arity-1 && lo < hi {
+		n.Children = make([]*Node, hi-lo)
+		for p := lo; p < hi; p++ {
+			n.Children[p-lo] = f.carve(d+1, int(f.offs[d][p]), int(f.offs[d][p+1]), arity)
+		}
 	}
 	return n
+}
+
+// rootCounts fills the root node's per-value tuple counts (consumed by
+// SliceTop's size computation): the width of each top entry's leaf-level
+// descendant range, read off the offset chain.
+func (f *flatIndex) rootCounts(root *Node, arity int) {
+	if arity < 2 || len(root.Values) == 0 {
+		return
+	}
+	counts := make([]int, len(root.Values))
+	for i := range counts {
+		lo, hi := i, i+1
+		for d := 0; d < arity-1; d++ {
+			lo, hi = int(f.offs[d][lo]), int(f.offs[d][hi])
+		}
+		counts[i] = hi - lo
+	}
+	root.Counts = counts
 }
 
 // Name returns the relation's name.
@@ -230,7 +303,8 @@ func (t *Tree) SliceTop(lo, hi int) *Tree {
 			size += c
 		}
 	}
-	v.tree = Tree{name: t.name, arity: t.arity, size: size, root: &v.node}
+	v.tree = Tree{name: t.name, arity: t.arity, size: size, root: &v.node,
+		flat: t.flat, top0: t.top0 + i}
 	return &v.tree
 }
 
@@ -248,9 +322,85 @@ func (t *Tree) node(x []int) *Node {
 	return n
 }
 
+// flatSeg resolves index prefix x to the absolute value range
+// [lo, hi) of its children at level len(x): three array reads per level
+// against contiguous memory, no pointer chasing. ok is false when x is
+// out of range (mirroring node returning nil).
+func (t *Tree) flatSeg(x []int) (lo, hi int, ok bool) {
+	lo = t.top0
+	hi = t.top0 + len(t.root.Values)
+	f := t.flat
+	for d, xi := range x {
+		if xi < 0 || xi >= hi-lo || d >= len(f.offs) {
+			return 0, 0, false
+		}
+		p := lo + xi
+		lo, hi = int(f.offs[d][p]), int(f.offs[d][p+1])
+	}
+	return lo, hi, true
+}
+
+// gallopSearch returns the first index in [lo, hi) whose value is ≥ a
+// (hi when none is), starting from seed: exponential probing outward
+// from the seed, then binary search over the surviving range. When the
+// seed is near the answer — the common case on ascending probe points —
+// the search touches O(log distance) entries instead of O(log n).
+func gallopSearch(arr []int, lo, hi, seed, a int) int {
+	if lo >= hi {
+		return lo
+	}
+	if seed < lo {
+		seed = lo
+	} else if seed >= hi {
+		seed = hi - 1
+	}
+	var l, r int // answer ∈ [l, r]; arr[l-1] < a (or l == lo), arr[r] ≥ a (or r == hi)
+	if arr[seed] < a {
+		l = seed + 1
+		step := 1
+		r = l + step
+		for r < hi && arr[r] < a {
+			l = r + 1
+			step <<= 1
+			r = l + step
+		}
+		if r > hi {
+			r = hi
+		}
+	} else {
+		r = seed
+		step := 1
+		l = r - step
+		for l > lo && arr[l-1] >= a {
+			r = l - 1
+			step <<= 1
+			l = r - step
+		}
+		if l < lo {
+			l = lo
+		}
+	}
+	for l < r {
+		m := int(uint(l+r) >> 1)
+		if arr[m] < a {
+			l = m + 1
+		} else {
+			r = m
+		}
+	}
+	return l
+}
+
 // Fanout returns |R[x, *]|: the number of distinct values below prefix x.
 // It panics if x is out of range or longer than arity-1.
 func (t *Tree) Fanout(x []int) int {
+	if t.flat != nil {
+		lo, hi, ok := t.flatSeg(x)
+		if !ok {
+			panic(fmt.Sprintf("reltree: %s: Fanout of invalid index tuple %v", t.name, x))
+		}
+		return hi - lo
+	}
 	n := t.node(x)
 	if n == nil {
 		panic(fmt.Sprintf("reltree: %s: Fanout of invalid index tuple %v", t.name, x))
@@ -265,6 +415,20 @@ func (t *Tree) Fanout(x []int) int {
 func (t *Tree) Value(x []int) int {
 	if len(x) == 0 {
 		panic("reltree: Value of empty index tuple")
+	}
+	if t.flat != nil {
+		lo, hi, ok := t.flatSeg(x[:len(x)-1])
+		if !ok {
+			panic(fmt.Sprintf("reltree: %s: Value of invalid index tuple %v", t.name, x))
+		}
+		last := x[len(x)-1]
+		switch {
+		case last <= -1:
+			return ordered.NegInf
+		case last >= hi-lo:
+			return ordered.PosInf
+		}
+		return t.flat.levels[len(x)-1][lo+last]
 	}
 	n := t.node(x[:len(x)-1])
 	if n == nil {
@@ -282,6 +446,10 @@ func (t *Tree) Value(x []int) int {
 
 // InRange reports whether index i is a real coordinate under prefix x.
 func (t *Tree) InRange(x []int, i int) bool {
+	if t.flat != nil {
+		lo, hi, ok := t.flatSeg(x)
+		return ok && i >= 0 && i < hi-lo
+	}
 	n := t.node(x)
 	return n != nil && i >= 0 && i < len(n.Values)
 }
@@ -293,6 +461,35 @@ func (t *Tree) InRange(x []int, i int) bool {
 // When a occurs under x, lo == hi. Runs in O(log |R|) via binary search
 // and counts one FindGap plus its comparisons in the attached Stats.
 func (t *Tree) FindGap(x []int, a int) (lo, hi int) {
+	if t.flat != nil {
+		segLo, segHi, ok := t.flatSeg(x)
+		if !ok {
+			panic(fmt.Sprintf("reltree: %s: FindGap under invalid index tuple %v", t.name, x))
+		}
+		if t.stats != nil {
+			t.stats.FindGaps++
+			steps := 1
+			for m := segHi - segLo; m > 1; m /= 2 {
+				steps++
+			}
+			t.stats.Comparisons += int64(steps)
+		}
+		d := len(x)
+		arr := t.flat.levels[d]
+		seed := segLo
+		if d < maxHintLevels {
+			seed = int(t.hints[d])
+		}
+		i := gallopSearch(arr, segLo, segHi, seed, a)
+		if d < maxHintLevels {
+			t.hints[d] = int32(i)
+		}
+		hi = i - segLo
+		if i < segHi && arr[i] == a {
+			return hi, hi
+		}
+		return hi - 1, hi
+	}
 	n := t.node(x)
 	if n == nil {
 		panic(fmt.Sprintf("reltree: %s: FindGap under invalid index tuple %v", t.name, x))
@@ -317,6 +514,21 @@ func (t *Tree) FindGap(x []int, a int) (lo, hi int) {
 func (t *Tree) Contains(tuple []int) bool {
 	if len(tuple) != t.arity {
 		return false
+	}
+	if t.flat != nil {
+		f := t.flat
+		lo, hi := t.top0, t.top0+len(t.root.Values)
+		for d, v := range tuple {
+			arr := f.levels[d]
+			i := gallopSearch(arr, lo, hi, lo, v)
+			if i >= hi || arr[i] != v {
+				return false
+			}
+			if d < t.arity-1 {
+				lo, hi = int(f.offs[d][i]), int(f.offs[d][i+1])
+			}
+		}
+		return true
 	}
 	n := t.root
 	for d, v := range tuple {

@@ -47,6 +47,7 @@ import (
 	"minesweeper/internal/core"
 	"minesweeper/internal/hypergraph"
 	"minesweeper/internal/ordered"
+	"minesweeper/internal/planner"
 	"minesweeper/internal/reltree"
 )
 
@@ -79,6 +80,10 @@ type Relation struct {
 	epoch   uint64
 	tuples  [][]int
 	indexes map[string]*reltree.Tree
+	// stats caches the per-column statistics the GAO planner costs
+	// orders from. Computed lazily on first plan, dropped by mutate, so
+	// prepared queries re-plan exactly when the data changed.
+	stats *planner.RelStats
 }
 
 // permKey renders a column permutation as a cache key.
@@ -205,12 +210,35 @@ func (r *Relation) checkTuples(tuples [][]int) error {
 }
 
 // mutate installs the new tuple set, bumps the epoch and drops the
-// cached indexes (they are rebuilt lazily by the next execution).
-// Callers hold r.mu.
+// cached indexes and planner statistics (both are rebuilt lazily by the
+// next execution). Callers hold r.mu.
 func (r *Relation) mutate(tuples [][]int) {
 	r.tuples = tuples
 	r.epoch++
 	r.indexes = nil
+	r.stats = nil
+}
+
+// colStats returns the relation's cached per-column statistics,
+// computing them on first use. The cache is dropped by mutate, so the
+// returned snapshot reflects some recent epoch; the planner tolerates
+// slightly stale statistics (they steer order choice, not correctness).
+func (r *Relation) colStats() *planner.RelStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stats == nil {
+		r.stats = planner.Collect(r.tuples, r.arity)
+	}
+	return r.stats
+}
+
+// snapshotTuples returns the stored tuples (rows shared, outer slice
+// owned by the caller) together with the epoch they reflect, under one
+// lock acquisition.
+func (r *Relation) snapshotTuples() ([][]int, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]int(nil), r.tuples...), r.epoch
 }
 
 // Insert adds the given tuples to the relation. The tuples are
@@ -497,10 +525,18 @@ func (q *Query) EliminationWidth(gao []string) (int, error) {
 // most 9 variables; use RecommendGAO's width for larger ones.
 func (q *Query) Treewidth() (int, error) { return q.hg.Treewidth() }
 
-// RecommendGAO returns the global attribute order Execute would use when
-// none is supplied: a nested elimination order when the query is
-// β-acyclic (width reported by its elimination width), otherwise the
-// greedy min-width order.
+// RecommendGAO returns the purely structural global attribute order: a
+// nested elimination order when the query is β-acyclic (width reported
+// by its elimination width), otherwise the greedy min-width order. The
+// choice is deterministic — equal-width ties break lexicographically —
+// and depends only on the query's hypergraph, never on the data.
+//
+// Execute and Prepare no longer use this order directly when none is
+// supplied: they run the data-aware planner, which costs
+// width-feasible orders from per-column statistics and falls back to
+// this structural order on ties. Use Options.GAO to force any order,
+// and Query.Explain or PreparedQuery.Explain to see what the planner
+// chose and why.
 func (q *Query) RecommendGAO() (gao []string, width int) {
 	if neo, ok := q.hg.NestedEliminationOrder(); ok {
 		w, err := q.hg.EliminationWidth(neo)
@@ -510,6 +546,27 @@ func (q *Query) RecommendGAO() (gao []string, width int) {
 		return neo, w
 	}
 	return q.hg.GreedyWidthOrder()
+}
+
+// plannerAtoms renders the query's atoms for the cost-based planner:
+// real variables only (constant columns are selections, not order
+// choices), with the cached per-column statistics of each bound
+// relation.
+func (q *Query) plannerAtoms() []planner.Atom {
+	atoms := make([]planner.Atom, 0, len(q.atoms))
+	for _, a := range q.atoms {
+		st := a.Rel.colStats()
+		pa := planner.Atom{Rows: st.Rows}
+		for j, v := range a.Vars {
+			if strings.HasPrefix(v, "#") {
+				continue // hidden constant column
+			}
+			pa.Attrs = append(pa.Attrs, v)
+			pa.Cols = append(pa.Cols, st.Cols[j])
+		}
+		atoms = append(atoms, pa)
+	}
+	return atoms
 }
 
 // Engine selects the join algorithm.
@@ -564,14 +621,40 @@ func (e Engine) String() string {
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
-// Options configures Execute. The zero value (or nil) means: recommended
-// GAO, Minesweeper engine, sequential, full output (no projection,
-// filters or aggregates beyond those parsed into the query itself).
+// DictMode controls the per-attribute order-preserving dictionary: an
+// optional rank encoding of attribute values into the contiguous range
+// [0, n) applied before index build and decoded on emit. Rank encoding
+// is strictly monotone, so every engine produces identical results on
+// encoded and raw values; what changes is domain density — sparse,
+// skewed domains fragment the constraint store into many tiny
+// ruled-out intervals that collapse into few wide gaps under dense
+// codes.
+type DictMode int
+
+const (
+	// DictAuto (the default) encodes exactly the attributes whose
+	// statistics mark them sparse: value span well beyond the distinct
+	// count. Dense domains are left raw, so typical integer-key data
+	// pays nothing.
+	DictAuto DictMode = iota
+	// DictOff disables dictionary encoding.
+	DictOff
+	// DictOn encodes every (non-constant) attribute.
+	DictOn
+)
+
+// Options configures Execute. The zero value (or nil) means: planned
+// GAO, Minesweeper engine, sequential, auto dictionary encoding, full
+// output (no projection, filters or aggregates beyond those parsed into
+// the query itself).
 type Options struct {
 	Engine Engine
 	// GAO fixes the global attribute order (a permutation of the query's
-	// variables). Empty means RecommendGAO.
+	// variables). Empty means the data-aware planner chooses (see
+	// Query.Explain); forcing a GAO bypasses planning entirely.
 	GAO []string
+	// Dict controls per-attribute dictionary (dense-domain) encoding.
+	Dict DictMode
 	// Workers > 1 parallelizes the Minesweeper engine by partitioning the
 	// first GAO attribute's domain (ignored by other engines).
 	Workers int
