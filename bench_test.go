@@ -29,6 +29,8 @@ func report(b *testing.B, s *certificate.Stats, n int) {
 	b.ReportMetric(float64(s.FindGaps)/float64(n), "findgaps/op")
 	b.ReportMetric(float64(s.ProbePoints)/float64(n), "probes/op")
 	b.ReportMetric(float64(s.CDSOps)/float64(n), "cdsops/op")
+	b.ReportMetric(float64(s.Boxes)/float64(n), "boxes/op")
+	b.ReportMetric(float64(s.BoxSkips)/float64(n), "boxskips/op")
 }
 
 // --- E1: Figure 2 -----------------------------------------------------
@@ -198,6 +200,13 @@ func BenchmarkSparseSkewPlanned(b *testing.B)         { benchsuite.SparseSkewPla
 func BenchmarkSparseHeavyEnumDefault(b *testing.B)    { benchsuite.SparseHeavyEnumDefault(b) }
 func BenchmarkSparseHeavyEnumPlannedRaw(b *testing.B) { benchsuite.SparseHeavyEnumPlannedRaw(b) }
 func BenchmarkSparseHeavyEnumPlanned(b *testing.B)    { benchsuite.SparseHeavyEnumPlanned(b) }
+
+// --- E13: clustered joins, box-cover vs interval-only CDS ------------
+
+func BenchmarkClusteredBandBoxes(b *testing.B)           { benchsuite.ClusteredBandBoxes(b) }
+func BenchmarkClusteredBandIntervalOnly(b *testing.B)    { benchsuite.ClusteredBandIntervalOnly(b) }
+func BenchmarkClusteredOverlapBoxes(b *testing.B)        { benchsuite.ClusteredOverlapBoxes(b) }
+func BenchmarkClusteredOverlapIntervalOnly(b *testing.B) { benchsuite.ClusteredOverlapIntervalOnly(b) }
 
 // --- Substrate micro-benchmarks ------------------------------------------
 

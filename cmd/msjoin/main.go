@@ -54,7 +54,8 @@ func main() {
 	timeoutFlag := flag.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
 	selectFlag := flag.String("select", "", "projection/aggregate list, e.g. 'A, count(*), sum(B)'")
 	whereFlag := flag.String("where", "", "range filters, e.g. 'A < 10 and B >= 3'")
-	explainFlag := flag.Bool("explain", false, "print the chosen plan (GAO, width, estimated cost, dictionary attributes) without evaluating")
+	domainFlag := flag.String("domain", "natural", "dictionary domain ordering: natural (order-preserving rank codes) or freq (frequency-permuted codes on skewed attributes)")
+	explainFlag := flag.Bool("explain", false, "print the chosen plan (GAO, width, estimated cost, dictionary attributes and their domain orders) without evaluating")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -86,6 +87,12 @@ func main() {
 	if *gaoFlag != "" {
 		opts.GAO = strings.Split(*gaoFlag, ",")
 	}
+	domain, err := minesweeper.ParseDomainOrder(*domainFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msjoin: %v\n", err)
+		os.Exit(2)
+	}
+	opts.Domain = domain
 	if *selectFlag != "" {
 		sel, aggs, err := minesweeper.ParseSelect(*selectFlag)
 		if err != nil {
@@ -166,13 +173,19 @@ func main() {
 
 // formatExplain renders the -explain line: the chosen GAO, its
 // elimination width, the planner's cost estimate, whether the data
-// overrode the structural order, the engine, and any dictionary-encoded
-// attributes.
+// overrode the structural order, the engine, any dictionary-encoded
+// attributes, and the domain ordering each encoded attribute's code
+// space follows (attr:rank or attr:freq) — without the last part a
+// stream consumer cannot tell whether the emission order and code-space
+// bounds mirror raw value order.
 func formatExplain(ex minesweeper.Explain) string {
 	line := fmt.Sprintf("-- explain: gao=%s width=%d cost=%.4g planned=%v engine=%s",
 		strings.Join(ex.GAO, ","), ex.Width, ex.EstCost, ex.Planned, ex.Engine)
 	if len(ex.DictAttrs) > 0 {
 		line += " dict=" + strings.Join(ex.DictAttrs, ",")
+	}
+	if len(ex.DictOrders) > 0 {
+		line += " dictorder=" + strings.Join(ex.DictOrders, ",")
 	}
 	return line
 }

@@ -242,6 +242,11 @@ type querySpec struct {
 	Engine  string   `json:"engine,omitempty"`
 	GAO     []string `json:"gao,omitempty"`
 	Workers int      `json:"workers,omitempty"`
+	// Domain selects the dictionary domain ordering: "natural" (default,
+	// order-preserving rank codes) or "freq" (frequency-permuted codes
+	// on skewed attributes). The register/list responses' explain block
+	// reports the ordering actually applied per attribute (dict_orders).
+	Domain string `json:"domain,omitempty"`
 	// Select is a projection/aggregate list, e.g. "x, count(*), sum(y)".
 	Select string `json:"select,omitempty"`
 	// Where is a filter list, e.g. "x < 100 and y >= 3".
@@ -266,7 +271,11 @@ func (s *server) buildQuery(spec *querySpec) (*registeredQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := minesweeper.Options{Engine: eng, GAO: spec.GAO, Workers: spec.Workers}
+	domain, err := minesweeper.ParseDomainOrder(spec.Domain)
+	if err != nil {
+		return nil, err
+	}
+	opts := minesweeper.Options{Engine: eng, GAO: spec.GAO, Workers: spec.Workers, Domain: domain}
 	if spec.Select != "" {
 		sel, aggs, err := minesweeper.ParseSelect(spec.Select)
 		if err != nil {

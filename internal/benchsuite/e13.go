@@ -1,0 +1,69 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/dataset"
+)
+
+// --- E13: clustered joins, box-cover vs interval-only CDS ------------
+//
+// The E13 pairs run the same clustered instance twice: once with the
+// box-cover CDS (the default) and once with box emission disabled
+// (p.DisableBoxes), isolating what multi-dimensional gap certificates
+// buy. The GAO is pinned to the clustered X-first order — the
+// data-aware planner would put the two-value Y attribute first and
+// empty the band join from the bands alone, which is a fine plan but
+// not the CDS mechanism these benchmarks measure.
+
+func e13Run(b *testing.B, r, s [][]int, boxes bool) {
+	p, err := core.NewProblem([]string{"X", "Y"}, []core.AtomSpec{
+		{Name: "R", Attrs: []string{"X", "Y"}, Tuples: r},
+		{Name: "S", Attrs: []string{"X", "Y"}, Tuples: s},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.DisableBoxes = !boxes
+	var stats certificate.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinesweeperAll(p, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, &stats, b.N)
+}
+
+// ClusteredBandBoxes / ClusteredBandIntervalOnly: disjoint Y-bands, an
+// empty join whose ruling-out is the whole cost. Interval-only pays one
+// probe round per cluster member; boxes retire each cluster's X-range ×
+// Y-band rectangle after a short widening streak.
+func ClusteredBandBoxes(b *testing.B) {
+	r, s := dataset.ClusteredBandJoin(8, 1024)
+	e13Run(b, r, s, true)
+}
+
+func ClusteredBandIntervalOnly(b *testing.B) {
+	r, s := dataset.ClusteredBandJoin(8, 1024)
+	e13Run(b, r, s, false)
+}
+
+// ClusteredOverlapBoxes / ClusteredOverlapIntervalOnly: the non-empty
+// variant — every 256th cluster member emits one tuple, the rest is
+// ruled out. The box win persists with real output in the stream; the
+// hit spacing leaves widening streaks long enough for boxes to pay
+// (dense hits would fragment every box at the streak gate's scan
+// horizon and the narrow boxes' scan cost would dominate).
+func ClusteredOverlapBoxes(b *testing.B) {
+	r, s := dataset.ClusteredOverlapJoin(8, 1024, 256)
+	e13Run(b, r, s, true)
+}
+
+func ClusteredOverlapIntervalOnly(b *testing.B) {
+	r, s := dataset.ClusteredOverlapJoin(8, 1024, 256)
+	e13Run(b, r, s, false)
+}

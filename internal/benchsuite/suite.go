@@ -57,6 +57,10 @@ func Suite() []Bench {
 		{"SparseHeavyEnum/Default", "E12", SparseHeavyEnumDefault},
 		{"SparseHeavyEnum/PlannedRaw", "E12", SparseHeavyEnumPlannedRaw},
 		{"SparseHeavyEnum/Planned", "E12", SparseHeavyEnumPlanned},
+		{"ClusteredBand/Boxes", "E13", ClusteredBandBoxes},
+		{"ClusteredBand/IntervalOnly", "E13", ClusteredBandIntervalOnly},
+		{"ClusteredOverlap/Boxes", "E13", ClusteredOverlapBoxes},
+		{"ClusteredOverlap/IntervalOnly", "E13", ClusteredOverlapIntervalOnly},
 		{"CDSProbeInsertLoop", "micro", CDSProbeInsertLoop},
 		{"CDSInsConstraint", "micro", CDSInsConstraint},
 		{"RangeSetInsert", "micro", RangeSetInsert},
@@ -69,6 +73,8 @@ func report(b *testing.B, s *certificate.Stats, n int) {
 	b.ReportMetric(float64(s.FindGaps)/float64(n), "findgaps/op")
 	b.ReportMetric(float64(s.ProbePoints)/float64(n), "probes/op")
 	b.ReportMetric(float64(s.CDSOps)/float64(n), "cdsops/op")
+	b.ReportMetric(float64(s.Boxes)/float64(n), "boxes/op")
+	b.ReportMetric(float64(s.BoxSkips)/float64(n), "boxskips/op")
 }
 
 // --- E1: Figure 2 ----------------------------------------------------

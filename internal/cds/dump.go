@@ -27,6 +27,12 @@ func (t *Tree) Dump() string {
 		}
 	}
 	walk(t.root, "root", 0)
+	for last, list := range t.boxByLast {
+		for _, v := range list {
+			fmt.Fprintf(&b, "box@%d %s\n", last,
+				BoxConstraint{Prefix: v.prefix, Dims: v.dims})
+		}
+	}
 	return b.String()
 }
 

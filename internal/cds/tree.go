@@ -77,14 +77,36 @@ type Tree struct {
 	patChunks [][]Comp
 	patIdx    int
 
+	// box storage: arena-backed slots indexed by the GAO position of
+	// their last dimension, with dimension ranges interned into a
+	// chunked range arena mirroring the pattern arena.
+	boxes       arena.Arena[boxNode]
+	boxByLast   [][]*boxNode
+	rangeChunks [][]ordered.Range
+	rangeIdx    int
+
+	// box applicability index (see activeBoxes): per last position, the
+	// buckets of boxes sharing a prefix shape and pinned values, the
+	// key→bucket map, the distinct shapes to query, and the linear
+	// overflow list for prefixes too long for a shape mask. Reset keeps
+	// the maps and empties the buckets in place, so a re-filled tree
+	// re-uses their storage.
+	boxBuckets  [][]boxBucket
+	boxKeyIdx   []map[boxKey]int
+	boxShapesAt [][]boxShape
+	boxOverflow [][]*boxNode
+
 	// GetProbePoint scratch, reused across calls.
-	tv         []int        // the probe point under construction (returned!)
-	levelA     []*node      // filter frontier double buffer
-	levelB     []*node      //
-	chainOrder []*node      // buildChain linearization
-	chainBuf   []chainEntry //
-	suffixBuf  []Pattern    // shadow suffix meets
-	meetBuf    []Comp       // backing for freshly computed meets
+	tv          []int           // the probe point under construction (returned!)
+	levelA      []*node         // filter frontier double buffer
+	levelB      []*node         //
+	chainOrder  []*node         // buildChain linearization
+	chainBuf    []chainEntry    //
+	suffixBuf   []Pattern       // shadow suffix meets
+	meetBuf     []Comp          // backing for freshly computed meets
+	boxScratch  []*boxNode      // active boxes at the current level
+	eqBuf       []Comp          // backing for fully-specific backtrack prefixes
+	resolveDims []ordered.Range // geometric-resolution window accumulator
 }
 
 // NewTree returns an empty CDS over n ≥ 1 attributes with inferred-
@@ -94,6 +116,12 @@ func NewTree(n int) *Tree {
 	t := &Tree{n: n, memo: true}
 	t.root = t.newNode(0, Pattern{})
 	t.tv = make([]int, n)
+	t.boxByLast = make([][]*boxNode, n)
+	t.boxBuckets = make([][]boxBucket, n)
+	t.boxKeyIdx = make([]map[boxKey]int, n)
+	t.boxShapesAt = make([][]boxShape, n)
+	t.boxOverflow = make([][]*boxNode, n)
+	t.eqBuf = make([]Comp, n)
 	return t
 }
 
@@ -108,6 +136,20 @@ func (t *Tree) Reset() {
 		t.patChunks[i] = t.patChunks[i][:0]
 	}
 	t.patIdx = 0
+	t.boxes.Rewind()
+	for i := range t.boxByLast {
+		t.boxByLast[i] = t.boxByLast[i][:0]
+		t.boxOverflow[i] = t.boxOverflow[i][:0]
+		for j := range t.boxBuckets[i] {
+			bk := &t.boxBuckets[i][j]
+			bk.boxes = bk.boxes[:0]
+			bk.maxHi = bk.maxHi[:0]
+		}
+	}
+	for i := range t.rangeChunks {
+		t.rangeChunks[i] = t.rangeChunks[i][:0]
+	}
+	t.rangeIdx = 0
 	t.root = t.newNode(0, Pattern{})
 }
 
@@ -437,34 +479,87 @@ func (t *Tree) GetProbePoint() []int {
 	i := 0
 	for i < t.n {
 		g := t.filter(tv[:i])
-		if len(g) == 0 {
+		act := t.activeBoxes(i)
+		if len(g) == 0 && len(act) == 0 {
 			tv[i] = -1
 			i++
 			continue
 		}
-		chain := t.buildChain(g)
-		val := t.nextChainVal(-1, chain, 0)
+		var chain []chainEntry
+		if len(g) > 0 {
+			chain = t.buildChain(g)
+		}
+		val := -1
+		if chain != nil {
+			val = t.nextChainVal(-1, chain, 0)
+		}
+		// Alternate chain advances with box skips until a value is free
+		// of both, or the level is exhausted.
+		usedBox := false
+		for len(act) > 0 && val < ordered.PosInf {
+			nv := t.boxAdvance(val, act)
+			if nv == val {
+				break
+			}
+			val, usedBox = nv, true
+			if chain == nil || val >= ordered.PosInf {
+				break
+			}
+			val = t.nextChainVal(val, chain, 0)
+		}
 		if val < ordered.PosInf {
 			tv[i] = val
 			i++
 			continue
 		}
 		// No value available: back-track (Algorithm 3 lines 11–16).
-		bottom := chain[0].shadow.pattern
-		i0 := bottom.LastEqPos()
-		if i0 == 0 {
-			return nil
+		if chain != nil && !usedBox {
+			// Interval-only cover: coverage of level i depends only on
+			// the components pinned by the chain's bottom shadow
+			// pattern, so the inferred constraint may keep that
+			// pattern's generality.
+			bottom := chain[0].shadow.pattern
+			i0 := bottom.LastEqPos()
+			if i0 == 0 {
+				return nil
+			}
+			if t.stats != nil {
+				t.stats.Backtracks++
+			}
+			pv := bottom[i0-1].Val
+			t.InsConstraint(Constraint{
+				Prefix: bottom[:i0-1],
+				Lo:     pv - 1,
+				Hi:     pv + 1,
+			})
+			i = i0 - 1
+			continue
 		}
+		// Boxes contributed to the cover, so i ≥ 1 (a box's last
+		// dimension is at position ≥ 1) and a box's applicability may
+		// hinge on any coordinate of the current prefix. Geometric
+		// resolution re-proves the exhaustion and generalizes it to the
+		// whole applicability rectangle A_0×…×A_{i-1} of the proof,
+		// stored as a derived box: one backtrack rules out the remainder
+		// of a cluster — and, crucially, the derived box keeps covering
+		// sibling prefixes, so the exhaustion is never re-derived one
+		// value at a time (which would not terminate on an unbounded
+		// domain). On the rare resolution failure the fully-specific
+		// single-value constraint still guarantees local progress.
 		if t.stats != nil {
 			t.stats.Backtracks++
 		}
-		pv := bottom[i0-1].Val
-		t.InsConstraint(Constraint{
-			Prefix: bottom[:i0-1],
-			Lo:     pv - 1,
-			Hi:     pv + 1,
-		})
-		i = i0 - 1
+		if dims, ok := t.boxResolve(i, g, act); ok {
+			t.InsBox(BoxConstraint{Dims: dims})
+		} else {
+			pv := tv[i-1]
+			t.InsConstraint(Constraint{
+				Prefix: t.eqPrefix(i - 1),
+				Lo:     pv - 1,
+				Hi:     pv + 1,
+			})
+		}
+		i--
 	}
 	if t.stats != nil {
 		t.stats.ProbePoints++
@@ -496,6 +591,13 @@ func (t *Tree) CoversTuple(tuple []int) bool {
 			}
 		}
 		level = next
+	}
+	for _, list := range t.boxByLast {
+		for _, v := range list {
+			if v.covers(tuple) {
+				return true
+			}
+		}
 	}
 	return false
 }

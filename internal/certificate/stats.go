@@ -36,6 +36,14 @@ type Stats struct {
 	// Backtracks counts getProbePoint back-tracking steps
 	// (line 16 of Algorithm 3).
 	Backtracks int64
+	// Boxes counts multi-dimensional box constraints stored in the CDS
+	// (the box-cover generalization of the interval certificate: one box
+	// rules out a rectangle over a contiguous run of GAO positions).
+	Boxes int64
+	// BoxSkips counts probe-point advances served by a stored box — each
+	// skip replaces the per-value interval derivations an interval-only
+	// CDS would have paid across the box's earlier dimensions.
+	BoxSkips int64
 	// PlanWidth and PlanCost describe the executed plan rather than the
 	// run's work: the elimination width of the GAO the run evaluated
 	// under and the planner's estimated cost for it (0 when no estimate
@@ -54,6 +62,8 @@ func (s *Stats) Add(o *Stats) {
 	s.CDSOps += o.CDSOps
 	s.Outputs += o.Outputs
 	s.Backtracks += o.Backtracks
+	s.Boxes += o.Boxes
+	s.BoxSkips += o.BoxSkips
 }
 
 // CertificateEstimate returns the paper's Figure-2 measurement of |C|:
@@ -64,6 +74,9 @@ func (s *Stats) String() string {
 	out := fmt.Sprintf(
 		"findgaps=%d cmp=%d probes=%d constraints=%d cdsops=%d outputs=%d backtracks=%d",
 		s.FindGaps, s.Comparisons, s.ProbePoints, s.Constraints, s.CDSOps, s.Outputs, s.Backtracks)
+	if s.Boxes > 0 || s.BoxSkips > 0 {
+		out += fmt.Sprintf(" boxes=%d boxskips=%d", s.Boxes, s.BoxSkips)
+	}
 	if s.PlanCost > 0 {
 		out += fmt.Sprintf(" planwidth=%d plancost=%.3g", s.PlanWidth, s.PlanCost)
 	}

@@ -6,9 +6,9 @@ import (
 	"minesweeper/internal/ordered"
 )
 
-// Dict is an order-preserving dictionary for one attribute: the sorted
-// distinct values the attribute takes anywhere in the query, mapped to
-// their ranks [0, n). Rank encoding is strictly monotone, so every
+// Dict is a dictionary for one attribute: the distinct values the
+// attribute takes anywhere in the query, mapped to codes [0, n). The
+// default rank encoding (NewDict) is strictly monotone, so every
 // comparison-based structure — the relation trees, the CDS interval
 // lists, the certificate argument — behaves identically on codes and on
 // raw values (Section 6.2: certificates are value-oblivious); what
@@ -16,8 +16,24 @@ import (
 // store into many tiny ruled-out intervals; under rank encoding,
 // adjacent ruled-out values become adjacent codes whose intervals
 // coalesce, which is the Kalinsky et al. domain-ordering win.
+//
+// NewFreqDict instead assigns codes in descending frequency order (the
+// data-driven domain permutation of the same line of work): the values
+// that participate in the most tuples become adjacent low codes, so on
+// skewed data the rule-outs around the heavy hitters coalesce even when
+// the raw values are scattered across the domain. A frequency encoding
+// is generally NOT order-preserving — see OrderPreserving — so emitted
+// tuples stream in permuted-domain order and range bounds cannot be
+// translated into one contiguous code interval.
 type Dict struct {
-	values []int // sorted, distinct
+	values []int // code -> value; sorted ascending iff order-preserving
+	freq   bool  // built by NewFreqDict (frequency-permuted code space)
+
+	// Lookup index for non-monotone code spaces: byValue is the sorted
+	// value list and codeOf[i] the code of byValue[i]. nil when values
+	// itself is sorted (rank dictionaries binary-search values directly).
+	byValue []int
+	codeOf  []int
 }
 
 // NewDict builds the dictionary of the given value lists (the columns
@@ -50,12 +66,88 @@ func NewDict(lists ...[]int) *Dict {
 	return &Dict{values: out}
 }
 
+// NewFreqDict builds the frequency-permuted dictionary of the given
+// value lists: codes are assigned by descending total occurrence count,
+// ties broken by ascending value (so the permutation is deterministic).
+// When the resulting code order happens to coincide with value order
+// the dictionary is order-preserving like a rank dictionary; otherwise
+// Encode goes through a sorted lookup index.
+func NewFreqDict(lists ...[]int) *Dict {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	buf := make([]int, 0, n)
+	for _, l := range lists {
+		buf = append(buf, l...)
+	}
+	sort.Ints(buf)
+	type vc struct{ val, count int }
+	var counts []vc
+	for i, v := range buf {
+		if i > 0 && v == buf[i-1] {
+			counts[len(counts)-1].count++
+			continue
+		}
+		counts = append(counts, vc{val: v, count: 1})
+	}
+	sort.SliceStable(counts, func(i, j int) bool {
+		if counts[i].count != counts[j].count {
+			return counts[i].count > counts[j].count
+		}
+		return counts[i].val < counts[j].val
+	})
+	d := &Dict{values: make([]int, len(counts)), freq: true}
+	monotone := true
+	for c, e := range counts {
+		d.values[c] = e.val
+		if c > 0 && e.val < d.values[c-1] {
+			monotone = false
+		}
+	}
+	if !monotone {
+		// codeOf mirrors the sorted value list: byValue[i] has code
+		// codeOf[i]. Built by sorting code indexes by their value.
+		d.codeOf = make([]int, len(d.values))
+		for c := range d.codeOf {
+			d.codeOf[c] = c
+		}
+		sort.Slice(d.codeOf, func(i, j int) bool {
+			return d.values[d.codeOf[i]] < d.values[d.codeOf[j]]
+		})
+		d.byValue = make([]int, len(d.values))
+		for i, c := range d.codeOf {
+			d.byValue[i] = d.values[c]
+		}
+	}
+	return d
+}
+
 // Len returns the code-space size n (codes are [0, n)).
 func (d *Dict) Len() int { return len(d.values) }
 
-// Encode returns the rank of v, or ok=false when v is not in the
+// Freq reports whether the dictionary was built by NewFreqDict (codes
+// follow descending frequency, not value order).
+func (d *Dict) Freq() bool { return d.freq }
+
+// OrderPreserving reports whether the code order is monotone in value
+// order — true for rank dictionaries, and for frequency dictionaries
+// only when the permutation degenerates to the identity. Only
+// order-preserving dictionaries can translate a value range into one
+// contiguous code range (EncodeBounds falls back to the full bound
+// otherwise; the shaping net re-checks raw bounds on emit).
+func (d *Dict) OrderPreserving() bool { return d.byValue == nil }
+
+// Encode returns the code of v, or ok=false when v is not in the
 // dictionary (such a value cannot appear in any join output).
 func (d *Dict) Encode(v int) (int, bool) {
+	if d.byValue != nil {
+		i := sort.SearchInts(d.byValue, v)
+		if i < len(d.byValue) && d.byValue[i] == v {
+			return d.codeOf[i], true
+		}
+		return 0, false
+	}
 	i := sort.SearchInts(d.values, v)
 	if i < len(d.values) && d.values[i] == v {
 		return i, true
@@ -76,11 +168,14 @@ func (d *Dict) Decode(c int) int {
 }
 
 // LoCode returns the smallest code whose value is ≥ v (len when none):
-// the encoded form of an inclusive lower bound.
+// the encoded form of an inclusive lower bound. Only meaningful for
+// order-preserving dictionaries (a permuted code space has no
+// contiguous code image of a value range).
 func (d *Dict) LoCode(v int) int { return sort.SearchInts(d.values, v) }
 
 // HiCode returns the largest code whose value is ≤ v (-1 when none):
-// the encoded form of an inclusive upper bound.
+// the encoded form of an inclusive upper bound. Order-preserving
+// dictionaries only, like LoCode.
 func (d *Dict) HiCode(v int) int { return sort.SearchInts(d.values, v+1) - 1 }
 
 // DictSet carries one optional dictionary per GAO position (nil = the
@@ -116,7 +211,7 @@ func (ds *DictSet) EncodeTuples(tuples [][]int, positions []int) {
 		}
 		for _, row := range tuples {
 			c, ok := d.Encode(row[j])
-			if !ok {
+			if !ok && d.OrderPreserving() {
 				// Unreachable when the dictionary covers the column; keep
 				// a defined order-preserving fallback rather than panic.
 				c = d.LoCode(row[j])
@@ -142,6 +237,16 @@ func (ds *DictSet) EncodeBounds(bounds []Bound) []Bound {
 			continue
 		}
 		if b.Full() {
+			out[i] = FullBound()
+			continue
+		}
+		if !d.OrderPreserving() {
+			// A permuted code space has no contiguous image of the value
+			// range, so nothing can be pushed down here; the shaping net
+			// re-checks the raw bound on every emitted tuple, so the full
+			// bound stays correct. The prepared layer avoids frequency
+			// dictionaries on bounded positions precisely to keep the
+			// pushdown — this branch is its defensive backstop.
 			out[i] = FullBound()
 			continue
 		}

@@ -71,6 +71,64 @@ func TestDictSetEncodeTuplesAndBounds(t *testing.T) {
 	}
 }
 
+// TestFreqDictOrdering pins the NewFreqDict code assignment: descending
+// occurrence count, ties by ascending value, with a working value→code
+// lookup despite the non-monotone code space.
+func TestFreqDictOrdering(t *testing.T) {
+	// 500 occurs 3×, 7 twice, 90 twice, 42 once.
+	d := NewFreqDict([]int{500, 7, 90, 500}, []int{500, 42, 7, 90})
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	if !d.Freq() {
+		t.Fatal("Freq must report true")
+	}
+	if d.OrderPreserving() {
+		t.Fatal("a permuted code space must not report order-preserving")
+	}
+	want := []int{500, 7, 90, 42} // count desc, value asc
+	for c, v := range want {
+		if got := d.Decode(c); got != v {
+			t.Fatalf("Decode(%d) = %d, want %d", c, got, v)
+		}
+		ec, ok := d.Encode(v)
+		if !ok || ec != c {
+			t.Fatalf("Encode(%d) = %d, %v; want %d", v, ec, ok, c)
+		}
+	}
+	if _, ok := d.Encode(41); ok {
+		t.Fatal("Encode(41) should miss")
+	}
+	if got := d.Decode(-1); got != ordered.NegInf {
+		t.Fatalf("Decode(-1) = %d, want NegInf", got)
+	}
+	if got := d.Decode(4); got != ordered.PosInf {
+		t.Fatalf("Decode(4) = %d, want PosInf", got)
+	}
+
+	// A frequency ordering that happens to coincide with value order is
+	// order-preserving (counts already descending by value).
+	mono := NewFreqDict([]int{1, 1, 1, 2, 2, 3})
+	if !mono.OrderPreserving() {
+		t.Fatal("identity permutation must stay order-preserving")
+	}
+	if !mono.Freq() {
+		t.Fatal("identity-permutation freq dict still reports Freq")
+	}
+}
+
+// TestFreqDictBoundsFallBackToFull: a non-order-preserving dictionary
+// cannot express a value range as one code range, so EncodeBounds must
+// widen to the full bound (the shaping net re-checks raw bounds).
+func TestFreqDictBoundsFallBackToFull(t *testing.T) {
+	d := NewFreqDict([]int{500, 500, 7, 90})
+	ds := &DictSet{ByPos: []*Dict{d}}
+	bounds := ds.EncodeBounds([]Bound{{Lo: 7, Hi: 90}})
+	if !bounds[0].Full() {
+		t.Fatalf("non-order-preserving bound = %+v, want full", bounds[0])
+	}
+}
+
 // TestDictJoinEquivalence runs the same join raw and rank-encoded
 // through the core engine and checks the decoded results agree — the
 // order-preserving invariant end to end.

@@ -130,7 +130,15 @@ func (sc *msScratch) prepare(p *Problem, n int) {
 		if cap(sc.atoms[i].idx) < k {
 			sc.atoms[i].idx = make([]int, 0, k)
 			sc.atoms[i].pathVals = make([]int, 0, k)
+			sc.atoms[i].widx = make([]int, 0, k)
 		}
+		if cap(sc.atoms[i].dims) < n {
+			sc.atoms[i].dims = make([]ordered.Range, 0, n)
+		}
+		sc.atoms[i].lastDepth = -1
+		sc.atoms[i].lastLo = 0
+		sc.atoms[i].lastHi = 0
+		sc.atoms[i].streak = 0
 	}
 	if cap(sc.prefix) < n-1 {
 		sc.prefix = make(cds.Pattern, n-1)
@@ -185,7 +193,7 @@ func minesweeperShared(ctx context.Context, p *Problem, stats *certificate.Stats
 		// Insert every discovered gap (Algorithm 2 lines 15–20).
 		covered := false
 		for i := range p.Atoms {
-			if insertGaps(tree, &p.Atoms[i], sc.expl[i], &sc.atoms[i], sc.prefix, p.Debug, t) {
+			if insertGaps(tree, &p.Atoms[i], sc.expl[i], &sc.atoms[i], sc.prefix, p.Debug, !p.DisableBoxes, t) {
 				covered = true
 			}
 		}
@@ -265,10 +273,41 @@ type gapNode struct {
 // path of the current {ℓ,h} vector, the value path used when emitting
 // constraints, and the gap-node arena (rewound every probe point, so
 // one exploration allocates only when it outgrows every previous one).
+// widx mirrors pathVals with child indexes during the constraint walk so
+// box widening can enumerate siblings by index arithmetic; dims backs
+// the box dimension ranges. lastDepth/lastLo/lastHi/streak implement the
+// widening trigger: re-discovering the SAME gap on consecutive probes is
+// the signature of a clustered grind (each probe advances one parent
+// value into the same multi-value rectangle), so the streak of repeats
+// gates widening and sets its sibling-scan allowance. Sparse workloads
+// re-discover a gap essentially never, so they pay only the comparison.
 type atomScratch struct {
-	idx      []int
-	pathVals []int
-	arena    arena.Arena[gapNode]
+	idx                               []int
+	pathVals                          []int
+	widx                              []int
+	dims                              []ordered.Range
+	lastDepth, lastLo, lastHi, streak int
+	arena                             arena.Arena[gapNode]
+}
+
+// boxScanBase is the sibling-scan allowance (per direction) of the first
+// widening in a streak; the allowance doubles with each further repeat,
+// so a cluster of width W is covered by O(log W) widenings whose scans
+// total O(W) FindGaps.
+const boxScanBase = 8
+
+// noteGap records a discovered gap and reports the scan allowance this
+// streak has earned: 0 on first sight (no widening — one repeat must
+// prove the grind before any sibling is probed).
+func (sc *atomScratch) noteGap(p, loVal, hiVal int) int {
+	if p != sc.lastDepth || loVal != sc.lastLo || hiVal != sc.lastHi {
+		sc.lastDepth, sc.lastLo, sc.lastHi, sc.streak = p, loVal, hiVal, 0
+		return 0
+	}
+	if sc.streak < 24 {
+		sc.streak++
+	}
+	return boxScanBase << (sc.streak - 1)
 }
 
 // exploreAtom performs the {ℓ,h}^p FindGap sweep of Algorithm 2 lines
@@ -317,50 +356,164 @@ func exploreRec(a *Atom, t []int, sc *atomScratch, p int) *gapNode {
 // the interval is the discovered gap at the next attribute position.
 // The prefix buffer is reused per constraint (the CDS interns what it
 // keeps). When debug is set it reports whether any inserted constraint
-// covers the probe point t — the termination invariant.
-func insertGaps(tree *cds.Tree, a *Atom, root *gapNode, sc *atomScratch, prefixBuf cds.Pattern, debug bool, t []int) bool {
+// covers the probe point t — the termination invariant. With boxes
+// allowed, a gap found under an index path is widened across the
+// parent's siblings into a box constraint when the same gap holds
+// under them too (the common case on clustered composite indexes).
+func insertGaps(tree *cds.Tree, a *Atom, root *gapNode, sc *atomScratch, prefixBuf cds.Pattern, debug, boxes bool, t []int) bool {
 	sc.pathVals = sc.pathVals[:0]
-	return walkGaps(tree, a, root, 0, sc, prefixBuf, debug, t)
+	sc.widx = sc.widx[:0]
+	return walkGaps(tree, a, root, 0, sc, prefixBuf, debug, boxes, t)
 }
 
-func walkGaps(tree *cds.Tree, a *Atom, nd *gapNode, p int, sc *atomScratch, prefixBuf cds.Pattern, debug bool, t []int) bool {
+func walkGaps(tree *cds.Tree, a *Atom, nd *gapNode, p int, sc *atomScratch, prefixBuf cds.Pattern, debug, boxes bool, t []int) bool {
 	if nd == nil {
 		return false
 	}
 	covered := false
 	if nd.loVal < nd.hiVal { // non-empty gap
-		prefixLen := a.Positions[p]
-		prefix := prefixBuf[:prefixLen]
-		for j := range prefix {
-			prefix[j] = cds.Star
+		emitted := false
+		if boxes && p > 0 {
+			if scan := sc.noteGap(p, nd.loVal, nd.hiVal); scan > 0 {
+				if b, ok := tryWidenBox(a, sc, p, nd.loVal, nd.hiVal, scan, prefixBuf); ok {
+					if debug && b.Covers(t) {
+						covered = true
+					}
+					tree.InsBox(b)
+					emitted = true
+				}
+			}
 		}
-		for j := 0; j < p; j++ {
-			prefix[a.Positions[j]] = cds.Eq(sc.pathVals[j])
+		if !emitted {
+			prefixLen := a.Positions[p]
+			prefix := prefixBuf[:prefixLen]
+			for j := range prefix {
+				prefix[j] = cds.Star
+			}
+			for j := 0; j < p; j++ {
+				prefix[a.Positions[j]] = cds.Eq(sc.pathVals[j])
+			}
+			c := cds.Constraint{Prefix: prefix, Lo: nd.loVal, Hi: nd.hiVal}
+			if debug && c.Covers(t) {
+				covered = true
+			}
+			tree.InsConstraint(c)
 		}
-		c := cds.Constraint{Prefix: prefix, Lo: nd.loVal, Hi: nd.hiVal}
-		if debug && c.Covers(t) {
-			covered = true
-		}
-		tree.InsConstraint(c)
 	}
 	if p == a.Tree.Arity()-1 {
 		return covered
 	}
 	if nd.loChild != nil && nd.loVal > ordered.NegInf {
 		sc.pathVals = append(sc.pathVals, nd.loVal)
-		if walkGaps(tree, a, nd.loChild, p+1, sc, prefixBuf, debug, t) {
+		sc.widx = append(sc.widx, nd.lo)
+		if walkGaps(tree, a, nd.loChild, p+1, sc, prefixBuf, debug, boxes, t) {
 			covered = true
 		}
 		sc.pathVals = sc.pathVals[:p]
+		sc.widx = sc.widx[:p]
 	}
 	if nd.hiChild != nil && nd.hiChild != nd.loChild && nd.hiVal < ordered.PosInf {
 		sc.pathVals = append(sc.pathVals, nd.hiVal)
-		if walkGaps(tree, a, nd.hiChild, p+1, sc, prefixBuf, debug, t) {
+		sc.widx = append(sc.widx, nd.hi)
+		if walkGaps(tree, a, nd.hiChild, p+1, sc, prefixBuf, debug, boxes, t) {
 			covered = true
 		}
 		sc.pathVals = sc.pathVals[:p]
+		sc.widx = sc.widx[:p]
 	}
 	return covered
+}
+
+// tryWidenBox checks whether the gap (loVal, hiVal), discovered at atom
+// level p under the index path sc.widx[:p], also holds under adjacent
+// siblings of the level-(p-1) index, and if so returns the box ruling
+// out the whole rectangle: the widened value range at the parent
+// attribute × full ranges at the GAO positions the atom skips × the gap
+// at the atom's level-p attribute. Each verified sibling costs one
+// FindGap; the scan stops at the first sibling where the gap breaks.
+// Values BETWEEN sibling values are absent from the atom under this
+// path altogether, so the widened range runs from the nearest
+// unverified neighbor on each side (exclusive) — exhausting a side
+// extends it to ±∞. The scan is capped at `scan` siblings per direction
+// (the streak allowance from noteGap), bounding the cost of one widening
+// while letting a sustained grind earn exponentially wider boxes. The
+// returned box (over scratch buffers; InsBox does not retain them)
+// covers everything the classic per-path interval constraint would
+// have, so the caller may emit it instead.
+func tryWidenBox(a *Atom, sc *atomScratch, p int, loVal, hiVal, scan int, prefixBuf cds.Pattern) (cds.BoxConstraint, bool) {
+	if ordered.OpenToRange(loVal, hiVal).Empty() {
+		return cds.BoxConstraint{}, false
+	}
+	// A witness value strictly inside the gap, probed under each sibling.
+	var x int
+	switch {
+	case loVal > ordered.NegInf:
+		x = loVal + 1
+	case hiVal < ordered.PosInf:
+		x = hiVal - 1
+	default:
+		return cds.BoxConstraint{}, false
+	}
+	widx := sc.widx
+	ci := widx[p-1]
+	parent := widx[:p-1]
+	fan := a.Tree.Fanout(parent)
+	loC, hiC := ci, ci
+	for hiC+1 < fan && hiC-ci < scan && gapHoldsUnder(a, widx, p, hiC+1, x, loVal, hiVal) {
+		hiC++
+	}
+	// Scan downward only on the streak's first widening: a continuation
+	// widening sits just past the previous box of the same streak, so the
+	// siblings below were already validated and covered by it — paying
+	// FindGaps to re-include them buys nothing.
+	downScan := scan
+	if sc.streak > 1 {
+		downScan = 0
+	}
+	for loC > 0 && ci-loC < downScan && gapHoldsUnder(a, widx, p, loC-1, x, loVal, hiVal) {
+		loC--
+	}
+	widx[p-1] = ci // gapHoldsUnder probes through widx in place; restore
+	if loC == ci && hiC == ci {
+		return cds.BoxConstraint{}, false
+	}
+	loNbr := a.Tree.Value(append(parent, loC-1))
+	hiNbr := a.Tree.Value(append(parent, hiC+1))
+	widx[p-1] = ci
+	prefixLen := a.Positions[p-1]
+	prefix := prefixBuf[:prefixLen]
+	for j := range prefix {
+		prefix[j] = cds.Star
+	}
+	for j := 0; j < p-1; j++ {
+		prefix[a.Positions[j]] = cds.Eq(sc.pathVals[j])
+	}
+	span := a.Positions[p] - a.Positions[p-1] + 1
+	dims := sc.dims[:span]
+	dims[0] = ordered.OpenToRange(loNbr, hiNbr)
+	for j := 1; j < span-1; j++ {
+		dims[j] = ordered.Range{Lo: ordered.NegInf, Hi: ordered.PosInf}
+	}
+	dims[span-1] = ordered.OpenToRange(loVal, hiVal)
+	return cds.BoxConstraint{Prefix: prefix, Dims: dims}, true
+}
+
+// gapHoldsUnder reports whether the open gap (loVal, hiVal) at atom
+// level p also holds under sibling index c of the level-(p-1) prefix:
+// one FindGap for the witness x locates the sibling's surrounding gap,
+// which must reach at least as far on both sides. Probes through widx
+// in place; the caller restores widx[p-1].
+func gapHoldsUnder(a *Atom, widx []int, p int, c, x, loVal, hiVal int) bool {
+	widx[p-1] = c
+	sidx := widx[:p]
+	l, h := a.Tree.FindGap(sidx, x)
+	if l == h {
+		return false
+	}
+	if a.Tree.Value(append(sidx, l)) > loVal {
+		return false
+	}
+	return a.Tree.Value(append(sidx, h)) >= hiVal
 }
 
 // MinesweeperAll runs Minesweeper and collects the output tuples.

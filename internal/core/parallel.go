@@ -147,7 +147,7 @@ func MinesweeperParallelStream(ctx context.Context, p *Problem, workers int, sta
 				}
 			}()
 			rg := ranges[w]
-			sub := &Problem{GAO: p.GAO, Bounds: p.Bounds, Debug: p.Debug}
+			sub := &Problem{GAO: p.GAO, Bounds: p.Bounds, Debug: p.Debug, DisableBoxes: p.DisableBoxes}
 			sub.Atoms = make([]Atom, len(p.Atoms))
 			views := make([]reltree.Tree, len(p.Atoms))
 			for i, a := range p.Atoms {

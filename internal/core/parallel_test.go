@@ -154,3 +154,46 @@ func TestMinesweeperParallelEmptyFirstAttr(t *testing.T) {
 		t.Fatalf("got %v, %v", out, err)
 	}
 }
+
+// TestMinesweeperParallelBoxStatsMerged: worker stats — including the
+// box counters — must be summed into the caller's receiver. The
+// clustered band input guarantees every worker's partition emits boxes
+// and serves probe advances from them.
+func TestMinesweeperParallelBoxStatsMerged(t *testing.T) {
+	var r, s [][]int
+	for c := 0; c < 4; c++ {
+		base := c << 16
+		for i := 0; i < 64; i++ {
+			x := base + i
+			r = append(r, []int{x, 0}, []int{x, 1})
+			s = append(s, []int{x, 10}, []int{x, 11})
+		}
+	}
+	atoms := []AtomSpec{
+		{Name: "R", Attrs: []string{"X", "Y"}, Tuples: r},
+		{Name: "S", Attrs: []string{"X", "Y"}, Tuples: s},
+	}
+	var seq certificate.Stats
+	if _, err := MinesweeperParallel([]string{"X", "Y"}, atoms, 1, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Boxes == 0 || seq.BoxSkips == 0 {
+		t.Fatalf("sequential run has no box activity: %+v", seq)
+	}
+	for _, workers := range []int{2, 4} {
+		var par certificate.Stats
+		out, err := MinesweeperParallel([]string{"X", "Y"}, atoms, workers, &par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("workers %d: band join must be empty, got %d", workers, len(out))
+		}
+		if par.Boxes == 0 || par.BoxSkips == 0 {
+			t.Fatalf("workers %d: box counters not merged: %+v", workers, par)
+		}
+		if par.ProbePoints == 0 || par.FindGaps == 0 {
+			t.Fatalf("workers %d: stats not merged: %+v", workers, par)
+		}
+	}
+}

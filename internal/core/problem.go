@@ -89,6 +89,10 @@ type Problem struct {
 	// probe point is covered by a freshly inserted constraint (the
 	// termination invariant of Theorem 3.2's proof). O(2^n log W) per probe.
 	Debug bool
+	// DisableBoxes turns off box-constraint emission, restricting the CDS
+	// to the paper's per-attribute interval gaps. Exists for the
+	// interval-vs-box benchmark comparison; leave false for normal runs.
+	DisableBoxes bool
 }
 
 // ColumnPlan computes, for an atom with the given attributes under the
@@ -227,7 +231,7 @@ func NewProblem(gao []string, atoms []AtomSpec) (*Problem, error) {
 // receiver to its snapshot, which is what makes a cached problem safe for
 // concurrent executions.
 func (p *Problem) Snapshot() *Problem {
-	cp := &Problem{GAO: p.GAO, Bounds: p.Bounds, Debug: p.Debug}
+	cp := &Problem{GAO: p.GAO, Bounds: p.Bounds, Debug: p.Debug, DisableBoxes: p.DisableBoxes}
 	cp.Atoms = make([]Atom, len(p.Atoms))
 	views := make([]reltree.Tree, len(p.Atoms))
 	for i, a := range p.Atoms {

@@ -1,0 +1,52 @@
+package dataset
+
+// The E13 instances: axis-aligned clustered joins. Both relations agree
+// on the clustered leading attribute but occupy disjoint (or barely
+// overlapping) bands on the trailing one, so an interval-only CDS pays
+// one probe round per cluster member while a box-cover CDS retires each
+// cluster with a handful of boxes — the workload from the box-cover /
+// geometric-resolution line of work.
+
+// ClusteredBandJoin builds the E13 instance: Q = R(X,Y) ⋈ S(X,Y) where
+// both relations share `clusters` X-clusters of `width` consecutive
+// values (cluster c occupies X ∈ [c·gap, c·gap+width)), R's Y values sit
+// in the low band {0, 1} and S's in the high band {10, 11}. The bands
+// are disjoint, so the join is empty — but an interval-only CDS only
+// learns ⟨X=x, Y-gap⟩ one x at a time (Θ(clusters·width) probe rounds),
+// while box widening certifies each cluster's X-range × Y-band
+// rectangle in O(log width) rounds.
+func ClusteredBandJoin(clusters, width int) (r, s [][]int) {
+	const gap = 1 << 16
+	for c := 0; c < clusters; c++ {
+		base := c * gap
+		for i := 0; i < width; i++ {
+			x := base + i
+			r = append(r, []int{x, 0}, []int{x, 1})
+			s = append(s, []int{x, 10}, []int{x, 11})
+		}
+	}
+	return r, s
+}
+
+// ClusteredOverlapJoin is the non-empty E13 variant: the same shared
+// X-clusters, but every `hit`-th cluster member carries one overlapping
+// Y value (Y = 5 in both relations) in addition to its private band, so
+// the join emits exactly one tuple per such member. Output correctness
+// across engines and dictionary modes is what the equivalence suite
+// checks on this shape; the box win shows on the ruled-out remainder.
+func ClusteredOverlapJoin(clusters, width, hit int) (r, s [][]int) {
+	const gap = 1 << 16
+	for c := 0; c < clusters; c++ {
+		base := c * gap
+		for i := 0; i < width; i++ {
+			x := base + i
+			r = append(r, []int{x, 0}, []int{x, 1})
+			s = append(s, []int{x, 10}, []int{x, 11})
+			if hit > 0 && i%hit == 0 {
+				r = append(r, []int{x, 5})
+				s = append(s, []int{x, 5})
+			}
+		}
+	}
+	return r, s
+}

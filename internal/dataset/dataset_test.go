@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"minesweeper/internal/certificate"
 	"minesweeper/internal/core"
 	"minesweeper/internal/hypergraph"
 )
@@ -300,5 +301,85 @@ func TestLayeredPathInstance(t *testing.T) {
 	}
 	if len(out2) != 4*4*4 {
 		t.Fatalf("2-edge paths = %d, want 64", len(out2))
+	}
+}
+
+func TestClusteredBandJoinEmpty(t *testing.T) {
+	r, s := ClusteredBandJoin(4, 32)
+	if len(r) != 4*32*2 || len(s) != 4*32*2 {
+		t.Fatalf("sizes: r %d s %d", len(r), len(s))
+	}
+	p, err := core.NewProblem([]string{"X", "Y"}, []core.AtomSpec{
+		{Name: "R", Attrs: []string{"X", "Y"}, Tuples: r},
+		{Name: "S", Attrs: []string{"X", "Y"}, Tuples: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.MinesweeperAll(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("band join must be empty, got %d tuples", len(out))
+	}
+}
+
+func TestClusteredOverlapJoinOutputs(t *testing.T) {
+	const clusters, width, hit = 3, 16, 4
+	r, s := ClusteredOverlapJoin(clusters, width, hit)
+	p, err := core.NewProblem([]string{"X", "Y"}, []core.AtomSpec{
+		{Name: "R", Attrs: []string{"X", "Y"}, Tuples: r},
+		{Name: "S", Attrs: []string{"X", "Y"}, Tuples: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.MinesweeperAll(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clusters * ((width + hit - 1) / hit) // one output per hit member
+	if len(out) != want {
+		t.Fatalf("got %d outputs, want %d", len(out), want)
+	}
+	for _, tup := range out {
+		if tup[1] != 5 {
+			t.Fatalf("output %v not on the overlap value", tup)
+		}
+	}
+}
+
+// TestClusteredBoxAdvantage pins the E13 mechanism itself: with boxes
+// the empty band join needs far fewer probe rounds than the
+// interval-only CDS, which pays one per cluster member.
+func TestClusteredBoxAdvantage(t *testing.T) {
+	r, s := ClusteredBandJoin(2, 256)
+	atoms := []core.AtomSpec{
+		{Name: "R", Attrs: []string{"X", "Y"}, Tuples: r},
+		{Name: "S", Attrs: []string{"X", "Y"}, Tuples: s},
+	}
+	run := func(disable bool) certificate.Stats {
+		p, err := core.NewProblem([]string{"X", "Y"}, atoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.DisableBoxes = disable
+		var stats certificate.Stats
+		if _, err := core.MinesweeperAll(p, &stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	boxed, plain := run(false), run(true)
+	if boxed.Boxes == 0 || boxed.BoxSkips == 0 {
+		t.Fatalf("no box activity: %+v", boxed)
+	}
+	if plain.Boxes != 0 {
+		t.Fatalf("DisableBoxes leaked boxes: %+v", plain)
+	}
+	if boxed.ProbePoints*10 > plain.ProbePoints {
+		t.Fatalf("box CDS should cut probe rounds ≥10x: boxed %d vs interval %d",
+			boxed.ProbePoints, plain.ProbePoints)
 	}
 }

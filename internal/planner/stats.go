@@ -32,6 +32,26 @@ func (c ColStat) Span() int {
 	return c.Max - c.Min + 1
 }
 
+// freqSkewFactor is the skew threshold of FreqSkewed: the heaviest
+// value must occur at least this many times the uniform expectation
+// rows/distinct before a frequency-permuted domain order is worth a
+// non-order-preserving encoding.
+const freqSkewFactor = 8
+
+// FreqSkewed reports whether the skew sketch marks the column a
+// candidate for a frequency-permuted domain order (NewFreqDict): its
+// max-frequency value dominates enough that clustering heavy values at
+// adjacent codes can coalesce the constraint-store intervals around
+// them. Uniform columns (MaxFreq ≈ rows/distinct) never qualify, so
+// typical key data keeps the order-preserving rank encoding and its
+// bound pushdown.
+func FreqSkewed(rows int, c ColStat) bool {
+	if rows == 0 || c.Distinct < 2 || c.MaxFreq < 2 {
+		return false
+	}
+	return c.MaxFreq*c.Distinct >= freqSkewFactor*rows
+}
+
 // RelStats carries the per-column statistics of one relation snapshot.
 // The public layer caches one per relation, invalidated by the
 // relation's mutation epoch, so prepared queries re-plan only when the

@@ -643,6 +643,58 @@ const (
 	DictOn
 )
 
+// DomainOrder selects the code-space ordering of dictionary-encoded
+// attributes — the data-driven domain permutation of the box-cover /
+// domain-ordering line of work generalizing PR 5's rank encodings.
+type DomainOrder int
+
+const (
+	// DomainNatural (the default) keeps every dictionary
+	// order-preserving: codes follow value order, emitted tuples are
+	// GAO-lexicographic in raw values, and range bounds push down into
+	// code space.
+	DomainNatural DomainOrder = iota
+	// DomainFreq re-permutes the code space of attributes the planner's
+	// skew sketch marks heavy-hitter-dominated: codes follow descending
+	// frequency (ties by value), so the values that join most cluster at
+	// adjacent codes and their rule-outs coalesce into few wide gaps and
+	// boxes. The permutation applies only to attributes without
+	// pushed-down range bounds (a permuted code space has no contiguous
+	// bound image) and is deterministic, so repeated runs — and all
+	// engines, which share the encoded indexes — agree exactly.
+	//
+	// Trade-off: tuples stream in permuted-domain order on the affected
+	// attributes (still a deterministic total order, identical across
+	// engines and worker counts, but not raw value order). Explain's
+	// DictOrders field reports the discipline actually applied per
+	// attribute.
+	DomainFreq
+)
+
+// ParseDomainOrder resolves a domain-order name as printed by
+// DomainOrder.String ("natural", "freq"); the empty string parses as
+// DomainNatural. The one authoritative name table for CLI flags and
+// service parameters, like ParseEngine.
+func ParseDomainOrder(name string) (DomainOrder, error) {
+	switch name {
+	case "", "natural":
+		return DomainNatural, nil
+	case "freq":
+		return DomainFreq, nil
+	}
+	return 0, fmt.Errorf("minesweeper: unknown domain order %q", name)
+}
+
+func (d DomainOrder) String() string {
+	switch d {
+	case DomainNatural:
+		return "natural"
+	case DomainFreq:
+		return "freq"
+	}
+	return fmt.Sprintf("domainorder(%d)", int(d))
+}
+
 // Options configures Execute. The zero value (or nil) means: planned
 // GAO, Minesweeper engine, sequential, auto dictionary encoding, full
 // output (no projection, filters or aggregates beyond those parsed into
@@ -655,6 +707,10 @@ type Options struct {
 	GAO []string
 	// Dict controls per-attribute dictionary (dense-domain) encoding.
 	Dict DictMode
+	// Domain opts skewed attributes into frequency-permuted code spaces
+	// (see DomainFreq). Ignored under DictOff — domain permutations ride
+	// on the dictionary machinery.
+	Domain DomainOrder
 	// Workers > 1 parallelizes the Minesweeper engine by partitioning the
 	// first GAO attribute's domain (ignored by other engines).
 	Workers int

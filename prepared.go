@@ -122,7 +122,8 @@ func (q *Query) prepState(o *Options, prev *prepState) (*prepState, error) {
 	if prev != nil && prev.dicts != nil {
 		prevB = &binding{problem: prev.problem, epochs: prev.epochs, dicts: prev.dicts}
 	}
-	b, err := q.bind(st.ext, bounds, o.Debug, q.dictPositions(o.Dict, st.ext), prevB)
+	encode, freq := q.dictPlan(o, st.ext, bounds)
+	b, err := q.bind(st.ext, bounds, o.Debug, encode, freq, prevB)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +212,53 @@ func (q *Query) dictPositions(mode DictMode, ext []string) []bool {
 	return out
 }
 
+// dictPlan resolves the per-position dictionary decisions: encode marks
+// the positions that get a dictionary at all (the dictPositions gates),
+// freq the subset whose code space is frequency-permuted under
+// Options.Domain == DomainFreq. A position is frequency-permuted only
+// when (a) some bound column's skew sketch qualifies
+// (planner.FreqSkewed), and (b) no range bound is pushed down at the
+// position — a permuted code space has no contiguous bound image, so
+// permuting a bounded attribute would forfeit the pushdown. Frequency
+// positions are dictionary-encoded even when the DictAuto sparsity gate
+// would leave them raw: the permutation IS the encoding. freq is nil
+// when no position is permuted (always under DomainNatural or DictOff).
+func (q *Query) dictPlan(o *Options, ext []string, bounds []core.Bound) (encode, freq []bool) {
+	encode = q.dictPositions(o.Dict, ext)
+	if o.Domain != DomainFreq || o.Dict == DictOff {
+		return encode, nil
+	}
+	skewed := map[string]bool{}
+	for _, a := range q.atoms {
+		st := a.Rel.colStats()
+		for j, v := range a.Vars {
+			if len(v) > 0 && v[0] == '#' {
+				continue // hidden constant column
+			}
+			if planner.FreqSkewed(st.Rows, st.Cols[j]) {
+				skewed[v] = true
+			}
+		}
+	}
+	for i, v := range ext {
+		if !skewed[v] {
+			continue
+		}
+		if bounds != nil && !bounds[i].Full() {
+			continue
+		}
+		if freq == nil {
+			freq = make([]bool, len(ext))
+		}
+		freq[i] = true
+		if encode == nil {
+			encode = make([]bool, len(ext))
+		}
+		encode[i] = true
+	}
+	return encode, freq
+}
+
 // column extracts column j of the raw tuple rows.
 func column(tuples [][]int, j int) []int {
 	out := make([]int, len(tuples))
@@ -242,7 +290,12 @@ func column(tuples [][]int, j int) []int {
 // mutation to one relation of a two-atom query sharing an encoded
 // attribute therefore still rebuilds both trees — that is semantic,
 // not wasted work.
-func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode []bool, prev *binding) (*binding, error) {
+//
+// freq (nil or len(gao)) marks encoded positions whose dictionary is
+// frequency-permuted (core.NewFreqDict) rather than rank-ordered; a
+// previous binding's dictionary is only reused when its ordering
+// discipline matches.
+func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq []bool, prev *binding) (*binding, error) {
 	atoms := make([]core.Atom, len(q.atoms))
 	epochs := make([]uint64, len(q.atoms))
 	perms := make([][]int, len(q.atoms))
@@ -343,6 +396,10 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode []boo
 				reuse = false
 				break
 			}
+			if d := prev.dicts.ByPos[p]; d != nil && d.Freq() != (freq != nil && freq[p]) {
+				reuse = false
+				break
+			}
 		}
 	}
 	unchanged := map[*Relation]bool{}
@@ -388,7 +445,11 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode []boo
 				}
 			}
 		}
-		ds.ByPos[p] = core.NewDict(lists...)
+		if freq != nil && freq[p] {
+			ds.ByPos[p] = core.NewFreqDict(lists...)
+		} else {
+			ds.ByPos[p] = core.NewDict(lists...)
+		}
 	}
 	for i, a := range q.atoms {
 		if atoms[i].Tree != nil {
@@ -509,11 +570,27 @@ type Explain struct {
 	// Planned is true when the cost model chose a different order than
 	// the structural RecommendGAO default (false for forced GAOs).
 	Planned bool `json:"planned"`
-	// DictAttrs lists the attributes evaluated through an
-	// order-preserving dictionary (dense rank encoding).
+	// DictAttrs lists the attributes evaluated through a dictionary
+	// encoding (dense code space).
 	DictAttrs []string `json:"dict,omitempty"`
+	// DictOrders reports, per encoded attribute, the domain ordering its
+	// code space actually follows — "attr:rank" for the order-preserving
+	// rank encoding, "attr:freq" for a frequency-permuted domain (see
+	// DomainFreq). Stream consumers need this to reconstruct code-space
+	// semantics: under "rank" the emission order and any code-space
+	// bounds mirror raw value order, under "freq" they follow the
+	// permuted domain.
+	DictOrders []string `json:"dict_orders,omitempty"`
 	// Engine is the resolved engine.
 	Engine Engine `json:"-"`
+}
+
+// dictOrderEntry renders one DictOrders element.
+func dictOrderEntry(attr string, freq bool) string {
+	if freq {
+		return attr + ":freq"
+	}
+	return attr + ":rank"
 }
 
 // explainState renders the plan of one immutable state.
@@ -529,6 +606,7 @@ func (pq *PreparedQuery) explainState(st *prepState) Explain {
 		for i, d := range st.dicts.ByPos {
 			if d != nil {
 				ex.DictAttrs = append(ex.DictAttrs, st.ext[i])
+				ex.DictOrders = append(ex.DictOrders, dictOrderEntry(st.ext[i], d.Freq()))
 			}
 		}
 	}
@@ -577,15 +655,20 @@ func (q *Query) Explain(opts *Options) (Explain, error) {
 		plan := planner.Choose(atoms, planner.Config{})
 		ex.GAO, ex.Width, ex.EstCost, ex.Planned = plan.GAO, plan.Width, plan.Cost, plan.Planned
 	}
-	if _, _, err := q.buildShape(ex.GAO, &o); err != nil {
+	_, sh, err := q.buildShape(ex.GAO, &o)
+	if err != nil {
 		return Explain{}, err
 	}
 	ext := q.extendGAO(ex.GAO)
-	if mask := q.dictPositions(o.Dict, ext); mask != nil {
-		for i, on := range mask {
-			if on {
-				ex.DictAttrs = append(ex.DictAttrs, ext[i])
-			}
+	var bounds []core.Bound
+	if sh != nil {
+		bounds = sh.Bounds
+	}
+	encode, freq := q.dictPlan(&o, ext, bounds)
+	for i, on := range encode {
+		if on {
+			ex.DictAttrs = append(ex.DictAttrs, ext[i])
+			ex.DictOrders = append(ex.DictOrders, dictOrderEntry(ext[i], freq != nil && freq[i]))
 		}
 	}
 	return ex, nil
