@@ -478,3 +478,19 @@ func BenchmarkSetIntersectionMergeVariant(b *testing.B) {
 }
 
 func BenchmarkIntersectAdaptiveSkewed(b *testing.B) { benchsuite.IntersectAdaptiveSkewed(b) }
+
+// --- E14: durability (storage-layer WAL + recovery) -------------------
+
+func BenchmarkDurableAppend(b *testing.B) {
+	b.Run("mem", benchsuite.DurableAppendMem)
+	b.Run("wal", benchsuite.DurableAppendWAL)
+	b.Run("wal-fsync", benchsuite.DurableAppendWALFsync)
+}
+
+func BenchmarkDurableRecovery(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("wal=%d", n), func(b *testing.B) {
+			benchsuite.DurableRecovery(b, n)
+		})
+	}
+}

@@ -27,27 +27,69 @@
 //
 // Usage:
 //
-//	msserve [-addr :8080] [relation files…]
+//	msserve [-addr :8080] [-data-dir DIR] [relation files…]
 //
 // Relation files given on the command line are preloaded into the
 // catalog at startup.
+//
+// With -data-dir the catalog is durable: every mutation is appended to
+// a CRC-checked write-ahead log before it applies, the log compacts
+// into full snapshots as it grows, and a restart — clean or not —
+// recovers every relation (tuples, variable bindings, mutation epochs)
+// and re-registers every named prepared query, replaying the WAL over
+// the newest snapshot and truncating a torn tail. Without -data-dir
+// everything stays in memory, the historical behavior.
+//
+// On SIGINT/SIGTERM the server drains: no new requests are accepted,
+// in-flight NDJSON streams get up to -drain-timeout to finish, and the
+// storage backend closes with a final WAL sync.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"minesweeper/internal/catalog"
+	"minesweeper/internal/storage"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory, nothing survives a restart)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight streams may drain at shutdown")
+	fsync := flag.Bool("fsync", false, "with -data-dir: fsync the WAL on every mutation (safer, slower)")
 	flag.Parse()
 
-	cat := catalog.New()
+	var backend storage.Backend = storage.NewMem()
+	if *dataDir != "" {
+		durable, err := storage.OpenDurable(*dataDir, storage.Options{FsyncEach: *fsync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msserve: opening -data-dir: %v\n", err)
+			os.Exit(1)
+		}
+		backend = durable
+	}
+	cat, err := catalog.Open(backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msserve: recovering catalog: %v\n", err)
+		os.Exit(1)
+	}
+	if st := cat.StorageStats(); st.Mode == "durable" {
+		log.Printf("recovered %d relations and %d query definitions from %s (snapshot seq %d, %d WAL records replayed)",
+			st.RecoveredRelations, st.RecoveredQueries, st.Dir, st.Seq, st.ReplayedRecords)
+		if st.TruncatedBytes > 0 {
+			log.Printf("warning: truncated %d torn trailing bytes from the WAL", st.TruncatedBytes)
+		}
+	}
+
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
@@ -64,8 +106,50 @@ func main() {
 	}
 
 	srv := newServer(cat)
-	log.Printf("msserve listening on %s (%d relations preloaded)", *addr, cat.Len())
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+	if restored, failed := srv.restoreQueries(); restored > 0 || len(failed) > 0 {
+		log.Printf("re-registered %d prepared queries", restored)
+		for _, err := range failed {
+			log.Printf("warning: could not restore %v", err)
+		}
 	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- httpSrv.ListenAndServe()
+	}()
+	log.Printf("msserve listening on %s (%d relations)", *addr, cat.Len())
+
+	select {
+	case err := <-errc:
+		cat.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+
+	log.Printf("shutting down: draining in-flight streams (up to %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Streams still running at the deadline are cut: Close tears
+			// down their connections, which cancels their request
+			// contexts (the executor's anytime contract ends each stream
+			// with the tuples already emitted).
+			log.Printf("drain timeout reached; closing remaining streams")
+			httpSrv.Close()
+		} else {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	// Final WAL sync: everything appended before the listener closed is
+	// on stable storage before the process exits.
+	if err := cat.Close(); err != nil {
+		log.Printf("closing storage: %v", err)
+	}
+	log.Printf("msserve stopped")
 }

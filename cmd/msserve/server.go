@@ -17,6 +17,7 @@ import (
 	"minesweeper"
 	"minesweeper/internal/catalog"
 	"minesweeper/internal/certificate"
+	"minesweeper/internal/storage"
 )
 
 // server is the msserve HTTP handler: a relation catalog plus a registry
@@ -258,6 +259,57 @@ type querySpec struct {
 	Timeout string `json:"timeout,omitempty"`
 }
 
+// def renders the spec as the durable prepared-query definition: the
+// textual query plus the registration options, exactly what recovery
+// needs to re-register and re-plan it.
+func (spec *querySpec) def() storage.QueryDef {
+	return storage.QueryDef{
+		Name:    spec.Name,
+		Query:   spec.Query,
+		Engine:  spec.Engine,
+		GAO:     spec.GAO,
+		Workers: spec.Workers,
+		Domain:  spec.Domain,
+		Select:  spec.Select,
+		Where:   spec.Where,
+	}
+}
+
+// specFromDef is the inverse of querySpec.def, used at recovery.
+func specFromDef(def storage.QueryDef) *querySpec {
+	return &querySpec{
+		Name:    def.Name,
+		Query:   def.Query,
+		Engine:  def.Engine,
+		GAO:     def.GAO,
+		Workers: def.Workers,
+		Domain:  def.Domain,
+		Select:  def.Select,
+		Where:   def.Where,
+	}
+}
+
+// restoreQueries re-registers every prepared-query definition the
+// catalog recovered, re-planning each against the recovered data (the
+// eager default-variant Prepare inside buildQuery). A definition that
+// no longer builds — its relation was dropped after registration and
+// never recreated — is skipped and reported rather than keeping the
+// whole server from booting; its definition stays in the catalog.
+func (s *server) restoreQueries() (restored int, failed []error) {
+	for _, def := range s.cat.QueryDefs() {
+		rq, err := s.buildQuery(specFromDef(def))
+		if err != nil {
+			failed = append(failed, fmt.Errorf("query %q: %w", def.Name, err))
+			continue
+		}
+		s.mu.Lock()
+		s.queries[def.Name] = rq
+		s.mu.Unlock()
+		restored++
+	}
+	return restored, failed
+}
+
 // buildQuery parses and validates a spec against the catalog.
 func (s *server) buildQuery(spec *querySpec) (*registeredQuery, error) {
 	if spec.Query == "" {
@@ -336,6 +388,16 @@ func (s *server) handleRegisterQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "query %q already registered", spec.Name)
 		return
 	}
+	// Persist the definition so recovery re-registers it. On failure the
+	// registration is rolled back: a query that exists in memory but not
+	// in the log would silently vanish at the next restart.
+	if err := s.cat.PutQueryDef(spec.def()); err != nil {
+		s.mu.Lock()
+		delete(s.queries, spec.Name)
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "persisting query %q: %v", spec.Name, err)
+		return
+	}
 	explain, err := rq.liveExplain()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -388,6 +450,10 @@ func (s *server) handleDropQuery(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	if err := s.cat.DropQueryDef(name); err != nil {
+		httpError(w, http.StatusInternalServerError, "unpersisting query %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
@@ -640,6 +706,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"relations":            s.cat.Len(),
 		"queries":              nq,
+		"storage":              s.cat.StorageStats(),
 		"executions":           s.runs,
 		"tuples_served":        s.served,
 		"cut_short":            s.expired,

@@ -7,12 +7,34 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
 
 	"minesweeper/internal/catalog"
+	"minesweeper/internal/storage"
 )
+
+// newTestCatalog builds the catalog on the backend selected by
+// MS_TEST_BACKEND, so the whole HTTP suite also runs with every
+// mutation flowing through a WAL ("durable") as in CI's durable pass.
+func newTestCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	if os.Getenv("MS_TEST_BACKEND") != "durable" {
+		return catalog.New()
+	}
+	b, err := storage.OpenDurable(t.TempDir(), storage.Options{CompactMinBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := catalog.Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
 
 // do issues one request against the handler and returns the response.
 func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
@@ -73,7 +95,7 @@ func parseRun(t *testing.T, body *bytes.Buffer) runResponse {
 // newTestServer loads the R ⋈ S fixture and registers query "rs".
 func newTestServer(t *testing.T) *server {
 	t.Helper()
-	s := newServer(catalog.New())
+	s := newServer(newTestCatalog(t))
 	wantStatus(t, do(t, s, "POST", "/relations", "R: A B\n1 2\n2 3\n4 1\n"), http.StatusOK)
 	wantStatus(t, do(t, s, "POST", "/relations", "S: B C\n2 5\n3 7\n3 9\n"), http.StatusOK)
 	wantStatus(t, do(t, s, "POST", "/queries",

@@ -1,0 +1,117 @@
+package benchsuite
+
+import (
+	"os"
+	"testing"
+
+	"minesweeper/internal/storage"
+)
+
+// --- E14: durability micro-benchmarks ---------------------------------
+//
+// The serving tier's data plane: what one logged mutation costs over
+// each backend (the WAL write is on every msserve mutation's path), and
+// how recovery time scales with WAL length. These run at the storage
+// layer — the catalog adds only validation and a map update on top.
+
+// appendRecord is the mutation every append benchmark logs: a
+// mid-sized insert, two tuples of two values.
+var appendRecord = &storage.Record{
+	Op: storage.OpInsert, Name: "R", Epoch: 0,
+	Tuples: [][]int{{12345, 67890}, {13, 7}},
+}
+
+func benchAppend(b *testing.B, open func(dir string) (storage.Backend, error)) {
+	dir, err := os.MkdirTemp("", "msbench-wal-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	be, err := open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer be.Close()
+	if _, err := be.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := be.Append(appendRecord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DurableAppendMem is the no-durability baseline: the same call path
+// with the in-memory backend (a no-op append).
+func DurableAppendMem(b *testing.B) {
+	benchAppend(b, func(string) (storage.Backend, error) { return storage.NewMem(), nil })
+}
+
+// DurableAppendWAL logs each mutation to the WAL with the default
+// write-no-fsync setting.
+func DurableAppendWAL(b *testing.B) {
+	benchAppend(b, func(dir string) (storage.Backend, error) {
+		return storage.OpenDurable(dir, storage.Options{})
+	})
+}
+
+// DurableAppendWALFsync logs and fsyncs each mutation — the safest and
+// slowest setting (msserve -fsync).
+func DurableAppendWALFsync(b *testing.B) {
+	benchAppend(b, func(dir string) (storage.Backend, error) {
+		return storage.OpenDurable(dir, storage.Options{FsyncEach: true})
+	})
+}
+
+// DurableRecovery measures a cold open — scan, replay, reopen — of a
+// WAL holding n records, the restart cost msserve pays after a kill.
+func DurableRecovery(b *testing.B, n int) {
+	dir, err := os.MkdirTemp("", "msbench-recover-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	d, err := storage.OpenDurable(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Append(&storage.Record{Op: storage.OpCreate, Name: "R", Vars: []string{"A", "B"}}); err != nil {
+		b.Fatal(err)
+	}
+	epoch := uint64(0)
+	for i := 1; i < n; i++ {
+		if err := d.Append(&storage.Record{
+			Op: storage.OpInsert, Name: "R", Epoch: epoch, Tuples: [][]int{{i, i * 2}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		epoch++
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := storage.OpenDurable(dir, storage.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := d.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Relations) != 1 || len(st.Relations[0].Tuples) != n-1 {
+			b.Fatalf("recovered %d relations", len(st.Relations))
+		}
+		d.Close()
+	}
+	b.ReportMetric(float64(n), "walrecs/op")
+}

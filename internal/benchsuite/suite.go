@@ -61,6 +61,11 @@ func Suite() []Bench {
 		{"ClusteredBand/IntervalOnly", "E13", ClusteredBandIntervalOnly},
 		{"ClusteredOverlap/Boxes", "E13", ClusteredOverlapBoxes},
 		{"ClusteredOverlap/IntervalOnly", "E13", ClusteredOverlapIntervalOnly},
+		{"DurableAppend/mem", "E14", DurableAppendMem},
+		{"DurableAppend/wal", "E14", DurableAppendWAL},
+		{"DurableAppend/wal-fsync", "E14", DurableAppendWALFsync},
+		{"DurableRecovery/wal=1024", "E14", func(b *testing.B) { DurableRecovery(b, 1024) }},
+		{"DurableRecovery/wal=16384", "E14", func(b *testing.B) { DurableRecovery(b, 16384) }},
 		{"CDSProbeInsertLoop", "micro", CDSProbeInsertLoop},
 		{"CDSInsConstraint", "micro", CDSInsConstraint},
 		{"RangeSetInsert", "micro", RangeSetInsert},

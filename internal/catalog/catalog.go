@@ -7,6 +7,19 @@
 // transparently on its next execution — the mechanism that turns the
 // one-shot library into a long-lived service.
 //
+// Since the data/compute-plane split, the catalog is a thin naming and
+// versioning layer over a storage.Backend: every mutation — Create,
+// Drop, Insert, Delete, Replace, the Load replace path, and the named
+// prepared-query definitions — is framed as a storage.Record and
+// appended to the backend's log *before* it touches the in-memory
+// relation, so a catalog opened over a durable backend recovers every
+// relation (tuples, default variable binding, mutation epoch) and every
+// query definition after a crash. The in-memory behavior is the
+// storage.Mem backend; indexes are never persisted — recovery rebuilds
+// them lazily through the same epoch machinery that serves live
+// mutations, so the warm-path invariants (zero reltree builds on warm
+// re-execution) hold identically over both backends.
+//
 // Each relation carries a default variable binding (its relio header),
 // so textual queries such as "R(A,B), S(B,C)" resolve against the
 // catalog and relations round-trip through the relio interchange
@@ -20,7 +33,9 @@ import (
 	"sync"
 
 	"minesweeper"
+	"minesweeper/internal/ordered"
 	"minesweeper/internal/relio"
+	"minesweeper/internal/storage"
 )
 
 // entry pairs a relation with its default variable binding.
@@ -38,16 +53,117 @@ type Info struct {
 	Epoch  uint64   `json:"epoch"`
 }
 
-// Catalog is a named, mutable set of relations, safe for concurrent
-// use. The zero value is not usable; call New.
+// Catalog is a named, mutable set of relations plus the registered
+// prepared-query definitions, safe for concurrent use, persisted
+// through a storage.Backend. The zero value is not usable; call New or
+// Open.
 type Catalog struct {
-	mu   sync.RWMutex
-	rels map[string]*entry
+	mu      sync.RWMutex
+	backend storage.Backend
+	rels    map[string]*entry
+	queries map[string]storage.QueryDef
 }
 
-// New returns an empty catalog.
+// New returns an empty catalog over the in-memory backend — the
+// historical non-durable behavior.
 func New() *Catalog {
-	return &Catalog{rels: map[string]*entry{}}
+	c, err := Open(storage.NewMem())
+	if err != nil {
+		// The memory backend's recovery cannot fail.
+		panic(err)
+	}
+	return c
+}
+
+// Open recovers a catalog from the given backend: relations come back
+// with their tuples, default variable bindings and mutation epochs;
+// prepared-query definitions are available from QueryDefs for the
+// serving layer to re-register (and re-plan) against the recovered
+// data. Indexes are not persisted — the first execution that needs one
+// rebuilds it lazily, exactly as after a live mutation.
+func Open(b storage.Backend) (*Catalog, error) {
+	state, err := b.Recover()
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		backend: b,
+		rels:    make(map[string]*entry, len(state.Relations)),
+		queries: make(map[string]storage.QueryDef, len(state.Queries)),
+	}
+	for i := range state.Relations {
+		rs := &state.Relations[i]
+		rel, err := minesweeper.NewRelation(rs.Name, len(rs.Vars), rs.Tuples)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: recovering relation %q: %w", rs.Name, err)
+		}
+		if err := rel.RestoreEpoch(rs.Epoch); err != nil {
+			return nil, fmt.Errorf("catalog: recovering relation %q: %w", rs.Name, err)
+		}
+		c.rels[rs.Name] = &entry{rel: rel, vars: append([]string(nil), rs.Vars...)}
+	}
+	for _, def := range state.Queries {
+		c.queries[def.Name] = def
+	}
+	return c, nil
+}
+
+// checkTuples validates arity and the value domain before a mutation is
+// logged: a record must never enter the WAL unless replaying it will
+// succeed, so the same bounds the Relation mutators enforce are checked
+// here first.
+func checkTuples(name string, arity int, tuples [][]int) error {
+	for i, tup := range tuples {
+		if len(tup) != arity {
+			return fmt.Errorf("catalog: relation %q: tuple %d has %d values, want %d", name, i, len(tup), arity)
+		}
+		for j, v := range tup {
+			if v < 0 || v >= ordered.PosInf {
+				return fmt.Errorf("catalog: relation %q: tuple %d component %d = %d out of domain [0, %d)",
+					name, i, j, v, ordered.PosInf)
+			}
+		}
+	}
+	return nil
+}
+
+// appendLocked logs one mutation record; callers hold c.mu and apply
+// the mutation in memory only when it returns nil.
+func (c *Catalog) appendLocked(rec *storage.Record) error {
+	return c.backend.Append(rec)
+}
+
+// maybeCompactLocked rotates the log into a fresh snapshot when it has
+// outgrown the previous one. Compaction failure is deliberately soft:
+// the mutation that triggered it is already durable in the WAL, the
+// backend records the error in its Stats, and the next mutation
+// retries.
+func (c *Catalog) maybeCompactLocked() {
+	if !c.backend.ShouldCompact() {
+		return
+	}
+	c.backend.Compact(c.stateLocked())
+}
+
+// stateLocked renders the full catalog as a storage.State. Tuple rows
+// are shared with the relations (the snapshot writer only reads them).
+func (c *Catalog) stateLocked() *storage.State {
+	st := &storage.State{
+		Relations: make([]storage.RelationState, 0, len(c.rels)),
+		Queries:   make([]storage.QueryDef, 0, len(c.queries)),
+	}
+	for name, e := range c.rels {
+		st.Relations = append(st.Relations, storage.RelationState{
+			Name:   name,
+			Vars:   append([]string(nil), e.vars...),
+			Epoch:  e.rel.Epoch(),
+			Tuples: e.rel.Tuples(),
+		})
+	}
+	for _, def := range c.queries {
+		st.Queries = append(st.Queries, def)
+	}
+	return st
 }
 
 // Create adds a new relation under the given name with the given
@@ -56,10 +172,16 @@ func New() *Catalog {
 func (c *Catalog) Create(name string, vars []string, tuples [][]int) (*minesweeper.Relation, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.createLocked(name, vars, tuples)
+	rel, err := c.createLocked(name, vars, tuples)
+	if err != nil {
+		return nil, err
+	}
+	c.maybeCompactLocked()
+	return rel, nil
 }
 
-// createLocked is Create with c.mu held.
+// createLocked is Create with c.mu held (and without the compaction
+// check, so Load composes it with a replace under one lock).
 func (c *Catalog) createLocked(name string, vars []string, tuples [][]int) (*minesweeper.Relation, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty relation name")
@@ -77,8 +199,13 @@ func (c *Catalog) createLocked(name string, vars []string, tuples [][]int) (*min
 	if _, dup := c.rels[name]; dup {
 		return nil, fmt.Errorf("catalog: relation %q already exists", name)
 	}
+	// Build (and thereby validate) the relation before logging: a
+	// record only enters the log if applying it must succeed.
 	rel, err := minesweeper.NewRelation(name, len(vars), tuples)
 	if err != nil {
+		return nil, err
+	}
+	if err := c.appendLocked(&storage.Record{Op: storage.OpCreate, Name: name, Vars: vars, Tuples: tuples}); err != nil {
 		return nil, err
 	}
 	c.rels[name] = &entry{rel: rel, vars: append([]string(nil), vars...)}
@@ -112,7 +239,8 @@ func (c *Catalog) Vars(name string) ([]string, bool) {
 // against the relation pick up the new tuples on their next execution.
 // Catalog mutations run under the catalog's write lock, so the returned
 // Info is exactly the state this mutation produced — concurrent
-// mutations cannot skew the reported epoch or tuple count.
+// mutations cannot skew the reported epoch or tuple count. The record
+// is appended to the storage log before the relation changes.
 func (c *Catalog) Insert(name string, tuples ...[]int) (Info, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -120,9 +248,20 @@ func (c *Catalog) Insert(name string, tuples ...[]int) (Info, error) {
 	if !ok {
 		return Info{}, fmt.Errorf("catalog: unknown relation %q", name)
 	}
+	if err := checkTuples(name, e.rel.Arity(), tuples); err != nil {
+		return Info{}, err
+	}
+	if len(tuples) > 0 {
+		if err := c.appendLocked(&storage.Record{
+			Op: storage.OpInsert, Name: name, Epoch: e.rel.Epoch(), Tuples: tuples,
+		}); err != nil {
+			return Info{}, err
+		}
+	}
 	if err := e.rel.Insert(tuples...); err != nil {
 		return Info{}, err
 	}
+	c.maybeCompactLocked()
 	return e.describe(name), nil
 }
 
@@ -136,10 +275,24 @@ func (c *Catalog) Delete(name string, tuples ...[]int) (int, Info, error) {
 	if !ok {
 		return 0, Info{}, fmt.Errorf("catalog: unknown relation %q", name)
 	}
+	if err := checkTuples(name, e.rel.Arity(), tuples); err != nil {
+		return 0, Info{}, err
+	}
+	if len(tuples) > 0 {
+		// Logged even when nothing ends up removed: whether rows match
+		// is only known after applying, and replaying a no-op delete
+		// reproduces the same no-op (and the same epoch).
+		if err := c.appendLocked(&storage.Record{
+			Op: storage.OpDelete, Name: name, Epoch: e.rel.Epoch(), Tuples: tuples,
+		}); err != nil {
+			return 0, Info{}, err
+		}
+	}
 	n, err := e.rel.Delete(tuples...)
 	if err != nil {
 		return 0, Info{}, err
 	}
+	c.maybeCompactLocked()
 	return n, e.describe(name), nil
 }
 
@@ -152,9 +305,18 @@ func (c *Catalog) Replace(name string, tuples [][]int) (Info, error) {
 	if !ok {
 		return Info{}, fmt.Errorf("catalog: unknown relation %q", name)
 	}
+	if err := checkTuples(name, e.rel.Arity(), tuples); err != nil {
+		return Info{}, err
+	}
+	if err := c.appendLocked(&storage.Record{
+		Op: storage.OpReplace, Name: name, Epoch: e.rel.Epoch(), Vars: e.vars, Tuples: tuples,
+	}); err != nil {
+		return Info{}, err
+	}
 	if err := e.rel.Replace(tuples); err != nil {
 		return Info{}, err
 	}
+	c.maybeCompactLocked()
 	return e.describe(name), nil
 }
 
@@ -164,10 +326,15 @@ func (c *Catalog) Replace(name string, tuples [][]int) (Info, error) {
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.rels[name]; !ok {
+	e, ok := c.rels[name]
+	if !ok {
 		return fmt.Errorf("catalog: unknown relation %q", name)
 	}
+	if err := c.appendLocked(&storage.Record{Op: storage.OpDrop, Name: name, Epoch: e.rel.Epoch()}); err != nil {
+		return err
+	}
 	delete(c.rels, name)
+	c.maybeCompactLocked()
 	return nil
 }
 
@@ -239,15 +406,26 @@ func (c *Catalog) Load(r io.Reader, source string) (Info, error) {
 			return Info{}, fmt.Errorf("catalog: relation %q exists with arity %d, load has arity %d (drop it first)",
 				parsed.Name, e.rel.Arity(), len(parsed.Vars))
 		}
+		if err := checkTuples(parsed.Name, e.rel.Arity(), parsed.Tuples); err != nil {
+			return Info{}, err
+		}
+		if err := c.appendLocked(&storage.Record{
+			Op: storage.OpReplace, Name: parsed.Name, Epoch: e.rel.Epoch(),
+			Vars: parsed.Vars, Tuples: parsed.Tuples,
+		}); err != nil {
+			return Info{}, err
+		}
 		if err := e.rel.Replace(parsed.Tuples); err != nil {
 			return Info{}, err
 		}
 		e.vars = append([]string(nil), parsed.Vars...)
+		c.maybeCompactLocked()
 		return e.describe(parsed.Name), nil
 	}
 	if _, err := c.createLocked(parsed.Name, parsed.Vars, parsed.Tuples); err != nil {
 		return Info{}, err
 	}
+	c.maybeCompactLocked()
 	return c.rels[parsed.Name].describe(parsed.Name), nil
 }
 
@@ -269,6 +447,23 @@ func (c *Catalog) Dump(w io.Writer, name string) error {
 	return relio.WriteRelation(w, &relio.Relation{Name: name, Vars: vars, Tuples: tuples})
 }
 
+// DumpFile writes the named relation to a file atomically (temp file +
+// rename): a crash or concurrent reader sees the previous file or the
+// complete new one, never a torn dump.
+func (c *Catalog) DumpFile(path, name string) error {
+	c.mu.RLock()
+	e, ok := c.rels[name]
+	var rel relio.Relation
+	if ok {
+		rel = relio.Relation{Name: name, Vars: append([]string(nil), e.vars...), Tuples: e.rel.Tuples()}
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return relio.WriteRelationFile(path, &rel)
+}
+
 // Query parses a textual join expression such as "R(A,B), S(B,C)"
 // against the catalog's relations.
 func (c *Catalog) Query(expr string) (*minesweeper.Query, error) {
@@ -279,4 +474,75 @@ func (c *Catalog) Query(expr string) (*minesweeper.Query, error) {
 	}
 	c.mu.RUnlock()
 	return minesweeper.ParseQuery(expr, rels)
+}
+
+// --- prepared-query definitions --------------------------------------
+
+// PutQueryDef stores (or overwrites) a named prepared-query definition,
+// logging it before the in-memory registry changes so a recovered
+// catalog re-registers the same queries.
+func (c *Catalog) PutQueryDef(def storage.QueryDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("catalog: query definition without a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.appendLocked(&storage.Record{Op: storage.OpPutQuery, Name: def.Name, Query: &def}); err != nil {
+		return err
+	}
+	c.queries[def.Name] = def
+	c.maybeCompactLocked()
+	return nil
+}
+
+// DropQueryDef removes a named definition. Dropping an absent name is a
+// no-op (nothing is logged).
+func (c *Catalog) DropQueryDef(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.queries[name]; !ok {
+		return nil
+	}
+	if err := c.appendLocked(&storage.Record{Op: storage.OpDropQuery, Name: name}); err != nil {
+		return err
+	}
+	delete(c.queries, name)
+	c.maybeCompactLocked()
+	return nil
+}
+
+// QueryDefs returns the stored prepared-query definitions, sorted by
+// name.
+func (c *Catalog) QueryDefs() []storage.QueryDef {
+	c.mu.RLock()
+	out := make([]storage.QueryDef, 0, len(c.queries))
+	for _, def := range c.queries {
+		out = append(out, def)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- backend plumbing -------------------------------------------------
+
+// Sync flushes the storage backend's log to stable storage.
+func (c *Catalog) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backend.Sync()
+}
+
+// Close syncs and releases the storage backend. The catalog must not be
+// mutated afterwards.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backend.Close()
+}
+
+// StorageStats returns the backend's counters (WAL records and bytes,
+// snapshots, recovery outcome).
+func (c *Catalog) StorageStats() storage.Stats {
+	return c.backend.Stats()
 }

@@ -3,6 +3,7 @@ package catalog
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
@@ -10,7 +11,29 @@ import (
 
 	"minesweeper"
 	"minesweeper/internal/reltree"
+	"minesweeper/internal/storage"
 )
+
+// newCatalog builds a catalog on the backend selected by
+// MS_TEST_BACKEND: "durable" runs the whole suite against a WAL in a
+// temp directory, with a tiny compaction threshold so snapshot
+// rotation happens mid-test; anything else is the in-memory backend.
+func newCatalog(t testing.TB) *Catalog {
+	t.Helper()
+	if os.Getenv("MS_TEST_BACKEND") != "durable" {
+		return New()
+	}
+	b, err := storage.OpenDurable(t.TempDir(), storage.Options{CompactMinBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
 
 func mustCreate(t *testing.T, c *Catalog, name string, vars []string, tuples [][]int) *minesweeper.Relation {
 	t.Helper()
@@ -22,7 +45,7 @@ func mustCreate(t *testing.T, c *Catalog, name string, vars []string, tuples [][
 }
 
 func TestCatalogCRUD(t *testing.T) {
-	c := New()
+	c := newCatalog(t)
 	mustCreate(t, c, "R", []string{"A", "B"}, [][]int{{1, 2}, {2, 3}})
 	mustCreate(t, c, "S", []string{"B", "C"}, [][]int{{2, 5}})
 
@@ -73,7 +96,7 @@ func TestCatalogCRUD(t *testing.T) {
 }
 
 func TestCatalogLoadDumpRoundTrip(t *testing.T) {
-	c := New()
+	c := newCatalog(t)
 	src := "# edges\nE: A B\n1 2\n2 3\n3 1\n"
 	info, err := c.Load(strings.NewReader(src), "e.rel")
 	if err != nil {
@@ -86,7 +109,7 @@ func TestCatalogLoadDumpRoundTrip(t *testing.T) {
 	if err := c.Dump(&buf, "E"); err != nil {
 		t.Fatal(err)
 	}
-	c2 := New()
+	c2 := newCatalog(t)
 	if _, err := c2.Load(strings.NewReader(buf.String()), "roundtrip"); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +142,7 @@ func TestCatalogLoadDumpRoundTrip(t *testing.T) {
 // reflect the new data with no caller-visible re-prepare, while
 // executions against unmutated relations do zero index rebuilds.
 func TestCatalogMutationVisibleToPreparedQueries(t *testing.T) {
-	c := New()
+	c := newCatalog(t)
 	mustCreate(t, c, "R", []string{"A", "B"}, [][]int{{1, 2}, {2, 3}})
 	mustCreate(t, c, "S", []string{"B", "C"}, [][]int{{2, 5}, {3, 7}})
 	mustCreate(t, c, "T", []string{"C", "D"}, [][]int{{5, 1}, {7, 2}})
@@ -211,7 +234,7 @@ func TestCatalogMutationVisibleToPreparedQueries(t *testing.T) {
 // race detector must stay quiet, every execution must succeed, and
 // every result must be consistent with some epoch of the data.
 func TestCatalogConcurrentMutationAndExecution(t *testing.T) {
-	c := New()
+	c := newCatalog(t)
 	base := [][]int{{1, 2}, {2, 3}, {3, 4}}
 	mustCreate(t, c, "R", []string{"A", "B"}, base)
 	mustCreate(t, c, "S", []string{"B", "C"}, [][]int{{2, 1}, {3, 1}, {4, 1}, {5, 1}})

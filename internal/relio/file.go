@@ -1,0 +1,64 @@
+package relio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file through a temp file in the same
+// directory and an atomic rename, fsyncing the data before the rename
+// and the directory after it. A reader never observes a half-written
+// file: it sees either the old content or the new, so a crash mid-dump
+// cannot leave a truncated relation or snapshot behind. On error the
+// temp file is removed and the target is untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("relio: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	SyncDir(dir)
+	return nil
+}
+
+// WriteRelationFile dumps the relation to path atomically (see
+// WriteFileAtomic): concurrent readers and crashes observe either the
+// previous file or the complete new one, never a torn dump.
+func WriteRelationFile(path string, rel *Relation) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteRelation(w, rel)
+	})
+}
+
+// SyncDir fsyncs a directory, making renames and creations within it
+// durable. Errors are ignored: not every platform or filesystem
+// supports fsync on directories, and the rename itself has already
+// happened.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,74 @@
+package relio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.ms")
+	if err := os.WriteFile(path, []byte("old content\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new content\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new content\n" {
+		t.Fatalf("after atomic write: %q, %v", got, err)
+	}
+
+	// A failing writer leaves the target untouched and no temp files.
+	boom := fmt.Errorf("boom")
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "new content\n" {
+		t.Fatalf("failed write clobbered the target: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.ms" {
+		for _, e := range entries {
+			t.Logf("left behind: %s", e.Name())
+		}
+		t.Fatalf("temp files not cleaned up: %d entries", len(entries))
+	}
+}
+
+func TestWriteRelationFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.rel")
+	rel := &Relation{Name: "R", Vars: []string{"A", "B"}, Tuples: [][]int{{1, 2}, {3, 4}}}
+	if err := WriteRelationFile(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ReadRelation(f, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != rel.Name || !reflect.DeepEqual(back.Vars, rel.Vars) || !reflect.DeepEqual(back.Tuples, rel.Tuples) {
+		t.Fatalf("round trip: %+v, want %+v", back, rel)
+	}
+}

@@ -1,0 +1,465 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"minesweeper/internal/relio"
+)
+
+// Durable is the WAL + snapshot backend. Its directory holds one
+// snapshot/WAL generation pair at a time:
+//
+//	snapshot-<seq>.ms   full catalog image (absent for seq 0)
+//	wal-<seq>.log       records appended since that snapshot
+//
+// Appends go to the WAL before the catalog applies them in memory;
+// recovery loads snapshot-<seq>.ms (the largest seq present) and
+// replays wal-<seq>.log over it, truncating a torn tail at the last
+// complete record. Compaction writes snapshot-<seq+1>.ms atomically
+// (temp file + rename), then starts wal-<seq+1>.log and deletes the
+// old generation — a crash between any two of those steps recovers
+// cleanly, because recovery always picks the largest *snapshot* seq
+// and ignores stray files from other generations.
+type Durable struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	wal       *os.File
+	seq       uint64
+	walBytes  int64
+	snapBytes int64
+	buf       []byte // append scratch
+	recovered *State // held between open and Recover
+	failed    error  // sticky: a failed append poisons the backend
+	stats     Stats
+}
+
+// Options tunes the durable backend.
+type Options struct {
+	// FsyncEach fsyncs the WAL after every append. Off by default:
+	// records are still written (not buffered) per append, so they
+	// survive a process crash; an OS crash may lose the records the
+	// kernel had not flushed. Compaction, Sync and Close always fsync.
+	FsyncEach bool
+	// CompactMinBytes is the minimum WAL size before the
+	// log-outgrew-the-snapshot rule may trigger compaction. Zero means
+	// the 1 MiB default; tests set it low to exercise rotation.
+	CompactMinBytes int64
+}
+
+const defaultCompactMin = 1 << 20
+
+var errClosed = errors.New("storage: backend is closed")
+
+const (
+	snapPrefix = "snapshot-"
+	snapSuffix = ".ms"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
+func walName(seq uint64) string  { return fmt.Sprintf("%s%08d%s", walPrefix, seq, walSuffix) }
+
+// parseSeq extracts the generation number from a snapshot or WAL file
+// name, reporting ok=false for files that are neither.
+func parseSeq(name string) (seq uint64, isSnap, ok bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+		body, isSnap = name[len(snapPrefix):len(name)-len(snapSuffix)], true
+	case strings.HasPrefix(name, walPrefix) && strings.HasSuffix(name, walSuffix):
+		body = name[len(walPrefix) : len(name)-len(walSuffix)]
+	default:
+		return 0, false, false
+	}
+	n, err := strconv.ParseUint(body, 10, 64)
+	if err != nil {
+		return 0, false, false
+	}
+	return n, isSnap, true
+}
+
+// OpenDurable opens (or initializes) a durable backend in dir,
+// performing recovery immediately: the state it rebuilds is returned by
+// the first Recover call. The directory is created if missing.
+func OpenDurable(dir string, opts Options) (*Durable, error) {
+	if opts.CompactMinBytes <= 0 {
+		opts.CompactMinBytes = defaultCompactMin
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	d := &Durable{dir: dir, opts: opts}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover scans the directory, loads the newest snapshot, replays its
+// WAL (truncating a torn tail), opens the WAL for appending and removes
+// stray files from other generations.
+func (d *Durable) recover() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	var snapSeqs, walSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.Contains(name, ".tmp-") {
+			// Leftover from an interrupted atomic write; the rename never
+			// happened, so it is garbage.
+			os.Remove(filepath.Join(d.dir, name))
+			continue
+		}
+		if seq, isSnap, ok := parseSeq(name); ok {
+			if isSnap {
+				snapSeqs = append(snapSeqs, seq)
+			} else {
+				walSeqs = append(walSeqs, seq)
+			}
+		}
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+
+	state := &State{}
+	if n := len(snapSeqs); n > 0 {
+		d.seq = snapSeqs[n-1]
+		path := filepath.Join(d.dir, snapName(d.seq))
+		if err := d.loadSnapshot(path, state); err != nil {
+			return err
+		}
+		if fi, err := os.Stat(path); err == nil {
+			d.snapBytes = fi.Size()
+		}
+	}
+	if err := d.replayWAL(filepath.Join(d.dir, walName(d.seq)), state); err != nil {
+		return err
+	}
+
+	// Open the current WAL for appending (creating it on first open or
+	// after a crash between snapshot rename and WAL creation).
+	wal, err := os.OpenFile(filepath.Join(d.dir, walName(d.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	d.wal = wal
+	if fi, err := wal.Stat(); err == nil {
+		d.walBytes = fi.Size()
+	}
+	relio.SyncDir(d.dir)
+
+	// Drop every file from other generations: older pairs superseded by
+	// the snapshot we loaded, or a stray WAL whose snapshot never made
+	// it to disk.
+	for _, seq := range snapSeqs {
+		if seq != d.seq {
+			os.Remove(filepath.Join(d.dir, snapName(seq)))
+		}
+	}
+	for _, seq := range walSeqs {
+		if seq != d.seq {
+			os.Remove(filepath.Join(d.dir, walName(seq)))
+		}
+	}
+
+	sortState(state)
+	d.recovered = state
+	d.stats.RecoveredRelations = len(state.Relations)
+	d.stats.RecoveredQueries = len(state.Queries)
+	return nil
+}
+
+// loadSnapshot reads a full snapshot into state. Snapshots are written
+// atomically, so unlike the WAL they admit no torn tail: any framing or
+// CRC error is corruption and fatal, reported with its line number.
+func (d *Durable) loadSnapshot(path string, state *State) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rr := newRecordReader(f, filepath.Base(path))
+	for {
+		rec, err := rr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err == errUnterminated {
+			return fmt.Errorf("storage: snapshot %s: truncated record at end of file", filepath.Base(path))
+		}
+		if err != nil {
+			return fmt.Errorf("storage: snapshot %w", err)
+		}
+		if err := state.apply(rec); err != nil {
+			return fmt.Errorf("storage: snapshot %s: %w", filepath.Base(path), err)
+		}
+	}
+}
+
+// replayWAL applies the WAL's records to state. A torn or corrupt tail
+// is truncated at the last complete record — the crash-recovery
+// contract: the catalog comes back as the longest durable prefix of the
+// mutation history. A record that fails to *apply* (it references a
+// relation the preceding records never created, or its epoch stamp
+// disagrees with the replayed state) means the log is semantically
+// inconsistent, which truncation cannot fix; that is reported as a
+// fatal error with the record's position. A missing WAL file is an
+// empty WAL (crash between snapshot rename and WAL creation).
+func (d *Durable) replayWAL(path string, state *State) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rr := newRecordReader(f, filepath.Base(path))
+	lastGood := int64(0)
+	for {
+		rec, err := rr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err == errUnterminated {
+			return d.truncateWAL(f, lastGood, rr.Offset())
+		}
+		var recErr *recordError
+		if errors.As(err, &recErr) {
+			// A framing/CRC error mid-stream cannot be told apart from a
+			// torn final record by inspection — but a torn write can only
+			// be at the tail. Scan forward: if another valid record
+			// header follows, the damage is interior corruption and
+			// truncating would silently drop durable mutations.
+			if rest, readErr := io.ReadAll(rr.r); readErr == nil && !containsRecordHeader(rest) {
+				return d.truncateWAL(f, lastGood, rr.Offset())
+			}
+			return fmt.Errorf("storage: wal %w", err)
+		}
+		if err != nil {
+			return fmt.Errorf("storage: wal %s: %w", filepath.Base(path), err)
+		}
+		if err := state.apply(rec); err != nil {
+			return fmt.Errorf("storage: wal %s:%d: %w", filepath.Base(path), rr.lineNo, err)
+		}
+		lastGood = rr.Offset()
+		d.stats.ReplayedRecords++
+	}
+}
+
+// containsRecordHeader reports whether a later record header appears in
+// the remaining bytes — the interior-corruption test in replayWAL.
+func containsRecordHeader(rest []byte) bool {
+	s := string(rest)
+	return strings.HasPrefix(s, recMagic+" ") || strings.Contains(s, "\n"+recMagic+" ")
+}
+
+// truncateWAL cuts the torn tail off at the last record boundary.
+func (d *Durable) truncateWAL(f *os.File, lastGood, badStart int64) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(lastGood); err != nil {
+		return fmt.Errorf("storage: truncating torn wal tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	d.stats.TruncatedBytes = fi.Size() - lastGood
+	_ = badStart
+	return nil
+}
+
+// Recover returns the state rebuilt at open. It may be called once.
+func (d *Durable) Recover() (*State, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.recovered == nil {
+		return nil, errors.New("storage: Recover called twice")
+	}
+	st := d.recovered
+	d.recovered = nil
+	return st, nil
+}
+
+// Append frames the record and writes it to the WAL in one write call,
+// fsyncing when configured. A write error poisons the backend: the WAL
+// tail is no longer trustworthy, so all further appends fail and the
+// process must restart (and recover) to resume mutating.
+func (d *Durable) Append(rec *Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed != nil {
+		return fmt.Errorf("storage: backend failed: %w", d.failed)
+	}
+	buf, err := encodeRecord(d.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	d.buf = buf[:0]
+	n, err := d.wal.Write(buf)
+	d.walBytes += int64(n)
+	if err != nil {
+		d.failed = err
+		d.stats.LastError = err.Error()
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	if d.opts.FsyncEach {
+		if err := d.wal.Sync(); err != nil {
+			d.failed = err
+			d.stats.LastError = err.Error()
+			return fmt.Errorf("storage: wal sync: %w", err)
+		}
+		d.stats.Syncs++
+	}
+	d.stats.WALRecords++
+	return nil
+}
+
+// ShouldCompact reports whether the WAL has outgrown the last snapshot
+// (and the configured minimum).
+func (d *Durable) ShouldCompact() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed == nil && d.walBytes >= d.opts.CompactMinBytes && d.walBytes > d.snapBytes
+}
+
+// Compact dumps the full state to the next generation's snapshot
+// (atomic temp-file + rename), rotates to its empty WAL, and deletes
+// the previous generation.
+func (d *Durable) Compact(state *State) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed != nil {
+		return fmt.Errorf("storage: backend failed: %w", d.failed)
+	}
+	sortState(state)
+	next := d.seq + 1
+	snapPath := filepath.Join(d.dir, snapName(next))
+	if err := relio.WriteFileAtomic(snapPath, func(w io.Writer) error {
+		return writeSnapshot(w, state)
+	}); err != nil {
+		d.stats.LastError = err.Error()
+		return err
+	}
+	wal, err := os.OpenFile(filepath.Join(d.dir, walName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		d.stats.LastError = err.Error()
+		return err
+	}
+	relio.SyncDir(d.dir)
+
+	// Fsync the outgoing WAL before letting go of it: its records are
+	// also in the snapshot, but the old generation stays authoritative
+	// until the files swap below.
+	d.wal.Sync()
+	d.wal.Close()
+	os.Remove(filepath.Join(d.dir, snapName(d.seq)))
+	os.Remove(filepath.Join(d.dir, walName(d.seq)))
+
+	d.wal = wal
+	d.seq = next
+	d.walBytes = 0
+	if fi, err := os.Stat(snapPath); err == nil {
+		d.snapBytes = fi.Size()
+	}
+	d.stats.Snapshots++
+	return nil
+}
+
+// writeSnapshot emits the full state as a record stream: one create
+// record per relation (carrying its epoch) and one putquery record per
+// prepared-query definition.
+func writeSnapshot(w io.Writer, state *State) error {
+	if _, err := fmt.Fprintf(w, "# minesweeper catalog snapshot: %d relations, %d queries\n",
+		len(state.Relations), len(state.Queries)); err != nil {
+		return err
+	}
+	var buf []byte
+	for i := range state.Relations {
+		rs := &state.Relations[i]
+		var err error
+		buf, err = encodeRecord(buf[:0], &Record{
+			Op: OpCreate, Name: rs.Name, Epoch: rs.Epoch, Vars: rs.Vars, Tuples: rs.Tuples,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	for i := range state.Queries {
+		def := state.Queries[i]
+		var err error
+		buf, err = encodeRecord(buf[:0], &Record{Op: OpPutQuery, Name: def.Name, Query: &def})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the WAL.
+func (d *Durable) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed != nil {
+		return fmt.Errorf("storage: backend failed: %w", d.failed)
+	}
+	if err := d.wal.Sync(); err != nil {
+		d.failed = err
+		return err
+	}
+	d.stats.Syncs++
+	return nil
+}
+
+// Close performs a final WAL sync and releases the backend.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if errors.Is(d.failed, errClosed) {
+		return nil
+	}
+	var err error
+	if d.failed == nil {
+		if err = d.wal.Sync(); err == nil {
+			d.stats.Syncs++
+		}
+	}
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	d.failed = errClosed
+	return err
+}
+
+// Stats returns a copy of the backend's counters.
+func (d *Durable) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.Mode = "durable"
+	st.Dir = d.dir
+	st.Seq = d.seq
+	st.WALBytes = d.walBytes
+	st.SnapshotBytes = d.snapBytes
+	return st
+}

@@ -180,6 +180,23 @@ func (r *Relation) Epoch() uint64 {
 	return r.epoch
 }
 
+// RestoreEpoch fast-forwards the relation's epoch counter without
+// touching the stored tuples or caches. Storage recovery uses it to
+// rebuild a relation at the epoch its durable log recorded, so prepared
+// queries and planner statistics see the same staleness signal across a
+// restart as they would have in the original process. The epoch can
+// only move forward: rewinding would let a prepared query mistake new
+// data for the version it is bound to.
+func (r *Relation) RestoreEpoch(epoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch < r.epoch {
+		return fmt.Errorf("minesweeper: relation %q: cannot rewind epoch %d to %d", r.name, r.epoch, epoch)
+	}
+	r.epoch = epoch
+	return nil
+}
+
 // Tuples returns a snapshot of the stored tuples. The rows are shared
 // with the relation and must not be modified; the outer slice is the
 // caller's.
