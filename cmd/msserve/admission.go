@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errShed is returned by gate.acquire when the queue is full: the
+// request is load-shed (429 + Retry-After) instead of piling another
+// goroutine onto an already-saturated server.
+var errShed = errors.New("server overloaded: request shed")
+
+// gate is a bounded admission semaphore with a queue-depth cap: up to
+// capacity requests run concurrently, up to queueDepth more wait for a
+// slot, and everything beyond that is shed immediately. A nil *gate
+// admits everything (unlimited).
+type gate struct {
+	slots      chan struct{}
+	queueDepth int
+
+	mu          sync.Mutex
+	inflight    int64
+	maxInflight int64 // high-water mark, for the soak test and /stats
+	queued      int64
+	admitted    int64
+	shed        int64
+}
+
+// newGate builds a gate; capacity <= 0 means unlimited (nil gate).
+func newGate(capacity, queueDepth int) *gate {
+	if capacity <= 0 {
+		return nil
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &gate{slots: make(chan struct{}, capacity), queueDepth: queueDepth}
+}
+
+// acquire admits the request or reports why not: errShed when the
+// queue is full, the context error when the caller gave up while
+// queued. On success the returned release must be called exactly once.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	g.mu.Lock()
+	select {
+	case g.slots <- struct{}{}:
+		// Fast path: a free slot, no queueing.
+	default:
+		if int(g.queued) >= g.queueDepth {
+			g.shed++
+			g.mu.Unlock()
+			return nil, errShed
+		}
+		g.queued++
+		g.mu.Unlock()
+		select {
+		case g.slots <- struct{}{}:
+			g.mu.Lock()
+			g.queued--
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.queued--
+			g.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+	g.inflight++
+	if g.inflight > g.maxInflight {
+		g.maxInflight = g.inflight
+	}
+	g.admitted++
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		g.inflight--
+		g.mu.Unlock()
+		<-g.slots
+	}, nil
+}
+
+// gateStats is the /stats rendering of one gate.
+type gateStats struct {
+	Capacity    int   `json:"capacity"`
+	QueueDepth  int   `json:"queue_depth"`
+	Inflight    int64 `json:"inflight"`
+	MaxInflight int64 `json:"max_inflight"`
+	Queued      int64 `json:"queued"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+}
+
+func (g *gate) stats() gateStats {
+	if g == nil {
+		return gateStats{Capacity: -1}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return gateStats{
+		Capacity:    cap(g.slots),
+		QueueDepth:  g.queueDepth,
+		Inflight:    g.inflight,
+		MaxInflight: g.maxInflight,
+		Queued:      g.queued,
+		Admitted:    g.admitted,
+		Shed:        g.shed,
+	}
+}

@@ -17,7 +17,9 @@
 //	DELETE /queries/{name}          unregister
 //	GET    /queries/{name}/run      execute; ?limit=&timeout=&engine=&workers=
 //	POST   /query                   one-shot query (spec + limit/timeout in the body)
-//	GET    /stats                   aggregate certificate/output counters
+//	GET    /stats                   aggregate certificate/output/admission/health counters
+//	GET    /healthz                 liveness probe (always 200 while the process serves)
+//	GET    /readyz                  readiness probe (503 while degraded read-only or draining)
 //
 // Run responses are NDJSON: a header line with the output variable
 // order, one JSON array per tuple (streamed as the engine finds them),
@@ -40,9 +42,20 @@
 // the newest snapshot and truncating a torn tail. Without -data-dir
 // everything stays in memory, the historical behavior.
 //
+// The serving plane defends itself: -max-runs/-max-mutations bound the
+// concurrent work admitted (the overflow queue is capped at
+// -queue-depth; beyond it requests are shed with 429 + Retry-After),
+// -run-timeout clamps every execution to a server-side deadline (504
+// when it expires before the first tuple), and an engine panic becomes
+// a 500 — never a dead process. When a durable backend poisons on a
+// write failure the server degrades to read-only: queries keep serving,
+// mutations return 503, /readyz reports not-ready, and a background
+// loop retries reopening the backend with capped exponential backoff.
+//
 // On SIGINT/SIGTERM the server drains: no new requests are accepted,
-// in-flight NDJSON streams get up to -drain-timeout to finish, and the
-// storage backend closes with a final WAL sync.
+// in-flight NDJSON streams get up to -drain-timeout to finish, and
+// stragglers are ended with a terminal "aborted" error record before
+// the storage backend closes with a final WAL sync.
 package main
 
 import (
@@ -66,6 +79,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory, nothing survives a restart)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight streams may drain at shutdown")
 	fsync := flag.Bool("fsync", false, "with -data-dir: fsync the WAL on every mutation (safer, slower)")
+	cfg := defaultServerConfig()
+	flag.IntVar(&cfg.maxRuns, "max-runs", cfg.maxRuns, "max concurrent query executions (<=0 unlimited)")
+	flag.IntVar(&cfg.maxMutations, "max-mutations", cfg.maxMutations, "max concurrent catalog mutations (<=0 unlimited)")
+	flag.IntVar(&cfg.queueDepth, "queue-depth", cfg.queueDepth, "requests allowed to wait for an admission slot before load shedding (429)")
+	flag.DurationVar(&cfg.runTimeout, "run-timeout", cfg.runTimeout, "server-side deadline per query run; client timeouts are clamped to it (0 disables)")
 	flag.Parse()
 
 	var backend storage.Backend = storage.NewMem()
@@ -76,6 +94,14 @@ func main() {
 			os.Exit(1)
 		}
 		backend = durable
+		// Degraded-mode recovery: when the WAL poisons on a write failure
+		// the catalog turns read-only, and the server retries a fresh open
+		// of the same directory with capped exponential backoff until the
+		// failure clears (disk freed, volume remounted, …).
+		dir, fsyncEach := *dataDir, *fsync
+		cfg.reopen = func() (storage.Backend, error) {
+			return storage.OpenDurable(dir, storage.Options{FsyncEach: fsyncEach})
+		}
 	}
 	cat, err := catalog.Open(backend)
 	if err != nil {
@@ -105,7 +131,8 @@ func main() {
 		log.Printf("loaded %s: %d tuples over %v", info.Name, info.Tuples, info.Vars)
 	}
 
-	srv := newServer(cat)
+	srv := newServerWith(cat, cfg)
+	defer srv.Close()
 	if restored, failed := srv.restoreQueries(); restored > 0 || len(failed) > 0 {
 		log.Printf("re-registered %d prepared queries", restored)
 		for _, err := range failed {
@@ -131,17 +158,24 @@ func main() {
 	}
 	stop() // a second signal kills immediately instead of draining
 
+	srv.draining.Store(true) // /readyz flips not-ready for the load balancer
 	log.Printf("shutting down: draining in-flight streams (up to %s)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			// Streams still running at the deadline are cut: Close tears
-			// down their connections, which cancels their request
-			// contexts (the executor's anytime contract ends each stream
-			// with the tuples already emitted).
-			log.Printf("drain timeout reached; closing remaining streams")
-			httpSrv.Close()
+			// Streams still running at the deadline are aborted through
+			// their run contexts, so each handler writes a terminal error
+			// record ("aborted": true) before its connection ends — the
+			// client can tell a cut stream from a complete result set.
+			n := srv.abortStreams()
+			log.Printf("drain timeout reached; aborting %d straggler streams", n)
+			finalCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel2()
+			if err := httpSrv.Shutdown(finalCtx); err != nil {
+				log.Printf("closing remaining connections: %v", err)
+				httpSrv.Close()
+			}
 		} else {
 			log.Printf("shutdown: %v", err)
 		}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"runtime/metrics"
 	"strconv"
 	"strings"
@@ -20,26 +22,99 @@ import (
 	"minesweeper/internal/storage"
 )
 
+// serverConfig is the resilience tuning for one server: admission
+// caps, the default server-side run deadline, and the degraded-mode
+// reopen policy.
+type serverConfig struct {
+	// maxRuns / maxMutations cap concurrent query executions and
+	// catalog mutations; <= 0 means unlimited. queueDepth is how many
+	// requests may wait for a slot beyond the cap before new arrivals
+	// are shed with 429 + Retry-After.
+	maxRuns      int
+	maxMutations int
+	queueDepth   int
+	// runTimeout is the server-side deadline applied to every run: a
+	// client timeout longer than it (or absent) is clamped down to it.
+	// Zero disables the default deadline.
+	runTimeout time.Duration
+	// reopen, when set, is how the server tries to leave degraded
+	// read-only mode: called with capped exponential backoff
+	// (reopenBase doubling up to reopenMax) until catalog.Reopen
+	// succeeds.
+	reopen     func() (storage.Backend, error)
+	reopenBase time.Duration
+	reopenMax  time.Duration
+	// emitHook is a test seam invoked with each output tuple before it
+	// is written to the stream (nil in production).
+	emitHook func([]int)
+}
+
+func defaultServerConfig() serverConfig {
+	n := runtime.GOMAXPROCS(0)
+	return serverConfig{
+		maxRuns:      4 * n,
+		maxMutations: 2 * n,
+		queueDepth:   8 * n,
+		runTimeout:   time.Minute,
+		reopenBase:   250 * time.Millisecond,
+		reopenMax:    30 * time.Second,
+	}
+}
+
 // server is the msserve HTTP handler: a relation catalog plus a registry
 // of named prepared queries and aggregate run counters.
 type server struct {
 	cat *catalog.Catalog
 	mux *http.ServeMux
+	cfg serverConfig
+
+	runGate *gate // concurrent query executions
+	mutGate *gate // concurrent catalog mutations
 
 	mu      sync.Mutex
 	queries map[string]*registeredQuery
 
-	statsMu sync.Mutex
-	agg     certificate.Stats // accumulated across every run
-	runs    int64             // completed executions
-	served  int64             // tuples written to clients
-	expired int64             // runs cut short by limit/timeout/cancel
+	statsMu  sync.Mutex
+	agg      certificate.Stats // accumulated across every run
+	runs     int64             // completed executions
+	served   int64             // tuples written to clients
+	expired  int64             // runs cut short by limit/timeout/cancel
+	deadline int64             // runs cut by the server-side deadline (504-class)
+	canceled int64             // runs cut by the client going away (499-class)
+	aborted  int64             // streams force-ended at shutdown drain timeout
+	panics   int64             // engine panics converted to errors
+
+	// Active NDJSON streams, so the drain path can end each one with a
+	// terminal error record instead of silently truncating it.
+	streamMu sync.Mutex
+	streams  map[*streamHandle]struct{}
+
+	draining atomic.Bool
+
+	// Degraded-mode reopen machinery (active when cfg.reopen != nil).
+	degradedCh     chan struct{}
+	done           chan struct{}
+	closeOnce      sync.Once
+	reopenMu       sync.Mutex
+	reopenAttempts int64
+	lastReopenErr  string
 
 	// Heap-allocation counters at server start; /stats reports the
 	// process-lifetime delta. A single baseline read cannot double-count
 	// under concurrent runs the way per-run windows would.
 	allocObjs0, allocBytes0 uint64
 }
+
+// streamHandle lets the drain path abort one in-flight NDJSON stream
+// with a cause its handler turns into a terminal error record.
+type streamHandle struct {
+	abort context.CancelCauseFunc
+}
+
+// errDraining is the cancellation cause used when -drain-timeout
+// expires: the handler sees it and writes a terminal error record so
+// the client can tell truncation from a complete result set.
+var errDraining = errors.New("server draining: drain timeout exceeded")
 
 // registeredQuery is one named query: its textual form, default options,
 // and a cache of prepared variants keyed by (engine, workers). The
@@ -111,21 +186,198 @@ func (rq *registeredQuery) variant(eng minesweeper.Engine, workers int) (*minesw
 }
 
 func newServer(cat *catalog.Catalog) *server {
-	s := &server{cat: cat, queries: map[string]*registeredQuery{}, mux: http.NewServeMux()}
+	return newServerWith(cat, defaultServerConfig())
+}
+
+func newServerWith(cat *catalog.Catalog, cfg serverConfig) *server {
+	s := &server{
+		cat: cat, cfg: cfg,
+		queries: map[string]*registeredQuery{},
+		mux:     http.NewServeMux(),
+		runGate: newGate(cfg.maxRuns, cfg.queueDepth),
+		mutGate: newGate(cfg.maxMutations, cfg.queueDepth),
+		streams: map[*streamHandle]struct{}{},
+		done:    make(chan struct{}),
+	}
 	s.allocObjs0, s.allocBytes0 = readHeapAllocs()
 	s.mux.HandleFunc("GET /relations", s.handleListRelations)
-	s.mux.HandleFunc("POST /relations", s.handleLoadRelation)
+	s.mux.HandleFunc("POST /relations", s.admitMutation(s.handleLoadRelation))
 	s.mux.HandleFunc("GET /relations/{name}", s.handleDumpRelation)
-	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
-	s.mux.HandleFunc("POST /relations/{name}/insert", s.handleMutateRelation)
-	s.mux.HandleFunc("POST /relations/{name}/delete", s.handleMutateRelation)
+	s.mux.HandleFunc("DELETE /relations/{name}", s.admitMutation(s.handleDropRelation))
+	s.mux.HandleFunc("POST /relations/{name}/insert", s.admitMutation(s.handleMutateRelation))
+	s.mux.HandleFunc("POST /relations/{name}/delete", s.admitMutation(s.handleMutateRelation))
 	s.mux.HandleFunc("GET /queries", s.handleListQueries)
-	s.mux.HandleFunc("POST /queries", s.handleRegisterQuery)
-	s.mux.HandleFunc("DELETE /queries/{name}", s.handleDropQuery)
+	s.mux.HandleFunc("POST /queries", s.admitMutation(s.handleRegisterQuery))
+	s.mux.HandleFunc("DELETE /queries/{name}", s.admitMutation(s.handleDropQuery))
 	s.mux.HandleFunc("GET /queries/{name}/run", s.handleRunQuery)
 	s.mux.HandleFunc("POST /query", s.handleAdhocQuery)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.reopen != nil {
+		s.degradedCh = make(chan struct{}, 1)
+		go s.reopenLoop()
+	}
 	return s
+}
+
+// Close stops the background reopen loop (a no-op when none runs).
+func (s *server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// --- admission -------------------------------------------------------
+
+// admitMutation wraps a mutation handler with the mutation gate: over
+// capacity + queue depth, the request is shed with 429 + Retry-After
+// instead of letting goroutines pile onto the catalog lock.
+func (s *server) admitMutation(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.mutGate.acquire(r.Context())
+		if err != nil {
+			admissionError(w, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// admissionError renders a gate refusal: 429 + Retry-After for a shed
+// request, 503 otherwise (the client gave up while queued, so the
+// status is mostly moot).
+func admissionError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errShed) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+// --- degraded mode ---------------------------------------------------
+
+// noteDegraded wakes the reopen loop after a mutation hit read-only
+// mode.
+func (s *server) noteDegraded() {
+	if s.degradedCh == nil {
+		return
+	}
+	select {
+	case s.degradedCh <- struct{}{}:
+	default:
+	}
+}
+
+// reopenLoop waits for a degradation signal and then retries
+// catalog.Reopen with capped exponential backoff until the catalog
+// leaves read-only mode.
+func (s *server) reopenLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.degradedCh:
+		}
+		delay := s.cfg.reopenBase
+		if delay <= 0 {
+			delay = 250 * time.Millisecond
+		}
+		for s.cat.Degraded() != nil {
+			err := s.cat.Reopen(s.cfg.reopen)
+			s.reopenMu.Lock()
+			s.reopenAttempts++
+			if err != nil {
+				s.lastReopenErr = err.Error()
+			} else {
+				s.lastReopenErr = ""
+			}
+			s.reopenMu.Unlock()
+			if err == nil {
+				log.Printf("storage backend reopened; leaving read-only mode")
+				break
+			}
+			log.Printf("storage reopen failed (retrying in %s): %v", delay, err)
+			select {
+			case <-s.done:
+				return
+			case <-time.After(delay):
+			}
+			if delay *= 2; s.cfg.reopenMax > 0 && delay > s.cfg.reopenMax {
+				delay = s.cfg.reopenMax
+			}
+		}
+	}
+}
+
+// mutationStatus maps a catalog mutation error to its HTTP status,
+// flagging degradation for the reopen loop on the way.
+func (s *server) mutationStatus(err error) int {
+	if errors.Is(err, catalog.ErrReadOnly) {
+		s.noteDegraded()
+		return http.StatusServiceUnavailable
+	}
+	if strings.Contains(err.Error(), "unknown relation") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// --- streams ---------------------------------------------------------
+
+func (s *server) addStream(h *streamHandle) {
+	s.streamMu.Lock()
+	s.streams[h] = struct{}{}
+	s.streamMu.Unlock()
+}
+
+func (s *server) removeStream(h *streamHandle) {
+	s.streamMu.Lock()
+	delete(s.streams, h)
+	s.streamMu.Unlock()
+}
+
+// abortStreams force-ends every in-flight NDJSON stream with the
+// errDraining cause; each handler writes a terminal error record and
+// returns, letting a stuck Shutdown complete. Returns how many streams
+// were aborted.
+func (s *server) abortStreams() int {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	for h := range s.streams {
+		h.abort(errDraining)
+	}
+	return len(s.streams)
+}
+
+// --- health ----------------------------------------------------------
+
+// handleHealthz is the liveness probe: the process is up and the
+// handler runs. Degraded storage does not make the process unhealthy —
+// that is /readyz's job.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz is the readiness probe: recovery is complete (the
+// server would not be serving otherwise), the storage backend is
+// healthy, and the server is not draining. Not-ready is 503, so a load
+// balancer stops routing mutations here while queries stay available
+// to clients that still ask.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	if err := s.cat.Degraded(); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "reason": "storage degraded: read-only", "error": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 // Request-body caps: relio uploads may be bulk data, everything else is
@@ -171,6 +423,11 @@ func (s *server) handleListRelations(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleLoadRelation(w http.ResponseWriter, r *http.Request) {
 	info, err := s.cat.Load(r.Body, "request body")
 	if err != nil {
+		if errors.Is(err, catalog.ErrReadOnly) {
+			s.noteDegraded()
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -187,7 +444,12 @@ func (s *server) handleDumpRelation(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
 	if err := s.cat.Drop(r.PathValue("name")); err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		status := http.StatusNotFound
+		if errors.Is(err, catalog.ErrReadOnly) {
+			s.noteDegraded()
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
@@ -206,17 +468,11 @@ func (s *server) handleMutateRelation(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 		return
 	}
-	mutateStatus := func(err error) int {
-		if strings.Contains(err.Error(), "unknown relation") {
-			return http.StatusNotFound
-		}
-		return http.StatusBadRequest
-	}
 	deleting := r.URL.Path[len(r.URL.Path)-len("/delete"):] == "/delete"
 	if deleting {
 		n, info, err := s.cat.Delete(name, body.Tuples...)
 		if err != nil {
-			httpError(w, mutateStatus(err), "%v", err)
+			httpError(w, s.mutationStatus(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": n, "epoch": info.Epoch, "tuples": info.Tuples})
@@ -224,7 +480,7 @@ func (s *server) handleMutateRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.cat.Insert(name, body.Tuples...)
 	if err != nil {
-		httpError(w, mutateStatus(err), "%v", err)
+		httpError(w, s.mutationStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(body.Tuples), "epoch": info.Epoch, "tuples": info.Tuples})
@@ -395,7 +651,12 @@ func (s *server) handleRegisterQuery(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		delete(s.queries, spec.Name)
 		s.mu.Unlock()
-		httpError(w, http.StatusInternalServerError, "persisting query %q: %v", spec.Name, err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrReadOnly) {
+			s.noteDegraded()
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "persisting query %q: %v", spec.Name, err)
 		return
 	}
 	explain, err := rq.liveExplain()
@@ -453,7 +714,12 @@ func (s *server) handleDropQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.cat.DropQueryDef(name); err != nil {
-		httpError(w, http.StatusInternalServerError, "unpersisting query %q: %v", name, err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrReadOnly) {
+			s.noteDegraded()
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "unpersisting query %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
@@ -547,8 +813,30 @@ func (s *server) handleAdhocQuery(w http.ResponseWriter, r *http.Request) {
 // output tuple, and a footer line {"done":true,…} with the run's stats.
 // Timeouts and client disconnects end the stream early with the tuples
 // already emitted — the anytime contract of the streaming executor —
-// and the footer reports the cut ("timed_out" or "error").
+// and the footer reports the cut ("timed_out", "canceled", "aborted"
+// or "error").
+//
+// The 200 status and NDJSON header are written lazily, at the first
+// output tuple (or at successful completion): a run that dies before
+// producing anything gets a real HTTP status instead of a 200 with a
+// bare error footer — 504 when the server-side deadline expired, 499
+// when the client went away, 503 at shutdown, 500 for an engine panic.
+// Once tuples are on the wire the status is fixed, and the outcome
+// rides in the terminal footer record instead.
+//
+// The engine executes behind a recover boundary: a panicking query
+// becomes a 500 (or a terminal error record mid-stream) and a /stats
+// counter bump, never a dead process. The parallel drivers recover
+// their worker goroutines into errors themselves, so this boundary
+// completes the isolation for every engine path.
 func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registeredQuery, params runParams) {
+	release, err := s.runGate.acquire(r.Context())
+	if err != nil {
+		admissionError(w, err)
+		return
+	}
+	defer release()
+
 	// A query holds its relations by pointer, so it survives a catalog
 	// Drop — but serving from a dropped (or dropped-and-recreated)
 	// relation would silently return stale data forever. Refuse instead:
@@ -589,15 +877,29 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 		return
 	}
 
+	// Server-side deadline: the client's timeout applies when it is
+	// tighter than -run-timeout; absent or looser, the server's own
+	// deadline clamps the run so a stuck query cannot hold a slot
+	// forever.
 	ctx := r.Context()
-	if params.timeout > 0 {
+	timeout := params.timeout
+	if s.cfg.runTimeout > 0 && (timeout <= 0 || timeout > s.cfg.runTimeout) {
+		timeout = s.cfg.runTimeout
+	}
+	if timeout > 0 {
 		var cancel func()
-		ctx, cancel = context.WithTimeout(ctx, params.timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	// Registered with the drain path, which aborts straggler streams
+	// with errDraining as the cause so they end with a terminal error
+	// record instead of just stopping mid-stream.
+	ctx, abortCause := context.WithCancelCause(ctx)
+	defer abortCause(nil)
+	h := &streamHandle{abort: abortCause}
+	s.addStream(h)
+	defer s.removeStream(h)
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
@@ -612,8 +914,16 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	// callback fires after any transparent re-plan, before the first
 	// tuple), so "gao" always names the order the stream is actually
 	// sorted by, even when a mutation races the run.
-	writeHeader := func(ex minesweeper.Explain) {
-		enc.Encode(map[string]any{"vars": pq.OutputVars(), "engine": pq.Engine().String(), "gao": ex.GAO})
+	var headerExplain minesweeper.Explain
+	started := false
+	start := func() {
+		if started {
+			return
+		}
+		started = true
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc.Encode(map[string]any{"vars": pq.OutputVars(), "engine": pq.Engine().String(), "gao": headerExplain.GAO})
 		flush()
 	}
 
@@ -623,27 +933,70 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	// paying json.Encoder's per-Encode marshalling.
 	line := make([]byte, 0, 64)
 	count := 0
-	stats, runErr := pq.StreamContextExplained(ctx, writeHeader, func(t []int) bool {
-		line = appendTupleLine(line[:0], t)
-		w.Write(line)
-		flush()
-		count++
-		return params.limit <= 0 || count < params.limit
-	})
+	panicked := false
+	stats, runErr := func() (st minesweeper.Stats, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				log.Printf("recovered engine panic serving %q: %v\n%s", rq.expr, p, debug.Stack())
+				err = fmt.Errorf("engine panic: %v", p)
+			}
+		}()
+		return pq.StreamContextExplained(ctx, func(ex minesweeper.Explain) { headerExplain = ex }, func(t []int) bool {
+			if s.cfg.emitHook != nil {
+				s.cfg.emitHook(t)
+			}
+			start()
+			line = appendTupleLine(line[:0], t)
+			w.Write(line)
+			flush()
+			count++
+			return params.limit <= 0 || count < params.limit
+		})
+	}()
 
-	timedOut := errors.Is(runErr, context.DeadlineExceeded)
-	footer := map[string]any{
-		"done":      true,
-		"tuples":    count,
-		"limited":   params.limit > 0 && count >= params.limit,
-		"timed_out": timedOut,
-		"stats":     &stats,
+	// Classify the outcome. A DeadlineExceeded can only come from the
+	// run's own timer (server deadline or the client's requested
+	// timeout — both enforced server-side); a Canceled is the client
+	// going away, unless the drain path set errDraining as the cause.
+	drained := errors.Is(context.Cause(ctx), errDraining)
+	timedOut := !drained && errors.Is(runErr, context.DeadlineExceeded)
+	clientGone := !drained && !timedOut && errors.Is(runErr, context.Canceled)
+
+	if !started && runErr != nil {
+		// Nothing on the wire yet: the outcome can be a real status.
+		switch {
+		case timedOut:
+			httpError(w, http.StatusGatewayTimeout, "server-side deadline exceeded after %s", timeout)
+		case drained:
+			httpError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		case clientGone:
+			httpError(w, 499, "client closed request") // nothing will read this; the status keeps logs honest
+		default: // engine panic or any other execution error
+			httpError(w, http.StatusInternalServerError, "%v", runErr)
+		}
+	} else {
+		start() // successful empty result: header still goes out
+		footer := map[string]any{
+			"done":      true,
+			"tuples":    count,
+			"limited":   params.limit > 0 && count >= params.limit,
+			"timed_out": timedOut,
+			"stats":     &stats,
+		}
+		if drained {
+			footer["aborted"] = true
+			footer["error"] = errDraining.Error()
+		}
+		if clientGone {
+			footer["canceled"] = true
+		}
+		if runErr != nil && !timedOut && !drained && !clientGone {
+			footer["error"] = runErr.Error()
+		}
+		enc.Encode(footer)
+		flush()
 	}
-	if runErr != nil && !timedOut {
-		footer["error"] = runErr.Error()
-	}
-	enc.Encode(footer)
-	flush()
 
 	rq.runs.Add(1)
 	s.statsMu.Lock()
@@ -652,6 +1005,17 @@ func (s *server) streamRun(w http.ResponseWriter, r *http.Request, rq *registere
 	s.served += int64(count)
 	if runErr != nil || (params.limit > 0 && count >= params.limit) {
 		s.expired++
+	}
+	switch {
+	case timedOut:
+		s.deadline++
+	case clientGone:
+		s.canceled++
+	case drained:
+		s.aborted++
+	}
+	if panicked {
+		s.panics++
 	}
 	s.statsMu.Unlock()
 }
@@ -703,6 +1067,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// per-query attribution.
 	allocObjs -= s.allocObjs0
 	allocBytes -= s.allocBytes0
+	degraded := s.cat.Degraded()
+	s.reopenMu.Lock()
+	reopenAttempts, lastReopenErr := s.reopenAttempts, s.lastReopenErr
+	s.reopenMu.Unlock()
+	health := map[string]any{
+		"read_only":       degraded != nil,
+		"draining":        s.draining.Load(),
+		"panics":          s.panics,
+		"reopen_attempts": reopenAttempts,
+	}
+	if degraded != nil {
+		health["reason"] = degraded.Error()
+	}
+	if lastReopenErr != "" {
+		health["last_reopen_error"] = lastReopenErr
+	}
 	body := map[string]any{
 		"relations":            s.cat.Len(),
 		"queries":              nq,
@@ -710,10 +1090,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"executions":           s.runs,
 		"tuples_served":        s.served,
 		"cut_short":            s.expired,
+		"deadline_expired":     s.deadline,
+		"client_canceled":      s.canceled,
+		"aborted_streams":      s.aborted,
 		"certificate_estimate": s.agg.CertificateEstimate(),
 		"stats":                s.agg,
-		"alloc_objects_total":  allocObjs,
-		"alloc_bytes_total":    allocBytes,
+		"admission": map[string]gateStats{
+			"runs":      s.runGate.stats(),
+			"mutations": s.mutGate.stats(),
+		},
+		"health":              health,
+		"alloc_objects_total": allocObjs,
+		"alloc_bytes_total":   allocBytes,
 	}
 	if s.runs > 0 {
 		body["alloc_objects_per_run"] = float64(allocObjs) / float64(s.runs)

@@ -27,8 +27,10 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -37,6 +39,13 @@ import (
 	"minesweeper/internal/relio"
 	"minesweeper/internal/storage"
 )
+
+// ErrReadOnly marks a catalog in degraded read-only mode: the storage
+// backend was poisoned by a write failure, so mutations are refused
+// (nothing may be applied in memory that is not durably logged first)
+// while reads and query execution keep working. The catalog leaves
+// the mode through Reopen or a process restart.
+var ErrReadOnly = errors.New("catalog: read-only: storage backend is poisoned")
 
 // entry pairs a relation with its default variable binding.
 type entry struct {
@@ -62,6 +71,10 @@ type Catalog struct {
 	backend storage.Backend
 	rels    map[string]*entry
 	queries map[string]storage.QueryDef
+	// degraded is non-nil while the catalog is in read-only mode: the
+	// backend poisoned itself on a write failure, so every mutation is
+	// refused with ErrReadOnly until Reopen succeeds.
+	degraded error
 }
 
 // New returns an empty catalog over the in-memory backend — the
@@ -128,9 +141,24 @@ func checkTuples(name string, arity int, tuples [][]int) error {
 }
 
 // appendLocked logs one mutation record; callers hold c.mu and apply
-// the mutation in memory only when it returns nil.
+// the mutation in memory only when it returns nil. A failure that
+// poisons the backend flips the catalog into degraded read-only mode:
+// this mutation (and every later one, short-circuited here) fails
+// with ErrReadOnly, while reads and query execution continue — the
+// in-memory state is exactly the durably logged prefix, so serving it
+// is safe.
 func (c *Catalog) appendLocked(rec *storage.Record) error {
-	return c.backend.Append(rec)
+	if c.degraded != nil {
+		return fmt.Errorf("%w (%v)", ErrReadOnly, c.degraded)
+	}
+	err := c.backend.Append(rec)
+	if err != nil {
+		if herr := c.backend.Healthy(); herr != nil {
+			c.degraded = herr
+			return fmt.Errorf("%w (%v)", ErrReadOnly, err)
+		}
+	}
+	return err
 }
 
 // maybeCompactLocked rotates the log into a fresh snapshot when it has
@@ -525,6 +553,93 @@ func (c *Catalog) QueryDefs() []storage.QueryDef {
 }
 
 // --- backend plumbing -------------------------------------------------
+
+// Degraded reports whether the catalog is in read-only mode, returning
+// the backend failure that caused it (nil when healthy).
+func (c *Catalog) Degraded() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.degraded
+}
+
+// Reopen attempts to leave degraded read-only mode by swapping in a
+// freshly opened backend. open must return a backend over the same
+// durable store (e.g. a new storage.OpenDurable on the same
+// directory); its recovered state is verified against the in-memory
+// catalog before the swap. By log-then-apply, the in-memory state is
+// exactly the successfully appended prefix, and a failed append's torn
+// tail is truncated by recovery — so on the expected path the two
+// match, the new backend takes over, and mutations resume. A mismatch
+// (e.g. the failed append landed in full but was never applied in
+// memory) means resuming could diverge memory from disk; Reopen then
+// refuses, closes the new backend, and the catalog stays read-only —
+// a process restart recovers the durable state cleanly.
+//
+// Reopen on a healthy catalog is a no-op. Live relation pointers are
+// untouched, so prepared queries bound through the catalog stay valid.
+func (c *Catalog) Reopen(open func() (storage.Backend, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.degraded == nil {
+		return nil
+	}
+	nb, err := open()
+	if err != nil {
+		return err
+	}
+	state, err := nb.Recover()
+	if err != nil {
+		nb.Close()
+		return err
+	}
+	if err := c.verifyStateLocked(state); err != nil {
+		nb.Close()
+		return fmt.Errorf("catalog: reopen: %w", err)
+	}
+	old := c.backend
+	c.backend = nb
+	c.degraded = nil
+	old.Close()
+	return nil
+}
+
+// verifyStateLocked checks that a recovered state is exactly the
+// in-memory catalog: same relations (name, binding, epoch, tuples) and
+// same query definitions.
+func (c *Catalog) verifyStateLocked(state *storage.State) error {
+	if len(state.Relations) != len(c.rels) {
+		return fmt.Errorf("recovered %d relations, memory has %d", len(state.Relations), len(c.rels))
+	}
+	for i := range state.Relations {
+		rs := &state.Relations[i]
+		e, ok := c.rels[rs.Name]
+		if !ok {
+			return fmt.Errorf("recovered relation %q not in memory", rs.Name)
+		}
+		if !reflect.DeepEqual(rs.Vars, e.vars) {
+			return fmt.Errorf("relation %q: recovered binding %v, memory has %v", rs.Name, rs.Vars, e.vars)
+		}
+		if rs.Epoch != e.rel.Epoch() {
+			return fmt.Errorf("relation %q: recovered epoch %d, memory at %d", rs.Name, rs.Epoch, e.rel.Epoch())
+		}
+		mem := e.rel.Tuples()
+		if len(rs.Tuples) != len(mem) {
+			return fmt.Errorf("relation %q: recovered %d tuples, memory has %d", rs.Name, len(rs.Tuples), len(mem))
+		}
+		if !reflect.DeepEqual(rs.Tuples, mem) && len(mem) > 0 {
+			return fmt.Errorf("relation %q: recovered tuples diverge from memory", rs.Name)
+		}
+	}
+	if len(state.Queries) != len(c.queries) {
+		return fmt.Errorf("recovered %d query definitions, memory has %d", len(state.Queries), len(c.queries))
+	}
+	for _, def := range state.Queries {
+		if mem, ok := c.queries[def.Name]; !ok || !reflect.DeepEqual(def, mem) {
+			return fmt.Errorf("query definition %q diverges from memory", def.Name)
+		}
+	}
+	return nil
+}
 
 // Sync flushes the storage backend's log to stable storage.
 func (c *Catalog) Sync() error {

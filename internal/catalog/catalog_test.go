@@ -17,15 +17,29 @@ import (
 // newCatalog builds a catalog on the backend selected by
 // MS_TEST_BACKEND: "durable" runs the whole suite against a WAL in a
 // temp directory, with a tiny compaction threshold so snapshot
-// rotation happens mid-test; anything else is the in-memory backend.
+// rotation happens mid-test; "faulty" layers the fault-injection
+// backend on top with a benign chaos script (fail-soft compaction
+// errors plus op delays — faults the suite must survive without any
+// test changing its expectations); anything else is the in-memory
+// backend.
 func newCatalog(t testing.TB) *Catalog {
 	t.Helper()
-	if os.Getenv("MS_TEST_BACKEND") != "durable" {
+	mode := os.Getenv("MS_TEST_BACKEND")
+	if mode != "durable" && mode != "faulty" {
 		return New()
 	}
-	b, err := storage.OpenDurable(t.TempDir(), storage.Options{CompactMinBytes: 256})
+	var b storage.Backend
+	db, err := storage.OpenDurable(t.TempDir(), storage.Options{CompactMinBytes: 256})
 	if err != nil {
 		t.Fatal(err)
+	}
+	b = db
+	if mode == "faulty" {
+		f, err := storage.NewFaulty(db, "compact@1/2=err; sync@1/3=delay:100us; append@1/7=delay:50us")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = f
 	}
 	c, err := Open(b)
 	if err != nil {

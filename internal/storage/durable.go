@@ -303,7 +303,7 @@ func (d *Durable) Append(rec *Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed != nil {
-		return fmt.Errorf("storage: backend failed: %w", d.failed)
+		return d.failedErrLocked()
 	}
 	buf, err := encodeRecord(d.buf[:0], rec)
 	if err != nil {
@@ -329,6 +329,56 @@ func (d *Durable) Append(rec *Record) error {
 	return nil
 }
 
+// failedErrLocked renders the sticky failure. A poisoned (not merely
+// closed) backend wraps ErrPoisoned so callers can tell "this backend
+// is done for" from a transient per-record error.
+func (d *Durable) failedErrLocked() error {
+	if errors.Is(d.failed, errClosed) {
+		return fmt.Errorf("storage: backend failed: %w", d.failed)
+	}
+	return fmt.Errorf("%w: %v", ErrPoisoned, d.failed)
+}
+
+// appendInjected is the fault-injection seam used by the Faulty
+// wrapper: it simulates a write that fails after landing only the
+// first tornBytes bytes of the framed record (0 = nothing landed),
+// then poisons the backend exactly as a real write error would. The
+// partial bytes really go to the WAL file, so a subsequent recovery
+// exercises genuine torn-tail truncation.
+func (d *Durable) appendInjected(rec *Record, tornBytes int, cause error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed != nil {
+		return d.failedErrLocked()
+	}
+	buf, err := encodeRecord(d.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	d.buf = buf[:0]
+	if tornBytes > len(buf) {
+		tornBytes = len(buf)
+	}
+	if tornBytes > 0 {
+		n, _ := d.wal.Write(buf[:tornBytes])
+		d.walBytes += int64(n)
+	}
+	d.failed = cause
+	d.stats.LastError = cause.Error()
+	return fmt.Errorf("storage: wal append: %w", cause)
+}
+
+// injectFailure poisons the backend with the given error — the Faulty
+// wrapper's seam for injected sync failures.
+func (d *Durable) injectFailure(cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed == nil {
+		d.failed = cause
+		d.stats.LastError = cause.Error()
+	}
+}
+
 // ShouldCompact reports whether the WAL has outgrown the last snapshot
 // (and the configured minimum).
 func (d *Durable) ShouldCompact() bool {
@@ -344,7 +394,7 @@ func (d *Durable) Compact(state *State) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed != nil {
-		return fmt.Errorf("storage: backend failed: %w", d.failed)
+		return d.failedErrLocked()
 	}
 	sortState(state)
 	next := d.seq + 1
@@ -421,7 +471,7 @@ func (d *Durable) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed != nil {
-		return fmt.Errorf("storage: backend failed: %w", d.failed)
+		return d.failedErrLocked()
 	}
 	if err := d.wal.Sync(); err != nil {
 		d.failed = err
@@ -449,6 +499,21 @@ func (d *Durable) Close() error {
 	}
 	d.failed = errClosed
 	return err
+}
+
+// Healthy reports the sticky failure state: nil while the backend can
+// append, the poisoning error (wrapping ErrPoisoned) after a write
+// failure, errClosed after Close.
+func (d *Durable) Healthy() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed == nil {
+		return nil
+	}
+	if errors.Is(d.failed, errClosed) {
+		return d.failed
+	}
+	return fmt.Errorf("%w: %v", ErrPoisoned, d.failed)
 }
 
 // Stats returns a copy of the backend's counters.

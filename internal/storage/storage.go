@@ -25,9 +25,18 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrPoisoned marks a backend whose log tail is no longer trustworthy:
+// an append or sync failed partway, so further mutations would risk
+// diverging the in-memory state from the durable one. The catalog
+// reacts by entering degraded read-only mode; queries keep serving,
+// mutations fail until the backend is reopened (or the process
+// restarts and recovers).
+var ErrPoisoned = errors.New("storage: backend poisoned by a write failure")
 
 // QueryDef is a named prepared-query definition: the textual query and
 // the options it was registered with. Definitions persist so that a
@@ -161,6 +170,12 @@ type Backend interface {
 	Close() error
 	// Stats returns the backend's counters.
 	Stats() Stats
+	// Healthy reports whether the backend can still accept appends.
+	// A poisoned backend (a write failed partway, see ErrPoisoned)
+	// returns the poisoning error; callers use this to distinguish a
+	// transient per-record failure from a backend that is done for.
+	// Like Stats, it must be safe to call concurrently.
+	Healthy() error
 }
 
 // sortState normalizes a state for deterministic snapshots and
@@ -322,3 +337,4 @@ func (*Mem) Compact(*State) error     { return nil }
 func (*Mem) Sync() error              { return nil }
 func (*Mem) Close() error             { return nil }
 func (*Mem) Stats() Stats             { return Stats{Mode: "memory"} }
+func (*Mem) Healthy() error           { return nil }
