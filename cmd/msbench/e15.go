@@ -1,0 +1,19 @@
+package main
+
+import (
+	"minesweeper/internal/benchsuite"
+	"minesweeper/internal/shard"
+)
+
+// shardedSuite adapts the E15 sharded-scaling benchmarks into tracked
+// suite entries. They are registered here rather than in
+// internal/benchsuite because internal/shard imports the root package
+// (whose bench_test.go imports benchsuite) — the cycle only breaks at
+// this binary.
+func shardedSuite() []benchsuite.Bench {
+	var out []benchsuite.Bench
+	for _, e := range shard.ScalingSuite() {
+		out = append(out, benchsuite.Bench{Name: e.Name, Exp: "E15", F: e.F})
+	}
+	return out
+}

@@ -109,6 +109,7 @@ func runJSON(path, label, filter string) int {
 		}
 	}
 	results := benchsuite.Run(pred, os.Stderr)
+	results = append(results, benchsuite.RunBenches(shardedSuite(), pred, os.Stderr)...)
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "msbench: no suite benchmark matches -bench %q\n", filter)
 		return 2

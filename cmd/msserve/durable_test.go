@@ -26,7 +26,7 @@ func openDurableServer(t *testing.T, dir string) *server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
-	s := newServer(c)
+	s := newServer(singleStore{c})
 	if _, failed := s.restoreQueries(); len(failed) > 0 {
 		t.Fatalf("restoreQueries: %v", failed)
 	}
@@ -170,7 +170,7 @@ func TestServerRestoreSkipsUnplannableQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	s := newServer(c2)
+	s := newServer(singleStore{c2})
 	restored, failed := s.restoreQueries()
 	if restored != 0 || len(failed) != 1 {
 		t.Fatalf("restoreQueries = %d restored, %v", restored, failed)

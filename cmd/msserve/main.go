@@ -71,6 +71,7 @@ import (
 	"time"
 
 	"minesweeper/internal/catalog"
+	"minesweeper/internal/shard"
 	"minesweeper/internal/storage"
 )
 
@@ -79,6 +80,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory, nothing survives a restart)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight streams may drain at shutdown")
 	fsync := flag.Bool("fsync", false, "with -data-dir: fsync the WAL on every mutation (safer, slower)")
+	shards := flag.Int("shards", 1, "partition relations across N goroutine-owned shards with scatter-gather execution (with -data-dir: one WAL directory per shard)")
 	cfg := defaultServerConfig()
 	flag.IntVar(&cfg.maxRuns, "max-runs", cfg.maxRuns, "max concurrent query executions (<=0 unlimited)")
 	flag.IntVar(&cfg.maxMutations, "max-mutations", cfg.maxMutations, "max concurrent catalog mutations (<=0 unlimited)")
@@ -86,27 +88,59 @@ func main() {
 	flag.DurationVar(&cfg.runTimeout, "run-timeout", cfg.runTimeout, "server-side deadline per query run; client timeouts are clamped to it (0 disables)")
 	flag.Parse()
 
-	var backend storage.Backend = storage.NewMem()
-	if *dataDir != "" {
-		durable, err := storage.OpenDurable(*dataDir, storage.Options{FsyncEach: *fsync})
+	sopts := storage.Options{FsyncEach: *fsync}
+	var cat store
+	if *shards > 1 {
+		// Sharded store: N fragment owners, each with its own WAL
+		// directory under -data-dir, scatter-gather execution.
+		var sc *shard.Catalog
+		if *dataDir != "" {
+			var err error
+			sc, err = shard.Open(*dataDir, *shards, sopts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msserve: opening -data-dir: %v\n", err)
+				os.Exit(1)
+			}
+			dir := *dataDir
+			cfg.reopen = func() error {
+				return sc.Reopen(func(i int) (storage.Backend, error) {
+					return storage.OpenDurable(shard.ShardDir(dir, i), sopts)
+				})
+			}
+		} else {
+			sc = shard.New(*shards)
+		}
+		log.Printf("sharded catalog: %d shards", *shards)
+		cat = shardStore{sc}
+	} else {
+		var backend storage.Backend = storage.NewMem()
+		if *dataDir != "" {
+			durable, err := storage.OpenDurable(*dataDir, sopts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msserve: opening -data-dir: %v\n", err)
+				os.Exit(1)
+			}
+			backend = durable
+		}
+		c, err := catalog.Open(backend)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "msserve: opening -data-dir: %v\n", err)
+			fmt.Fprintf(os.Stderr, "msserve: recovering catalog: %v\n", err)
 			os.Exit(1)
 		}
-		backend = durable
-		// Degraded-mode recovery: when the WAL poisons on a write failure
-		// the catalog turns read-only, and the server retries a fresh open
-		// of the same directory with capped exponential backoff until the
-		// failure clears (disk freed, volume remounted, …).
-		dir, fsyncEach := *dataDir, *fsync
-		cfg.reopen = func() (storage.Backend, error) {
-			return storage.OpenDurable(dir, storage.Options{FsyncEach: fsyncEach})
+		if *dataDir != "" {
+			// Degraded-mode recovery: when the WAL poisons on a write
+			// failure the catalog turns read-only, and the server retries
+			// a fresh open of the same directory with capped exponential
+			// backoff until the failure clears (disk freed, volume
+			// remounted, …).
+			dir := *dataDir
+			cfg.reopen = func() error {
+				return c.Reopen(func() (storage.Backend, error) {
+					return storage.OpenDurable(dir, sopts)
+				})
+			}
 		}
-	}
-	cat, err := catalog.Open(backend)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "msserve: recovering catalog: %v\n", err)
-		os.Exit(1)
+		cat = singleStore{c}
 	}
 	if st := cat.StorageStats(); st.Mode == "durable" {
 		log.Printf("recovered %d relations and %d query definitions from %s (snapshot seq %d, %d WAL records replayed)",

@@ -34,7 +34,7 @@ func faultyServer(t *testing.T, dir, script string, cfg serverConfig) *server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cat.Close() })
-	s := newServerWith(cat, cfg)
+	s := newServerWith(singleStore{cat}, cfg)
 	t.Cleanup(s.Close)
 	return s
 }
@@ -101,7 +101,7 @@ func TestDegradedReadOnlyAndRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cat.Close()
-	s2 := newServerWith(cat, defaultServerConfig())
+	s2 := newServerWith(singleStore{cat}, defaultServerConfig())
 	defer s2.Close()
 	if restored, failed := s2.restoreQueries(); restored != 1 || len(failed) != 0 {
 		t.Fatalf("restored %d queries (failures %v), want 1", restored, failed)
@@ -122,12 +122,28 @@ func TestDegradedReadOnlyAndRestart(t *testing.T) {
 // resume without a restart.
 func TestReopenLoopLeavesDegradedMode(t *testing.T) {
 	dir := t.TempDir()
+	d, err := storage.OpenDurable(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := storage.NewFaulty(d, "append@2=enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
 	cfg := defaultServerConfig()
-	cfg.reopen = func() (storage.Backend, error) {
-		return storage.OpenDurable(dir, storage.Options{})
+	cfg.reopen = func() error {
+		return cat.Reopen(func() (storage.Backend, error) {
+			return storage.OpenDurable(dir, storage.Options{})
+		})
 	}
 	cfg.reopenBase = 2 * time.Millisecond
-	s := faultyServer(t, dir, "append@2=enospc", cfg)
+	s := newServerWith(singleStore{cat}, cfg)
+	t.Cleanup(s.Close)
 
 	wantStatus(t, do(t, s, "POST", "/relations", "R: A B\n1 2\n"), http.StatusOK)
 	wantStatus(t, do(t, s, "POST", "/relations/R/insert", `{"tuples":[[3,4]]}`), http.StatusServiceUnavailable)

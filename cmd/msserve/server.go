@@ -19,6 +19,7 @@ import (
 	"minesweeper"
 	"minesweeper/internal/catalog"
 	"minesweeper/internal/certificate"
+	"minesweeper/internal/shard"
 	"minesweeper/internal/storage"
 )
 
@@ -39,9 +40,10 @@ type serverConfig struct {
 	runTimeout time.Duration
 	// reopen, when set, is how the server tries to leave degraded
 	// read-only mode: called with capped exponential backoff
-	// (reopenBase doubling up to reopenMax) until catalog.Reopen
-	// succeeds.
-	reopen     func() (storage.Backend, error)
+	// (reopenBase doubling up to reopenMax) until it succeeds. The
+	// closure owns the store-specific recovery (catalog.Reopen over a
+	// fresh backend; per-shard reopens for a sharded store).
+	reopen     func() error
 	reopenBase time.Duration
 	reopenMax  time.Duration
 	// emitHook is a test seam invoked with each output tuple before it
@@ -61,10 +63,11 @@ func defaultServerConfig() serverConfig {
 	}
 }
 
-// server is the msserve HTTP handler: a relation catalog plus a registry
-// of named prepared queries and aggregate run counters.
+// server is the msserve HTTP handler: a relation store (plain or
+// sharded catalog) plus a registry of named prepared queries and
+// aggregate run counters.
 type server struct {
-	cat *catalog.Catalog
+	cat store
 	mux *http.ServeMux
 	cfg serverConfig
 
@@ -125,16 +128,17 @@ type registeredQuery struct {
 	expr    string
 	opts    minesweeper.Options
 	q       *minesweeper.Query
+	st      store    // prepares variants (scatter plans on a sharded store)
 	outVars []string // output column names of the default variant
 
 	mu       sync.Mutex // guards prepared only
-	prepared map[string]*minesweeper.PreparedQuery
+	prepared map[string]prepared
 	runs     atomic.Int64
 }
 
 // defaultVariant returns the prepared query registration built eagerly
 // (default engine and workers resolution).
-func (rq *registeredQuery) defaultVariant() (*minesweeper.PreparedQuery, error) {
+func (rq *registeredQuery) defaultVariant() (prepared, error) {
 	eng := rq.opts.Engine
 	if eng == minesweeper.EngineAuto {
 		eng = minesweeper.EngineMinesweeper
@@ -161,7 +165,7 @@ func (rq *registeredQuery) liveExplain() (minesweeper.Explain, error) {
 // combination, preparing and caching it on first use. Workers are
 // clamped to GOMAXPROCS on every path — beyond that parallelism buys
 // nothing, and the clamp bounds this client-keyed cache.
-func (rq *registeredQuery) variant(eng minesweeper.Engine, workers int) (*minesweeper.PreparedQuery, error) {
+func (rq *registeredQuery) variant(eng minesweeper.Engine, workers int) (prepared, error) {
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		workers = max
 	}
@@ -174,22 +178,22 @@ func (rq *registeredQuery) variant(eng minesweeper.Engine, workers int) (*minesw
 	opts := rq.opts
 	opts.Engine = eng
 	opts.Workers = workers
-	pq, err := rq.q.Prepare(&opts)
+	pq, err := rq.st.Prepare(rq.q, &opts)
 	if err != nil {
 		return nil, err
 	}
 	if rq.prepared == nil {
-		rq.prepared = map[string]*minesweeper.PreparedQuery{}
+		rq.prepared = map[string]prepared{}
 	}
 	rq.prepared[key] = pq
 	return pq, nil
 }
 
-func newServer(cat *catalog.Catalog) *server {
+func newServer(cat store) *server {
 	return newServerWith(cat, defaultServerConfig())
 }
 
-func newServerWith(cat *catalog.Catalog, cfg serverConfig) *server {
+func newServerWith(cat store, cfg serverConfig) *server {
 	s := &server{
 		cat: cat, cfg: cfg,
 		queries: map[string]*registeredQuery{},
@@ -284,7 +288,7 @@ func (s *server) reopenLoop() {
 			delay = 250 * time.Millisecond
 		}
 		for s.cat.Degraded() != nil {
-			err := s.cat.Reopen(s.cfg.reopen)
+			err := s.cfg.reopen()
 			s.reopenMu.Lock()
 			s.reopenAttempts++
 			if err != nil {
@@ -372,12 +376,44 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.cat.Degraded(); err != nil {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		body := map[string]any{
 			"ready": false, "reason": "storage degraded: read-only", "error": err.Error(),
-		})
+		}
+		if sh := s.shardStats(); sh != nil {
+			// Per-shard detail: which fragment owners are poisoned and
+			// which are still healthy (reads keep serving from all).
+			body["shards"] = shardHealth(sh)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	body := map[string]any{"ready": true}
+	if sh := s.shardStats(); sh != nil {
+		body["shards"] = shardHealth(sh)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// shardStats returns the per-shard telemetry when the store is sharded,
+// nil otherwise.
+func (s *server) shardStats() []shard.ShardStat {
+	if ss, ok := s.cat.(interface{ ShardStats() []shard.ShardStat }); ok {
+		return ss.ShardStats()
+	}
+	return nil
+}
+
+// shardHealth summarizes shard readiness for /readyz.
+func shardHealth(stats []shard.ShardStat) []map[string]any {
+	out := make([]map[string]any, len(stats))
+	for i, st := range stats {
+		h := map[string]any{"shard": st.Shard, "ready": st.Degraded == ""}
+		if st.Degraded != "" {
+			h["error"] = st.Degraded
+		}
+		out[i] = h
+	}
+	return out
 }
 
 // Request-body caps: relio uploads may be bulk data, everything else is
@@ -603,6 +639,7 @@ func (s *server) buildQuery(spec *querySpec) (*registeredQuery, error) {
 		name: spec.Name,
 		expr: spec.Query,
 		q:    q,
+		st:   s.cat,
 		opts: opts,
 	}
 	// Prepare the default variant eagerly so registration surfaces GAO,
@@ -1102,6 +1139,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"health":              health,
 		"alloc_objects_total": allocObjs,
 		"alloc_bytes_total":   allocBytes,
+	}
+	// Per-shard scatter counters: runs, inflight and queued substreams
+	// (queued > 0 marks a hot shard whose substream outpaces the merge),
+	// data volume and per-shard storage health.
+	if sh := s.shardStats(); sh != nil {
+		body["shards"] = sh
 	}
 	if s.runs > 0 {
 		body["alloc_objects_per_run"] = float64(allocObjs) / float64(s.runs)

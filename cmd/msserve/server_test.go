@@ -9,24 +9,40 @@ import (
 	"net/http/httptest"
 	"os"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
 	"minesweeper/internal/catalog"
+	"minesweeper/internal/shard"
 	"minesweeper/internal/storage"
 )
 
-// newTestCatalog builds the catalog on the backend selected by
+// newTestCatalog builds the store on the backend selected by
 // MS_TEST_BACKEND, so the whole HTTP suite also runs with every
 // mutation flowing through a WAL ("durable") as in CI's durable pass,
 // or through the fault-injection wrapper with a benign chaos script
 // ("faulty": fail-soft compaction errors plus op delays the serving
-// layer must absorb without any expectation changing).
-func newTestCatalog(t testing.TB) *catalog.Catalog {
+// layer must absorb without any expectation changing). MS_SHARDS >= 2
+// additionally runs the whole suite over a sharded store (in-memory or
+// per-shard durable, matching MS_TEST_BACKEND) — every handler
+// expectation must hold unchanged under scatter-gather execution.
+func newTestCatalog(t testing.TB) store {
 	t.Helper()
 	mode := os.Getenv("MS_TEST_BACKEND")
+	if n, _ := strconv.Atoi(os.Getenv("MS_SHARDS")); n >= 2 {
+		if mode == "durable" {
+			sc, err := shard.Open(t.TempDir(), n, storage.Options{CompactMinBytes: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sc.Close() })
+			return shardStore{sc}
+		}
+		return shardStore{shard.New(n)}
+	}
 	if mode != "durable" && mode != "faulty" {
-		return catalog.New()
+		return singleStore{catalog.New()}
 	}
 	var b storage.Backend
 	db, err := storage.OpenDurable(t.TempDir(), storage.Options{CompactMinBytes: 256})
@@ -46,7 +62,7 @@ func newTestCatalog(t testing.TB) *catalog.Catalog {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
-	return c
+	return singleStore{c}
 }
 
 // do issues one request against the handler and returns the response.

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"io"
+
+	"minesweeper"
+	"minesweeper/internal/catalog"
+	"minesweeper/internal/shard"
+	"minesweeper/internal/storage"
+)
+
+// store abstracts the server's data plane: a plain catalog (one owner
+// for every relation) or a sharded catalog (N fragment owners behind a
+// gathered view, scatter-gather execution). The handlers never care
+// which one they run over; everything shard-specific surfaces through
+// optional interfaces (ShardStats) and the Explain.Partitions plan
+// annotation.
+type store interface {
+	Get(name string) (*minesweeper.Relation, bool)
+	Len() int
+	Relations() []catalog.Info
+	Load(r io.Reader, source string) (catalog.Info, error)
+	Dump(w io.Writer, name string) error
+	Drop(name string) error
+	Insert(name string, tuples ...[]int) (catalog.Info, error)
+	Delete(name string, tuples ...[]int) (int, catalog.Info, error)
+	Query(expr string) (*minesweeper.Query, error)
+	PutQueryDef(def storage.QueryDef) error
+	DropQueryDef(name string) error
+	QueryDefs() []storage.QueryDef
+	Degraded() error
+	Close() error
+	StorageStats() storage.Stats
+	// Prepare plans a query built by Query for repeated execution.
+	Prepare(q *minesweeper.Query, opts *minesweeper.Options) (prepared, error)
+}
+
+// prepared is the runner surface the handlers drive: both
+// *minesweeper.PreparedQuery and *shard.Prepared satisfy it.
+type prepared interface {
+	StreamContextExplained(ctx context.Context, plan func(minesweeper.Explain), yield func([]int) bool) (minesweeper.Stats, error)
+	OutputVars() []string
+	Engine() minesweeper.Engine
+	Refresh() error
+	Explain() minesweeper.Explain
+}
+
+// singleStore serves an unsharded catalog.
+type singleStore struct{ *catalog.Catalog }
+
+func (s singleStore) Prepare(q *minesweeper.Query, opts *minesweeper.Options) (prepared, error) {
+	return q.Prepare(opts)
+}
+
+// shardStore serves a sharded catalog with scatter-gather execution.
+type shardStore struct{ *shard.Catalog }
+
+func (s shardStore) Prepare(q *minesweeper.Query, opts *minesweeper.Options) (prepared, error) {
+	return s.Catalog.Prepare(q, opts)
+}

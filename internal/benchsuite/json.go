@@ -41,8 +41,16 @@ const SchemaVersion = 1
 // Run executes every suite entry accepted by filter (nil = all) through
 // testing.Benchmark and reports progress on progress (may be nil).
 func Run(filter func(Bench) bool, progress io.Writer) []Result {
+	return RunBenches(Suite(), filter, progress)
+}
+
+// RunBenches is Run over an explicit bench list — for tracked suites
+// that cannot live in this package (e.g. the sharded E15 entries,
+// whose package imports the root package and so cannot be imported
+// from here; cmd/msbench registers them directly).
+func RunBenches(benches []Bench, filter func(Bench) bool, progress io.Writer) []Result {
 	var out []Result
-	for _, bench := range Suite() {
+	for _, bench := range benches {
 		if filter != nil && !filter(bench) {
 			continue
 		}

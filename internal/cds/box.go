@@ -216,6 +216,22 @@ func (bk *boxBucket) insert(v *boxNode) {
 	}
 }
 
+// removeAt deletes the box at index j, keeping the sort and running max,
+// and returns it.
+func (bk *boxBucket) removeAt(j int) *boxNode {
+	v := bk.boxes[j]
+	bk.boxes = append(bk.boxes[:j], bk.boxes[j+1:]...)
+	bk.maxHi = bk.maxHi[:len(bk.maxHi)-1]
+	for i := j; i < len(bk.boxes); i++ {
+		hi := bk.boxes[i].dims[0].Hi
+		if i > 0 && bk.maxHi[i-1] > hi {
+			hi = bk.maxHi[i-1]
+		}
+		bk.maxHi[i] = hi
+	}
+	return v
+}
+
 // internRanges copies dims into the tree-owned range arena and returns
 // the durable copy; chunks are never reallocated once handed out, so
 // previously interned slices stay valid for the life of the tree.
@@ -267,6 +283,13 @@ func (t *Tree) InsBox(b BoxConstraint) {
 				return
 			}
 		}
+		for _, v := range t.boxOverflow[last] {
+			t.countOp()
+			if boxMergeable(v, b) {
+				mergeDim0(v, b.Dims[0])
+				return
+			}
+		}
 		v := t.storeBox(b, last)
 		t.boxOverflow[last] = append(t.boxOverflow[last], v)
 		return
@@ -304,8 +327,71 @@ func (t *Tree) InsBox(b BoxConstraint) {
 			return
 		}
 	}
+	// Merge: a stored box with the same prefix and identical trailing
+	// dimensions whose first middle dimension overlaps or abuts b's
+	// absorbs b in place — the union of two such rectangles is itself a
+	// rectangle, so a widening streak grows one stored box instead of
+	// accumulating one per widening. The stab range is widened by one on
+	// each side to catch exactly-adjacent neighbors.
+	xlo := b.Dims[0].Lo
+	if xlo > ordered.NegInf {
+		xlo--
+	}
+	xhi := b.Dims[0].Hi
+	if xhi < ordered.PosInf {
+		xhi++
+	}
+	idx = sort.Search(len(bk.boxes), func(j int) bool { return bk.boxes[j].dims[0].Lo > xhi })
+	for j := idx - 1; j >= 0 && bk.maxHi[j] >= xlo; j-- {
+		v := bk.boxes[j]
+		t.countOp()
+		if v.dims[0].Hi < xlo || !boxMergeable(v, b) {
+			continue
+		}
+		v = bk.removeAt(j)
+		mergeDim0(v, b.Dims[0])
+		bk.insert(v)
+		return
+	}
 	v := t.storeBox(b, last)
 	bk.insert(v)
+}
+
+// boxMergeable reports whether stored box v and candidate b combine into
+// a single rectangle: identical prefix, identical trailing dimensions,
+// and first middle dimensions that overlap or abut, so the union of the
+// two closed ranges is one closed range and the merged box rules out
+// exactly the union of the two.
+func boxMergeable(v *boxNode, b BoxConstraint) bool {
+	if len(v.dims) != len(b.Dims) || len(v.prefix) != len(b.Prefix) || !patternsEqual(v.prefix, b.Prefix) {
+		return false
+	}
+	for k := 1; k < len(b.Dims); k++ {
+		if v.dims[k] != b.Dims[k] {
+			return false
+		}
+	}
+	lo := v.dims[0].Lo
+	if lo > ordered.NegInf {
+		lo--
+	}
+	hi := v.dims[0].Hi
+	if hi < ordered.PosInf {
+		hi++
+	}
+	return b.Dims[0].Lo <= hi && b.Dims[0].Hi >= lo
+}
+
+// mergeDim0 widens v's first middle dimension to the union with d. The
+// dims slice is an arena region owned by v alone, so the extension is
+// visible to every index that points at v without re-interning.
+func mergeDim0(v *boxNode, d ordered.Range) {
+	if d.Lo < v.dims[0].Lo {
+		v.dims[0].Lo = d.Lo
+	}
+	if d.Hi > v.dims[0].Hi {
+		v.dims[0].Hi = d.Hi
+	}
 }
 
 // boxSubsumes reports whether stored box v rules out everything the

@@ -59,6 +59,55 @@ func TestInsBoxDegenerateAndDedup(t *testing.T) {
 	}
 }
 
+// TestInsBoxMergeAdjacent: boxes with identical prefix and trailing
+// dimensions whose first middle dimensions overlap or abut merge in
+// place instead of accumulating — the widening-streak pattern that used
+// to store one box per widening.
+func TestInsBoxMergeAdjacent(t *testing.T) {
+	tr := NewTree(3)
+	var s certificate.Stats
+	tr.SetStats(&s)
+	mk := func(lo, hi int) BoxConstraint {
+		return BoxConstraint{Prefix: Pattern{}, Dims: []ordered.Range{rg(lo, hi), rg(20, 30)}}
+	}
+	tr.InsBox(mk(0, 10))
+	tr.InsBox(mk(11, 15)) // abuts: [0,10] ∪ [11,15] = [0,15]
+	tr.InsBox(mk(14, 22)) // overlaps the merged box
+	if tr.BoxCount() != 1 || s.Boxes != 1 {
+		t.Fatalf("adjacent boxes did not merge: count=%d stats.Boxes=%d", tr.BoxCount(), s.Boxes)
+	}
+	for _, v := range []int{0, 10, 11, 15, 22} {
+		if !tr.CoversTuple([]int{v, 25, 0}) {
+			t.Fatalf("merged box must cover first dim %d", v)
+		}
+	}
+	if tr.CoversTuple([]int{23, 25, 0}) {
+		t.Fatal("merged box must not cover beyond the union")
+	}
+	// A gap between first dimensions must NOT merge (the union is not a
+	// rectangle), and different trailing dimensions must not merge either.
+	tr.InsBox(mk(25, 30))
+	tr.InsBox(BoxConstraint{Prefix: Pattern{}, Dims: []ordered.Range{rg(16, 20), rg(40, 50)}})
+	if tr.BoxCount() != 3 {
+		t.Fatalf("unmergeable boxes collapsed: count=%d", tr.BoxCount())
+	}
+	if tr.CoversTuple([]int{24, 25, 0}) || tr.CoversTuple([]int{23, 35, 0}) {
+		t.Fatal("merge ruled out space no inserted box covered")
+	}
+	// The widened box keeps working through the probe path after a merge
+	// that re-sorts its bucket: a box under a pinned prefix merges too.
+	tr2 := NewTree(3)
+	p := Pattern{Eq(7)}
+	tr2.InsBox(BoxConstraint{Prefix: p, Dims: []ordered.Range{rg(5, 9), rg(1, 3)}})
+	tr2.InsBox(BoxConstraint{Prefix: p, Dims: []ordered.Range{rg(0, 4), rg(1, 3)}})
+	if tr2.BoxCount() != 1 {
+		t.Fatalf("pinned-prefix merge failed: count=%d", tr2.BoxCount())
+	}
+	if !tr2.CoversTuple([]int{7, 2, 2}) || tr2.CoversTuple([]int{8, 2, 2}) {
+		t.Fatal("pinned-prefix merged box coverage wrong")
+	}
+}
+
 func TestBoxSkipsProbe(t *testing.T) {
 	tr := NewTree(2)
 	var s certificate.Stats

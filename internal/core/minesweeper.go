@@ -429,29 +429,26 @@ func walkGaps(tree *cds.Tree, a *Atom, nd *gapNode, p int, sc *atomScratch, pref
 // siblings of the level-(p-1) index, and if so returns the box ruling
 // out the whole rectangle: the widened value range at the parent
 // attribute × full ranges at the GAO positions the atom skips × the gap
-// at the atom's level-p attribute. Each verified sibling costs one
-// FindGap; the scan stops at the first sibling where the gap breaks.
-// Values BETWEEN sibling values are absent from the atom under this
-// path altogether, so the widened range runs from the nearest
-// unverified neighbor on each side (exclusive) — exhausting a side
-// extends it to ±∞. The scan is capped at `scan` siblings per direction
-// (the streak allowance from noteGap), bounding the cost of one widening
-// while letting a sustained grind earn exponentially wider boxes. The
-// returned box (over scratch buffers; InsBox does not retain them)
-// covers everything the classic per-path interval constraint would
-// have, so the caller may emit it instead.
+// at the atom's level-p attribute. Each direction is validated with one
+// reltree.GapRun — a single prefix descent that probes the siblings'
+// contiguous sorted runs with seeded doubling searches and stops at the
+// first sibling where the gap breaks — instead of one full FindGap per
+// sibling, so a widening costs O(1) index descents regardless of how
+// many siblings it absorbs. Values BETWEEN sibling values are absent
+// from the atom under this path altogether, so the widened range runs
+// from the nearest unverified neighbor on each side (exclusive) —
+// exhausting a side extends it to ±∞. The validation is capped at
+// `scan` siblings per direction (the streak allowance from noteGap),
+// bounding the cost of one widening while letting a sustained grind
+// earn exponentially wider boxes. The returned box (over scratch
+// buffers; InsBox does not retain them) covers everything the classic
+// per-path interval constraint would have, so the caller may emit it
+// instead.
 func tryWidenBox(a *Atom, sc *atomScratch, p int, loVal, hiVal, scan int, prefixBuf cds.Pattern) (cds.BoxConstraint, bool) {
 	if ordered.OpenToRange(loVal, hiVal).Empty() {
 		return cds.BoxConstraint{}, false
 	}
-	// A witness value strictly inside the gap, probed under each sibling.
-	var x int
-	switch {
-	case loVal > ordered.NegInf:
-		x = loVal + 1
-	case hiVal < ordered.PosInf:
-		x = hiVal - 1
-	default:
+	if loVal <= ordered.NegInf && hiVal >= ordered.PosInf {
 		return cds.BoxConstraint{}, false
 	}
 	widx := sc.widx
@@ -459,27 +456,31 @@ func tryWidenBox(a *Atom, sc *atomScratch, p int, loVal, hiVal, scan int, prefix
 	parent := widx[:p-1]
 	fan := a.Tree.Fanout(parent)
 	loC, hiC := ci, ci
-	for hiC+1 < fan && hiC-ci < scan && gapHoldsUnder(a, widx, p, hiC+1, x, loVal, hiVal) {
-		hiC++
+	if up := fan - 1 - ci; up > 0 {
+		if up > scan {
+			up = scan
+		}
+		hiC += a.Tree.GapRun(parent, ci+1, ci+up, loVal, hiVal)
 	}
 	// Scan downward only on the streak's first widening: a continuation
 	// widening sits just past the previous box of the same streak, so the
 	// siblings below were already validated and covered by it — paying
-	// FindGaps to re-include them buys nothing.
+	// index probes to re-include them buys nothing.
 	downScan := scan
 	if sc.streak > 1 {
 		downScan = 0
 	}
-	for loC > 0 && ci-loC < downScan && gapHoldsUnder(a, widx, p, loC-1, x, loVal, hiVal) {
-		loC--
+	if down := ci; down > 0 && downScan > 0 {
+		if down > downScan {
+			down = downScan
+		}
+		loC -= a.Tree.GapRun(parent, ci-1, ci-down, loVal, hiVal)
 	}
-	widx[p-1] = ci // gapHoldsUnder probes through widx in place; restore
 	if loC == ci && hiC == ci {
 		return cds.BoxConstraint{}, false
 	}
 	loNbr := a.Tree.Value(append(parent, loC-1))
 	hiNbr := a.Tree.Value(append(parent, hiC+1))
-	widx[p-1] = ci
 	prefixLen := a.Positions[p-1]
 	prefix := prefixBuf[:prefixLen]
 	for j := range prefix {
@@ -496,24 +497,6 @@ func tryWidenBox(a *Atom, sc *atomScratch, p int, loVal, hiVal, scan int, prefix
 	}
 	dims[span-1] = ordered.OpenToRange(loVal, hiVal)
 	return cds.BoxConstraint{Prefix: prefix, Dims: dims}, true
-}
-
-// gapHoldsUnder reports whether the open gap (loVal, hiVal) at atom
-// level p also holds under sibling index c of the level-(p-1) prefix:
-// one FindGap for the witness x locates the sibling's surrounding gap,
-// which must reach at least as far on both sides. Probes through widx
-// in place; the caller restores widx[p-1].
-func gapHoldsUnder(a *Atom, widx []int, p int, c, x, loVal, hiVal int) bool {
-	widx[p-1] = c
-	sidx := widx[:p]
-	l, h := a.Tree.FindGap(sidx, x)
-	if l == h {
-		return false
-	}
-	if a.Tree.Value(append(sidx, l)) > loVal {
-		return false
-	}
-	return a.Tree.Value(append(sidx, h)) >= hiVal
 }
 
 // MinesweeperAll runs Minesweeper and collects the output tuples.

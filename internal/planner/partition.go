@@ -1,0 +1,54 @@
+package planner
+
+// PartitionChoice is the planner's verdict on how to shard one
+// relation: which column to partition on and whether contiguous range
+// slices (order-preserving, so each shard owns an interval of the
+// column's domain) are preferable to hash buckets.
+type PartitionChoice struct {
+	Col   int    // column index into the relation's binding
+	Attr  string // attribute name at Col
+	Range bool   // range-partition instead of hash
+}
+
+// rangeGateDistinct and rangeGateSkew gate range partitioning: the
+// column needs at least rangeGateDistinct distinct values per shard for
+// quantile splits to exist, and its heaviest value must stay under
+// 1/rangeGateSkew of the rows — a dominant value cannot be split across
+// range boundaries and would turn one shard into the hot shard.
+const (
+	rangeGateDistinct = 4
+	rangeGateSkew     = 4
+)
+
+// ChoosePartition picks the partition column for splitting a relation
+// across the given number of shards. The choice reuses the GAO search:
+// the relation is planned as a single-atom query and the leading
+// attribute of the winning order — the column the cost model wants
+// outermost — becomes the partition column, so a query driven by that
+// attribute restricts its leading domain to one shard's slice. Mode is
+// range when the column's statistics pass the skew gate, hash
+// otherwise. The choice is deterministic in (attrs, stats, shards).
+func ChoosePartition(attrs []string, st *RelStats, shards int) PartitionChoice {
+	choice := PartitionChoice{Col: 0}
+	if len(attrs) == 0 {
+		return choice
+	}
+	choice.Attr = attrs[0]
+	if st == nil || st.Rows == 0 || len(st.Cols) < len(attrs) {
+		return choice
+	}
+	plan := Choose([]Atom{{Attrs: attrs, Rows: st.Rows, Cols: st.Cols[:len(attrs)]}}, Config{})
+	if len(plan.GAO) > 0 {
+		for i, a := range attrs {
+			if a == plan.GAO[0] {
+				choice.Col, choice.Attr = i, a
+				break
+			}
+		}
+	}
+	c := st.Cols[choice.Col]
+	choice.Range = shards > 1 &&
+		c.Distinct >= rangeGateDistinct*shards &&
+		c.MaxFreq*rangeGateSkew <= st.Rows
+	return choice
+}

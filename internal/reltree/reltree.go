@@ -510,6 +510,67 @@ func (t *Tree) FindGap(x []int, a int) (lo, hi int) {
 	return hi - 1, hi
 }
 
+// GapRun reports how many consecutive children of prefix x — starting at
+// child index cFrom and stepping toward cTo (inclusive; cTo < cFrom walks
+// downward) — have no value strictly inside the open interval
+// (loVal, hiVal) at depth len(x)+1. The walk stops at the first child
+// that violates the gap, so the cost is proportional to the validated
+// run, not to the requested one.
+//
+// This is the range form of FindGap that box widening needs: validating
+// W siblings one FindGap at a time costs W full descents, while GapRun
+// resolves the prefix once and then probes each child's sorted run in
+// the contiguous child-level array with a galloped successor search
+// seeded at the previous child's landing offset — on clustered data,
+// where siblings repeat the same sub-sequence, each probe lands within a
+// few steps of its seed. One GapRun is counted as one FindGap (a single
+// descent) plus the comparisons its child probes perform.
+func (t *Tree) GapRun(x []int, cFrom, cTo, loVal, hiVal int) int {
+	d := len(x)
+	if t.flat == nil || d >= t.arity-1 {
+		panic(fmt.Sprintf("reltree: %s: GapRun under invalid index tuple %v", t.name, x))
+	}
+	segLo, segHi, ok := t.flatSeg(x)
+	if !ok {
+		panic(fmt.Sprintf("reltree: %s: GapRun under invalid index tuple %v", t.name, x))
+	}
+	fan := segHi - segLo
+	step := 1
+	if cTo < cFrom {
+		step = -1
+	}
+	if cFrom < 0 || cFrom >= fan || cTo < 0 || cTo >= fan {
+		panic(fmt.Sprintf("reltree: %s: GapRun child range [%d,%d] out of fanout %d", t.name, cFrom, cTo, fan))
+	}
+	if t.stats != nil {
+		t.stats.FindGaps++
+	}
+	arr := t.flat.levels[d+1]
+	offs := t.flat.offs[d]
+	n := 0
+	seedOff := 0 // landing offset within the previous run
+	for c := cFrom; ; c += step {
+		p := segLo + c
+		rA, rB := int(offs[p]), int(offs[p+1])
+		if t.stats != nil {
+			steps := 1
+			for m := rB - rA; m > 1; m /= 2 {
+				steps++
+			}
+			t.stats.Comparisons += int64(steps)
+		}
+		i := gallopSearch(arr, rA, rB, rA+seedOff, loVal+1)
+		if i < rB && arr[i] < hiVal {
+			return n // a value inside the gap: the run ends here
+		}
+		seedOff = i - rA
+		n++
+		if c == cTo {
+			return n
+		}
+	}
+}
+
 // Contains reports whether the full tuple is present in the relation.
 func (t *Tree) Contains(tuple []int) bool {
 	if len(tuple) != t.arity {

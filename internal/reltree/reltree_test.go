@@ -374,3 +374,60 @@ func TestSliceTopAndClone(t *testing.T) {
 		t.Fatalf("unary SliceTop size = %d, want 2", v.Size())
 	}
 }
+
+// TestGapRun: the range form of FindGap validates a run of siblings in
+// one descent, stops at the first violator, and walks either direction.
+func TestGapRun(t *testing.T) {
+	// Children of the root (depth-0 values 0..4); second attribute holds
+	// the gap (10, 20) under every child except child 3 (which has 15).
+	r := mustNew(t, "R", 2, [][]int{
+		{0, 5}, {0, 25},
+		{1, 10}, {1, 20},
+		{2, 8}, {2, 30},
+		{3, 15},
+		{4, 9}, {4, 21},
+	})
+	var s certificate.Stats
+	r.SetStats(&s)
+	if n := r.GapRun(nil, 0, 4, 10, 20); n != 3 {
+		t.Fatalf("upward GapRun = %d, want 3 (child 3 holds 15)", n)
+	}
+	if s.FindGaps != 1 {
+		t.Fatalf("GapRun counted %d FindGaps, want 1 (a single descent)", s.FindGaps)
+	}
+	if s.Comparisons == 0 {
+		t.Fatal("GapRun must account for its probe comparisons")
+	}
+	if n := r.GapRun(nil, 2, 0, 10, 20); n != 3 {
+		t.Fatalf("downward GapRun = %d, want 3", n)
+	}
+	if n := r.GapRun(nil, 3, 3, 10, 20); n != 0 {
+		t.Fatalf("violating child alone = %d, want 0", n)
+	}
+	// Sentinel endpoints: (NegInf, 9) is empty under child 0 only when no
+	// value is below 9.
+	if n := r.GapRun(nil, 0, 1, ordered.NegInf, 9); n != 0 {
+		t.Fatalf("GapRun below 9 under child 0 = %d, want 0 (value 5)", n)
+	}
+	if n := r.GapRun(nil, 1, 2, 21, ordered.PosInf); n != 1 {
+		t.Fatalf("GapRun above 21 = %d, want 1 (child 1 holds, child 2 has 30)", n)
+	}
+	if n := r.GapRun(nil, 1, 1, 20, ordered.PosInf); n != 1 {
+		t.Fatalf("GapRun above 20 under child 1 = %d, want 1", n)
+	}
+	// A GapRun answer must agree with per-sibling FindGap validation.
+	for lo, hi := 10, 20; ; {
+		want := 0
+		for c := 0; c <= 4; c++ {
+			l, h := r.FindGap([]int{c}, 15)
+			if l == h || r.Value([]int{c, l}) > lo || r.Value([]int{c, h}) < hi {
+				break
+			}
+			want++
+		}
+		if got := r.GapRun(nil, 0, 4, lo, hi); got != want {
+			t.Fatalf("GapRun = %d, FindGap-per-sibling says %d", got, want)
+		}
+		break
+	}
+}

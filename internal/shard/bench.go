@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"minesweeper/internal/dataset"
+)
+
+// E15: sharded scaling. The bodies live here rather than in
+// internal/benchsuite because benchsuite is imported by the root
+// package's bench_test.go, and this package imports the root — the
+// suite entries are registered by cmd/msbench instead. Each bench
+// prepares once and measures steady-state scatter-gather execution of
+// a tracked workload (E1's power-law path join, E12's heavy-enum skew
+// join) at a fixed shard count; comparing shards=1 (gathered, no merge
+// layer) against 2/4/8 isolates what the fan-out buys on multi-core
+// runners and what the per-tuple channel+loser-tree pipeline costs (on
+// a single core the curve is pure overhead, which is the point of
+// tracking it).
+
+// BenchScalingE1 runs the E1-style path join E(A,B), E(B,C) over a
+// power-law graph at the given shard count.
+func BenchScalingE1(b *testing.B, shards int) {
+	g := dataset.PowerLawGraph(2000, 6, false, 1)
+	benchScaling(b, shards, []relSpecB{{"E", []string{"src", "dst"}, g.Edges}}, "E(A,B), E(B,C)")
+}
+
+// BenchScalingE12 runs the E12 heavy-enumeration skew join at the
+// given shard count: one heavy join value with 64×32 output partners
+// plus 20k filler tuples, so per-shard probe work dominates emission.
+func BenchScalingE12(b *testing.B, shards int) {
+	e, f := dataset.SparseHeavyEnum(64, 32, 20000, 9973)
+	benchScaling(b, shards, []relSpecB{
+		{"E", []string{"a", "b"}, e},
+		{"F", []string{"b", "c"}, f},
+	}, "E(A,B), F(B,C)")
+}
+
+type relSpecB struct {
+	name   string
+	vars   []string
+	tuples [][]int
+}
+
+func benchScaling(b *testing.B, shards int, rels []relSpecB, expr string) {
+	c := New(shards)
+	for _, r := range rels {
+		if _, err := c.Create(r.name, r.vars, r.tuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q, err := c.Query(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pq, err := c.Prepare(q, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuples int
+	res, err := pq.Execute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples = len(res.Tuples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		if _, err := pq.StreamContextExplained(context.Background(), nil, func([]int) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != tuples {
+			b.Fatalf("iteration emitted %d tuples, want %d", n, tuples)
+		}
+	}
+	b.ReportMetric(float64(tuples), "tuples/op")
+}
+
+// ScalingBench is one E15 suite entry for msbench registration.
+type ScalingBench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// ScalingSuite enumerates the tracked E15 benchmarks: both workloads
+// at 1/2/4/8 shards.
+func ScalingSuite() []ScalingBench {
+	var out []ScalingBench
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		out = append(out,
+			ScalingBench{fmt.Sprintf("ShardedScaling/E1/shards=%d", n), func(b *testing.B) { BenchScalingE1(b, n) }},
+			ScalingBench{fmt.Sprintf("ShardedScaling/E12/shards=%d", n), func(b *testing.B) { BenchScalingE12(b, n) }},
+		)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkShardedScaling exposes the E15 suite to `go test -bench`
+// (msbench registers the same bodies for the BENCH_<n>.json
+// trajectory).
+func BenchmarkShardedScaling(b *testing.B) {
+	for _, e := range ScalingSuite() {
+		b.Run(strings.TrimPrefix(e.Name, "ShardedScaling/"), e.F)
+	}
+}

@@ -1,0 +1,756 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	minesweeper "minesweeper"
+	"minesweeper/internal/catalog"
+	"minesweeper/internal/ordered"
+	"minesweeper/internal/relio"
+	"minesweeper/internal/storage"
+)
+
+// manifestName is the routing manifest at the data-dir root. The
+// manifest is authoritative for how stored tuples were physically
+// routed: re-deriving a partition from statistics after recovery could
+// disagree with the placement the fragments actually hold, which would
+// silently break the colocation invariant the scatter executor needs.
+const manifestName = "shards.json"
+
+// manifest is the durable routing state: the shard count the directory
+// is laid out for and the partition of every relation.
+type manifest struct {
+	Shards    int                  `json:"shards"`
+	Relations map[string]Partition `json:"relations"`
+}
+
+// shardCounters is one shard's serving-side telemetry: scatter runs
+// started, substream tuples emitted, currently running substreams, and
+// substream producers currently blocked on a full gather channel (the
+// hot-shard signal).
+type shardCounters struct {
+	runs     atomic.Int64
+	emitted  atomic.Int64
+	inflight atomic.Int64
+	queued   atomic.Int64
+}
+
+// ShardStat describes one shard for /stats.
+type ShardStat struct {
+	Shard     int           `json:"shard"`
+	Relations int           `json:"relations"`
+	Tuples    int           `json:"tuples"`
+	Runs      int64         `json:"runs"`
+	Inflight  int64         `json:"inflight"`
+	Queued    int64         `json:"queued"`
+	Emitted   int64         `json:"emitted"`
+	Degraded  string        `json:"degraded,omitempty"`
+	Storage   storage.Stats `json:"storage"`
+}
+
+// Catalog owns N per-shard catalogs (each durable under its own
+// shard-<i> WAL directory) plus a gathered in-memory view holding every
+// relation whole. The view serves parses, reads and plans — a query is
+// built against view relations exactly as against an unsharded
+// catalog — while the fragments serve scatter execution and
+// durability. Mutations route tuples by each relation's Partition,
+// apply to the owning fragments first (durability), then to the view.
+// The API mirrors catalog.Catalog so the serving layer treats the two
+// uniformly.
+type Catalog struct {
+	n    int
+	dir  string // "" for in-memory
+	opts storage.Options
+
+	// mu serializes mutations and partition changes; reads go straight
+	// to the view (which has its own lock).
+	mu       sync.Mutex
+	inner    []*catalog.Catalog
+	view     *catalog.Catalog
+	parts    map[string]Partition
+	version  uint64 // bumped whenever parts changes; scatter plans pin it
+	counters []shardCounters
+}
+
+// New returns an in-memory sharded catalog (no durability), for tests
+// and -data-dir-less serving.
+func New(shards int) *Catalog {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Catalog{
+		n:        shards,
+		view:     catalog.New(),
+		inner:    make([]*catalog.Catalog, shards),
+		parts:    make(map[string]Partition),
+		counters: make([]shardCounters, shards),
+	}
+	for i := range c.inner {
+		c.inner[i] = catalog.New()
+	}
+	return c
+}
+
+// ShardDir returns the WAL directory of one shard under the data dir.
+func ShardDir(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", shard))
+}
+
+// Open recovers a sharded catalog from dir: each shard replays its own
+// WAL+snapshot under shard-<i>/ (restoring exact per-fragment epochs),
+// the gathered view is rebuilt from the fragments, and routing comes
+// from the manifest. Relations missing a manifest entry (a crash
+// between fragment writes and the manifest write) are deterministically
+// repartitioned and redistributed. Opening a directory laid out for a
+// different shard count is refused — re-routing existing placements
+// across a new count is a data migration, not a recovery.
+func Open(dir string, shards int, opts storage.Options) (*Catalog, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	m, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	if m != nil && m.Shards != shards {
+		return nil, fmt.Errorf("shard: %s is laid out for %d shards, cannot open with %d", dir, m.Shards, shards)
+	}
+	c := &Catalog{
+		n:        shards,
+		dir:      dir,
+		opts:     opts,
+		view:     catalog.New(),
+		inner:    make([]*catalog.Catalog, shards),
+		parts:    make(map[string]Partition),
+		counters: make([]shardCounters, shards),
+	}
+	for i := range c.inner {
+		b, err := storage.OpenDurable(ShardDir(dir, i), opts)
+		if err != nil {
+			c.closeOpened(i)
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		cat, err := catalog.Open(b)
+		if err != nil {
+			b.Close()
+			c.closeOpened(i)
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.inner[i] = cat
+	}
+	if err := c.recover(m); err != nil {
+		c.closeOpened(shards)
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Catalog) closeOpened(n int) {
+	for i := 0; i < n; i++ {
+		if c.inner[i] != nil {
+			c.inner[i].Close()
+		}
+	}
+}
+
+// recover rebuilds the gathered view and routing table from the
+// recovered fragments plus the manifest.
+func (c *Catalog) recover(m *manifest) error {
+	names := map[string]bool{}
+	for _, inner := range c.inner {
+		for _, n := range inner.Names() {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		var vars []string
+		var gathered [][]int
+		var epochSum uint64
+		for _, inner := range c.inner {
+			rel, ok := inner.Get(name)
+			if !ok {
+				continue
+			}
+			if vars == nil {
+				vars, _ = inner.Vars(name)
+			}
+			gathered = append(gathered, rel.Tuples()...)
+			epochSum += rel.Epoch()
+		}
+		rel, err := c.view.Create(name, vars, gathered)
+		if err != nil {
+			return fmt.Errorf("shard: gathering relation %q: %w", name, err)
+		}
+		if err := rel.RestoreEpoch(epochSum); err != nil {
+			return fmt.Errorf("shard: gathering relation %q: %w", name, err)
+		}
+		if m != nil {
+			if p, ok := m.Relations[name]; ok && p.Column < len(vars) {
+				c.parts[name] = p
+				continue
+			}
+		}
+		// No (usable) manifest entry: repartition deterministically and
+		// redistribute the gathered tuples so the colocation invariant
+		// holds again.
+		p := choosePartition(vars, gathered, c.n)
+		if err := c.redistribute(name, vars, gathered, p); err != nil {
+			return fmt.Errorf("shard: repartitioning relation %q: %w", name, err)
+		}
+		c.parts[name] = p
+	}
+	return c.writeManifest()
+}
+
+// redistribute replaces every fragment of name with its bucket under p,
+// creating the relation on shards that lack it.
+func (c *Catalog) redistribute(name string, vars []string, tuples [][]int, p Partition) error {
+	buckets := p.split(tuples, c.n)
+	for i, inner := range c.inner {
+		if _, ok := inner.Get(name); ok {
+			if _, err := inner.Replace(name, buckets[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := inner.Create(name, vars, buckets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeManifest persists the routing table atomically (temp + rename).
+// In-memory catalogs skip it.
+func (c *Catalog) writeManifest() error {
+	if c.dir == "" {
+		return nil
+	}
+	m := manifest{Shards: c.n, Relations: c.parts}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(c.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: reading %s: %w", path, err)
+	}
+	if m.Relations == nil {
+		m.Relations = map[string]Partition{}
+	}
+	return &m, nil
+}
+
+// checkTuples mirrors the catalog's pre-mutation validation: routing
+// indexes into tuples by the partition column, so arity and domain must
+// hold before any tuple is routed.
+func checkTuples(name string, arity int, tuples [][]int) error {
+	for i, tup := range tuples {
+		if len(tup) != arity {
+			return fmt.Errorf("catalog: relation %q: tuple %d has %d values, want %d", name, i, len(tup), arity)
+		}
+		for j, v := range tup {
+			if v < 0 || v >= ordered.PosInf {
+				return fmt.Errorf("catalog: relation %q: tuple %d component %d = %d out of domain [0, %d)",
+					name, i, j, v, ordered.PosInf)
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildViewLocked resynchronizes the view of one relation with the
+// union of its fragments — the generic repair after a mutation applied
+// to only part of the shard set.
+func (c *Catalog) rebuildViewLocked(name string) {
+	var vars []string
+	var gathered [][]int
+	found := false
+	for _, inner := range c.inner {
+		rel, ok := inner.Get(name)
+		if !ok {
+			continue
+		}
+		if vars == nil {
+			vars, _ = inner.Vars(name)
+		}
+		found = true
+		gathered = append(gathered, rel.Tuples()...)
+	}
+	if !found {
+		c.view.Drop(name)
+		return
+	}
+	if _, ok := c.view.Get(name); ok {
+		c.view.Replace(name, gathered)
+		return
+	}
+	c.view.Create(name, vars, gathered)
+}
+
+// Shards returns the shard count.
+func (c *Catalog) Shards() int { return c.n }
+
+// PartitionOf returns the relation's current partition. ok is false for
+// unknown relations and for relations left unpartitioned by a partial
+// replace failure (those are excluded from scatter until repaired).
+func (c *Catalog) PartitionOf(name string) (Partition, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.parts[name]
+	return p, ok
+}
+
+// partsVersion pins the routing table's revision for scatter plans.
+func (c *Catalog) partsVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Create splits the tuples under a planner-chosen partition, creates
+// the owning fragment on every shard, then the gathered view relation,
+// which it returns.
+func (c *Catalog) Create(name string, vars []string, tuples [][]int) (*minesweeper.Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validateNew(name, vars, tuples); err != nil {
+		return nil, err
+	}
+	p := choosePartition(vars, tuples, c.n)
+	buckets := p.split(tuples, c.n)
+	for i, inner := range c.inner {
+		if _, err := inner.Create(name, vars, buckets[i]); err != nil {
+			for j := 0; j < i; j++ {
+				c.inner[j].Drop(name)
+			}
+			return nil, err
+		}
+	}
+	rel, err := c.view.Create(name, vars, tuples)
+	if err != nil {
+		for _, inner := range c.inner {
+			inner.Drop(name)
+		}
+		return nil, err
+	}
+	c.parts[name] = p
+	c.version++
+	if err := c.writeManifest(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// validateNew pre-checks a Create before any tuple is routed.
+func (c *Catalog) validateNew(name string, vars []string, tuples [][]int) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty relation name")
+	}
+	if len(vars) == 0 {
+		return fmt.Errorf("catalog: relation %q: empty variable list", name)
+	}
+	seen := map[string]bool{}
+	for _, v := range vars {
+		if seen[v] {
+			return fmt.Errorf("catalog: relation %q: repeated variable %q", name, v)
+		}
+		seen[v] = true
+	}
+	if _, dup := c.view.Get(name); dup {
+		return fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	return checkTuples(name, len(vars), tuples)
+}
+
+// Insert routes the tuples to their owning fragments, applies the
+// per-shard inserts (durability first), then the view insert, whose
+// gathered Info it returns. On a partial failure the view is rebuilt
+// from the fragments so reads stay consistent with what was durably
+// applied; the colocation invariant is unaffected (every applied copy
+// was routed).
+func (c *Catalog) Insert(name string, tuples ...[]int) (catalog.Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rel, ok := c.view.Get(name)
+	if !ok {
+		return catalog.Info{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if err := checkTuples(name, rel.Arity(), tuples); err != nil {
+		return catalog.Info{}, err
+	}
+	p, partitioned := c.parts[name]
+	var buckets [][][]int
+	if partitioned {
+		buckets = p.split(tuples, c.n)
+	} else {
+		// Unpartitioned fallback (after a partial replace failure): park
+		// new rows on shard 0; the relation is excluded from scatter
+		// until recovery repartitions it, so placement is free.
+		buckets = make([][][]int, c.n)
+		buckets[0] = tuples
+	}
+	for i, b := range buckets {
+		if len(b) == 0 && !(i == 0 && len(tuples) == 0) {
+			continue
+		}
+		if _, err := c.inner[i].Insert(name, b...); err != nil {
+			c.rebuildViewLocked(name)
+			return catalog.Info{}, err
+		}
+	}
+	return c.view.Insert(name, tuples...)
+}
+
+// Delete removes every stored copy of each tuple. Partitioned relations
+// route the deletes (copies colocate); unpartitioned ones broadcast to
+// every shard, which is correct under any placement.
+func (c *Catalog) Delete(name string, tuples ...[]int) (int, catalog.Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rel, ok := c.view.Get(name)
+	if !ok {
+		return 0, catalog.Info{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if err := checkTuples(name, rel.Arity(), tuples); err != nil {
+		return 0, catalog.Info{}, err
+	}
+	p, partitioned := c.parts[name]
+	buckets := make([][][]int, c.n)
+	if partitioned {
+		buckets = p.split(tuples, c.n)
+	} else {
+		for i := range buckets {
+			buckets[i] = tuples
+		}
+	}
+	for i, b := range buckets {
+		if len(b) == 0 && !(i == 0 && len(tuples) == 0) {
+			continue
+		}
+		if _, _, err := c.inner[i].Delete(name, b...); err != nil {
+			c.rebuildViewLocked(name)
+			return 0, catalog.Info{}, err
+		}
+	}
+	return c.view.Delete(name, tuples...)
+}
+
+// Replace swaps the relation's contents, re-choosing its partition for
+// the new data and rewriting every fragment. A partial failure leaves
+// fragments under two different layouts, which breaks the colocation
+// invariant — the relation is demoted to unpartitioned (gathered
+// execution only, no scatter) until a restart repartitions it.
+func (c *Catalog) Replace(name string, tuples [][]int) (catalog.Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rel, ok := c.view.Get(name)
+	if !ok {
+		return catalog.Info{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if err := checkTuples(name, rel.Arity(), tuples); err != nil {
+		return catalog.Info{}, err
+	}
+	vars, _ := c.view.Vars(name)
+	p := choosePartition(vars, tuples, c.n)
+	buckets := p.split(tuples, c.n)
+	for i, inner := range c.inner {
+		if _, err := inner.Replace(name, buckets[i]); err != nil {
+			delete(c.parts, name)
+			c.version++
+			c.rebuildViewLocked(name)
+			c.writeManifest()
+			return catalog.Info{}, err
+		}
+	}
+	c.parts[name] = p
+	c.version++
+	if err := c.writeManifest(); err != nil {
+		return catalog.Info{}, err
+	}
+	return c.view.Replace(name, tuples)
+}
+
+// ForcePartition rewrites the relation's fragments under an explicitly
+// given partition — an administrative/testing hook for exercising a
+// routing mode the statistics would not choose. Splits must be strictly
+// increasing for range mode.
+func (c *Catalog) ForcePartition(name string, p Partition) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rel, ok := c.view.Get(name)
+	if !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if p.Column < 0 || p.Column >= rel.Arity() {
+		return fmt.Errorf("shard: partition column %d out of range for arity %d", p.Column, rel.Arity())
+	}
+	if p.Mode != ModeHash && p.Mode != ModeRange {
+		return fmt.Errorf("shard: unknown partition mode %q", p.Mode)
+	}
+	for i := 1; i < len(p.Splits); i++ {
+		if p.Splits[i] <= p.Splits[i-1] {
+			return fmt.Errorf("shard: range splits must be strictly increasing")
+		}
+	}
+	vars, _ := c.view.Vars(name)
+	if err := c.redistribute(name, vars, rel.Tuples(), p); err != nil {
+		delete(c.parts, name)
+		c.version++
+		c.rebuildViewLocked(name)
+		c.writeManifest()
+		return err
+	}
+	c.parts[name] = p
+	c.version++
+	return c.writeManifest()
+}
+
+// Drop removes the relation from every shard and the view.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.view.Get(name); !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	for _, inner := range c.inner {
+		if _, ok := inner.Get(name); !ok {
+			continue
+		}
+		if err := inner.Drop(name); err != nil {
+			c.rebuildViewLocked(name)
+			return err
+		}
+	}
+	delete(c.parts, name)
+	c.version++
+	if err := c.writeManifest(); err != nil {
+		return err
+	}
+	return c.view.Drop(name)
+}
+
+// Load reads a relation in the relio interchange format and
+// creates-or-replaces it, splitting the rows across the shard set under
+// a freshly chosen partition.
+func (c *Catalog) Load(r io.Reader, source string) (catalog.Info, error) {
+	parsed, err := relio.ReadRelation(r, source)
+	if err != nil {
+		return catalog.Info{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rel, exists := c.view.Get(parsed.Name); exists && rel.Arity() != len(parsed.Vars) {
+		return catalog.Info{}, fmt.Errorf("catalog: relation %q exists with arity %d, load has arity %d (drop it first)",
+			parsed.Name, rel.Arity(), len(parsed.Vars))
+	}
+	if err := checkTuples(parsed.Name, len(parsed.Vars), parsed.Tuples); err != nil {
+		return catalog.Info{}, err
+	}
+	p := choosePartition(parsed.Vars, parsed.Tuples, c.n)
+	buckets := p.split(parsed.Tuples, c.n)
+	for i, inner := range c.inner {
+		if err := loadInto(inner, parsed.Name, parsed.Vars, buckets[i], source); err != nil {
+			delete(c.parts, parsed.Name)
+			c.version++
+			c.rebuildViewLocked(parsed.Name)
+			c.writeManifest()
+			return catalog.Info{}, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := relio.WriteRelation(&buf, parsed); err != nil {
+		return catalog.Info{}, err
+	}
+	info, err := c.view.Load(&buf, source)
+	if err != nil {
+		return info, err
+	}
+	c.parts[parsed.Name] = p
+	c.version++
+	if err := c.writeManifest(); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// loadInto create-or-replaces one fragment through the catalog's Load
+// path, so the fragment's default binding tracks the upload's vars.
+func loadInto(inner *catalog.Catalog, name string, vars []string, tuples [][]int, source string) error {
+	var buf bytes.Buffer
+	if err := relio.WriteRelation(&buf, &relio.Relation{Name: name, Vars: vars, Tuples: tuples}); err != nil {
+		return err
+	}
+	_, err := inner.Load(&buf, source)
+	return err
+}
+
+// Get returns the gathered view relation: queries parse and plan
+// against whole relations; fragments surface only through scatter.
+func (c *Catalog) Get(name string) (*minesweeper.Relation, bool) { return c.view.Get(name) }
+
+// Fragment returns one shard's fragment of the relation.
+func (c *Catalog) Fragment(shard int, name string) (*minesweeper.Relation, bool) {
+	return c.inner[shard].Get(name)
+}
+
+// Vars returns the relation's default variable binding.
+func (c *Catalog) Vars(name string) ([]string, bool) { return c.view.Vars(name) }
+
+// Len returns the number of cataloged relations.
+func (c *Catalog) Len() int { return c.view.Len() }
+
+// Names returns the sorted relation names.
+func (c *Catalog) Names() []string { return c.view.Names() }
+
+// Relations describes every cataloged relation (gathered totals).
+func (c *Catalog) Relations() []catalog.Info { return c.view.Relations() }
+
+// Dump writes the gathered relation in the relio interchange format.
+func (c *Catalog) Dump(w io.Writer, name string) error { return c.view.Dump(w, name) }
+
+// DumpFile writes the gathered relation to a file atomically.
+func (c *Catalog) DumpFile(path, name string) error { return c.view.DumpFile(path, name) }
+
+// Query parses a textual join expression against the gathered view.
+func (c *Catalog) Query(expr string) (*minesweeper.Query, error) { return c.view.Query(expr) }
+
+// PutQueryDef stores a prepared-query definition durably (on shard 0 —
+// definitions are control-plane state, not partitioned data).
+func (c *Catalog) PutQueryDef(def storage.QueryDef) error { return c.inner[0].PutQueryDef(def) }
+
+// DropQueryDef removes a stored definition.
+func (c *Catalog) DropQueryDef(name string) error { return c.inner[0].DropQueryDef(name) }
+
+// QueryDefs returns the stored definitions.
+func (c *Catalog) QueryDefs() []storage.QueryDef { return c.inner[0].QueryDefs() }
+
+// Degraded reports the first shard's degradation, if any: one poisoned
+// shard makes the whole store read-only for mutations that touch it,
+// and /readyz should say so.
+func (c *Catalog) Degraded() error {
+	for i, inner := range c.inner {
+		if err := inner.Degraded(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Reopen re-runs recovery on every degraded shard with a fresh backend
+// from open(shard), leaving healthy shards alone.
+func (c *Catalog) Reopen(open func(shard int) (storage.Backend, error)) error {
+	var first error
+	for i, inner := range c.inner {
+		if inner.Degraded() == nil {
+			continue
+		}
+		i := i
+		if err := inner.Reopen(func() (storage.Backend, error) { return open(i) }); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Sync flushes every shard's backend.
+func (c *Catalog) Sync() error {
+	var first error
+	for i, inner := range c.inner {
+		if err := inner.Sync(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Close releases every shard's backend and the view.
+func (c *Catalog) Close() error {
+	var first error
+	for i, inner := range c.inner {
+		if err := inner.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	if err := c.view.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// StorageStats aggregates the shards' storage statistics (counters
+// summed, mode and sequence from shard 0, Dir the data-dir root).
+func (c *Catalog) StorageStats() storage.Stats {
+	agg := c.inner[0].StorageStats()
+	agg.Dir = c.dir
+	for _, inner := range c.inner[1:] {
+		s := inner.StorageStats()
+		agg.WALRecords += s.WALRecords
+		agg.WALBytes += s.WALBytes
+		agg.Snapshots += s.Snapshots
+		agg.SnapshotBytes += s.SnapshotBytes
+		agg.Syncs += s.Syncs
+		agg.RecoveredRelations += s.RecoveredRelations
+		agg.RecoveredQueries += s.RecoveredQueries
+		agg.ReplayedRecords += s.ReplayedRecords
+		agg.TruncatedBytes += s.TruncatedBytes
+		if agg.LastError == "" {
+			agg.LastError = s.LastError
+		}
+	}
+	return agg
+}
+
+// ShardStats describes every shard for /stats: per-shard data volume,
+// scatter activity (the hot-shard signal) and storage health.
+func (c *Catalog) ShardStats() []ShardStat {
+	out := make([]ShardStat, c.n)
+	for i, inner := range c.inner {
+		st := ShardStat{
+			Shard:    i,
+			Runs:     c.counters[i].runs.Load(),
+			Inflight: c.counters[i].inflight.Load(),
+			Queued:   c.counters[i].queued.Load(),
+			Emitted:  c.counters[i].emitted.Load(),
+			Storage:  inner.StorageStats(),
+		}
+		for _, info := range inner.Relations() {
+			st.Relations++
+			st.Tuples += info.Tuples
+		}
+		if err := inner.Degraded(); err != nil {
+			st.Degraded = err.Error()
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,448 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	minesweeper "minesweeper"
+	"minesweeper/internal/dataset"
+)
+
+// The scatter-gather acceptance suite: sharded execution must be
+// indistinguishable from unsharded execution — byte-for-byte identical
+// NDJSON streams — across shard counts, routing modes, engines and query
+// shapes, including after mutations retarget a prepared plan.
+
+var allEngines = []minesweeper.Engine{
+	minesweeper.EngineMinesweeper,
+	minesweeper.EngineLeapfrog,
+	minesweeper.EngineNPRR,
+	minesweeper.EngineYannakakis,
+	minesweeper.EngineHashPlan,
+}
+
+// relSpec declares one catalog relation of a fixture.
+type relSpec struct {
+	name   string
+	vars   []string
+	tuples [][]int
+}
+
+// fixture is one dataset + a set of query shapes over it. The queries
+// deliberately walk the shape grammar: bare joins, projections, range
+// filters, grouped aggregates and distinct counts all ride the same
+// scatter-gather path (shaping happens once, on the gathered stream).
+type fixture struct {
+	name    string
+	rels    []relSpec
+	queries []string
+	acyclic bool // false skips EngineYannakakis (α-acyclic only)
+}
+
+func fixtures() []fixture {
+	g := dataset.PowerLawGraph(160, 3, false, 7)
+	e12e, e12f := dataset.SparseSkewJoin(300, 16, 97)
+	e13r, e13s := dataset.ClusteredOverlapJoin(4, 32, 8)
+	tr, ts, tt := dataset.TriangleHard(5)
+	return []fixture{
+		{
+			name: "e1-graph",
+			rels: []relSpec{{"E", []string{"src", "dst"}, g.Edges}},
+			queries: []string{
+				"E(A,B), E(B,C)",
+				"E(A,B), E(B,C) select A, C where A < 40",
+				"E(A,B), E(B,C) select A, count(*), max(C)",
+			},
+			acyclic: true,
+		},
+		{
+			name: "e12-sparse-skew",
+			rels: []relSpec{
+				{"E", []string{"a", "b"}, e12e},
+				{"F", []string{"b", "c"}, e12f},
+			},
+			queries: []string{
+				"E(A,B), F(B,C)",
+				"E(A,B), F(B,C) select B, C where C >= 0",
+				"E(A,B), F(B,C) select count(distinct B)",
+			},
+			acyclic: true,
+		},
+		{
+			name: "e13-clustered-overlap",
+			rels: []relSpec{
+				{"R", []string{"x", "y"}, e13r},
+				{"S", []string{"x", "y"}, e13s},
+			},
+			queries: []string{
+				"R(X,Y), S(X,Y)",
+				"R(X,Y), S(X,Y) select X",
+			},
+			acyclic: true,
+		},
+		{
+			name: "triangle",
+			rels: []relSpec{
+				{"R", []string{"a", "b"}, tr},
+				{"S", []string{"b", "c"}, ts},
+				{"T", []string{"a", "c"}, tt},
+			},
+			queries: []string{
+				"R(A,B), S(B,C), T(A,C)",
+			},
+			acyclic: false,
+		},
+	}
+}
+
+func buildSharded(t *testing.T, n int, rels []relSpec) *Catalog {
+	t.Helper()
+	c := New(n)
+	for _, r := range rels {
+		if _, err := c.Create(r.name, r.vars, r.tuples); err != nil {
+			t.Fatalf("Create %s: %v", r.name, err)
+		}
+	}
+	return c
+}
+
+// ndjson renders a result the way msserve streams it: a header line with
+// the output variable order, then one JSON array per tuple in emission
+// order. Comparing these strings is the byte-for-byte acceptance check.
+func ndjson(t *testing.T, vars []string, tuples [][]int) string {
+	t.Helper()
+	var b strings.Builder
+	hdr, err := json.Marshal(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(hdr)
+	b.WriteByte('\n')
+	for _, tup := range tuples {
+		line, err := json.Marshal(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// reference executes the query unsharded over the catalog's gathered
+// view with the same options.
+func reference(t *testing.T, c *Catalog, expr string, opts *minesweeper.Options) *minesweeper.Result {
+	t.Helper()
+	q, err := c.view.Query(expr)
+	if err != nil {
+		t.Fatalf("reference query %q: %v", expr, err)
+	}
+	res, err := minesweeper.Execute(q, opts)
+	if err != nil {
+		t.Fatalf("reference execute %q: %v", expr, err)
+	}
+	return res
+}
+
+// TestScatterGatherEquivalence is the core acceptance matrix: every
+// fixture × query shape × shard count × engine produces the exact
+// unsharded NDJSON stream.
+func TestScatterGatherEquivalence(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 4, 8} {
+				c := buildSharded(t, n, fx.rels)
+				for _, expr := range fx.queries {
+					for _, eng := range allEngines {
+						if eng == minesweeper.EngineYannakakis && !fx.acyclic {
+							continue
+						}
+						opts := &minesweeper.Options{Engine: eng}
+						ref := reference(t, c, expr, &minesweeper.Options{Engine: eng})
+						q, err := c.Query(expr)
+						if err != nil {
+							t.Fatalf("query %q: %v", expr, err)
+						}
+						pq, err := c.Prepare(q, opts)
+						if err != nil {
+							t.Fatalf("prepare %q engine=%v: %v", expr, eng, err)
+						}
+						res, err := pq.Execute()
+						if err != nil {
+							t.Fatalf("execute %q engine=%v shards=%d: %v", expr, eng, n, err)
+						}
+						got := ndjson(t, res.Vars, res.Tuples)
+						want := ndjson(t, ref.Vars, ref.Tuples)
+						if got != want {
+							t.Fatalf("shards=%d engine=%v query=%q: sharded stream diverges\ngot  %d tuples\nwant %d tuples",
+								n, eng, expr, len(res.Tuples), len(ref.Tuples))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRoutingModeEquivalence forces both routing modes onto the
+// scattered relation — including splits the statistics would never pick
+// — and demands the identical stream from every shard count.
+func TestRoutingModeEquivalence(t *testing.T) {
+	e12e, e12f := dataset.SparseSkewJoin(300, 16, 97)
+	rels := []relSpec{
+		{"E", []string{"a", "b"}, e12e},
+		{"F", []string{"b", "c"}, e12f},
+	}
+	const expr = "E(A,B), F(B,C)"
+	// Pin the GAO so the scatter choice is deterministic: E's column 0
+	// carries gao[0], so a forced partition there always scatters.
+	opts := &minesweeper.Options{GAO: []string{"A", "B", "C"}}
+	for _, n := range []int{2, 4, 8} {
+		for _, mode := range []string{ModeHash, ModeRange} {
+			c := buildSharded(t, n, rels)
+			p := Partition{Column: 0, Attr: "a", Mode: mode}
+			if mode == ModeRange {
+				// Deliberately lopsided splits: correctness must not
+				// depend on balance.
+				for i := 1; i < n; i++ {
+					p.Splits = append(p.Splits, i*13)
+				}
+			}
+			if err := c.ForcePartition("E", p); err != nil {
+				t.Fatalf("ForcePartition E %s: %v", mode, err)
+			}
+			ref := reference(t, c, expr, opts)
+			q, err := c.Query(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pq, err := c.Prepare(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex := pq.Explain(); len(ex.Partitions) != 1 || ex.Partitions[0] == "gathered" {
+				t.Fatalf("shards=%d mode=%s: plan did not scatter: %v", n, mode, ex.Partitions)
+			}
+			res, err := pq.Execute()
+			if err != nil {
+				t.Fatalf("shards=%d mode=%s: %v", n, mode, err)
+			}
+			if ndjson(t, res.Vars, res.Tuples) != ndjson(t, ref.Vars, ref.Tuples) {
+				t.Fatalf("shards=%d mode=%s: stream diverges (%d vs %d tuples)",
+					n, mode, len(res.Tuples), len(ref.Tuples))
+			}
+			if got, _ := c.PartitionOf("E"); got.Mode != mode {
+				t.Fatalf("shards=%d: forced mode did not stick: %+v", n, got)
+			}
+		}
+	}
+}
+
+// TestPreparedAfterMutation drives one prepared query through the full
+// mutation alphabet — insert, delete, replace, forced repartition, load
+// — re-executing after each step against a fresh unsharded reference.
+// This is the Refresh path: epoch bumps rebuild per-shard plans, and
+// partition-version bumps rebuild the scatter choice itself.
+func TestPreparedAfterMutation(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		var rT, sT [][]int
+		for i := 0; i < 200; i++ {
+			rT = append(rT, []int{i, (i * 7) % 120})
+			sT = append(sT, []int{(i * 7) % 120, i % 40})
+		}
+		c := buildSharded(t, n, []relSpec{
+			{"R", []string{"a", "b"}, rT},
+			{"S", []string{"b", "c"}, sT},
+		})
+		const expr = "R(A,B), S(B,C)"
+		q, err := c.Query(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq, err := c.Prepare(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(stage string) {
+			t.Helper()
+			ref := reference(t, c, expr, nil)
+			res, err := pq.Execute()
+			if err != nil {
+				t.Fatalf("shards=%d %s: %v", n, stage, err)
+			}
+			if ndjson(t, res.Vars, res.Tuples) != ndjson(t, ref.Vars, ref.Tuples) {
+				t.Fatalf("shards=%d %s: prepared stream diverges (%d vs %d tuples)",
+					n, stage, len(res.Tuples), len(ref.Tuples))
+			}
+		}
+		check("initial")
+
+		if _, err := c.Insert("R", []int{500, 7}, []int{501, 14}); err != nil {
+			t.Fatal(err)
+		}
+		check("after insert")
+
+		if _, _, err := c.Delete("R", []int{0, 0}, []int{500, 7}); err != nil {
+			t.Fatal(err)
+		}
+		check("after delete")
+
+		if _, err := c.Replace("S", sT[:150]); err != nil {
+			t.Fatal(err)
+		}
+		check("after replace")
+
+		p, _ := c.PartitionOf("R")
+		p.Mode = ModeHash
+		p.Splits = nil
+		if err := c.ForcePartition("R", p); err != nil {
+			t.Fatal(err)
+		}
+		check("after repartition")
+
+		var buf strings.Builder
+		buf.WriteString("S: b c\n")
+		for i := 0; i < 100; i++ {
+			fmt.Fprintf(&buf, "%d %d\n", (i*7)%120, i%25)
+		}
+		if _, err := c.Load(strings.NewReader(buf.String()), "test"); err != nil {
+			t.Fatal(err)
+		}
+		check("after load")
+	}
+}
+
+// TestLimitAndCancellation: the anytime contract survives sharding — a
+// yield that stops early gets exactly the unsharded prefix, and a
+// cancelled context stops the gather with the context's error while
+// counters drain cleanly.
+func TestLimitAndCancellation(t *testing.T) {
+	e13r, e13s := dataset.ClusteredOverlapJoin(4, 32, 8)
+	c := buildSharded(t, 4, []relSpec{
+		{"R", []string{"x", "y"}, e13r},
+		{"S", []string{"x", "y"}, e13s},
+	})
+	const expr = "R(X,Y), S(X,Y)"
+	ref := reference(t, c, expr, nil)
+	q, err := c.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := c.Prepare(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{1, 3, len(ref.Tuples)} {
+		var got [][]int
+		if _, err := pq.StreamContextExplained(context.Background(), nil, func(tu []int) bool {
+			got = append(got, append([]int(nil), tu...))
+			return len(got) < limit
+		}); err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		if !reflect.DeepEqual(got, ref.Tuples[:limit]) {
+			t.Fatalf("limit=%d: prefix diverges from unsharded stream", limit)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n, sawAfterCancel := 0, false
+	_, err = pq.StreamContextExplained(ctx, nil, func([]int) bool {
+		if ctx.Err() != nil {
+			sawAfterCancel = true
+		}
+		n++
+		if n == 2 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled gather returned %v, want context.Canceled", err)
+	}
+	if sawAfterCancel {
+		t.Fatal("gather yielded a tuple after cancellation")
+	}
+	if n >= len(ref.Tuples) {
+		t.Fatalf("gather enumerated all %d tuples despite cancellation", n)
+	}
+}
+
+// TestExplainPartitionsAndStats: the plan annotation names the scattered
+// relation and routing mode, gathered fallbacks say so, and the
+// per-shard counters in ShardStats record the fan-out.
+func TestExplainPartitionsAndStats(t *testing.T) {
+	var rT, sT [][]int
+	for i := 0; i < 160; i++ {
+		rT = append(rT, []int{i, i % 40})
+		sT = append(sT, []int{i % 40, i})
+	}
+	c := buildSharded(t, 4, []relSpec{
+		{"R", []string{"a", "b"}, rT},
+		{"S", []string{"b", "c"}, sT},
+	})
+	if err := c.ForcePartition("R", Partition{Column: 0, Attr: "a", Mode: ModeHash}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.Query("R(A,B), S(B,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gao := []string{"A", "B", "C"}
+	pq, err := c.Prepare(q, &minesweeper.Options{GAO: gao})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := pq.Explain()
+	if len(ex.Partitions) != 1 || !strings.Contains(ex.Partitions[0], "=") {
+		t.Fatalf("Explain.Partitions = %v, want one rel=attr:mode entry", ex.Partitions)
+	}
+	if !strings.HasSuffix(ex.Partitions[0], "/4") {
+		t.Fatalf("Partitions entry %q does not carry the shard count", ex.Partitions[0])
+	}
+	if _, err := pq.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d entries, want 4", len(stats))
+	}
+	runs, emitted := int64(0), int64(0)
+	for _, st := range stats {
+		runs += st.Runs
+		emitted += st.Emitted
+		if st.Inflight != 0 {
+			t.Fatalf("shard %d still reports %d inflight after the run", st.Shard, st.Inflight)
+		}
+	}
+	if runs != 4 {
+		t.Fatalf("per-shard runs sum to %d, want 4 (one per shard)", runs)
+	}
+	if emitted == 0 {
+		t.Fatal("no shard reported emitted tuples")
+	}
+
+	// A frequency-permuted domain cannot merge sub-streams in raw value
+	// order: the plan must fall back to gathered execution and say so.
+	pqf, err := c.Prepare(q, &minesweeper.Options{GAO: gao, Domain: minesweeper.DomainFreq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exf := pqf.Explain()
+	if len(exf.Partitions) != 1 || exf.Partitions[0] != "gathered" {
+		t.Fatalf("freq-domain Partitions = %v, want [gathered]", exf.Partitions)
+	}
+	ref := reference(t, c, "R(A,B), S(B,C)", &minesweeper.Options{GAO: gao, Domain: minesweeper.DomainFreq})
+	res, err := pqf.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndjson(t, res.Vars, res.Tuples) != ndjson(t, ref.Vars, ref.Tuples) {
+		t.Fatal("gathered fallback diverges from unsharded stream")
+	}
+}

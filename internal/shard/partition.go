@@ -1,0 +1,140 @@
+// Package shard splits data ownership from probe execution: it
+// partitions catalog relations into N goroutine-owned fragments — each
+// with its own index caches, mutation epoch and WAL directory — and
+// runs scatter-gather streaming joins across them, merging the
+// per-shard GAO-lex-ordered substreams with a loser tree so the fused
+// stream is byte-identical to an unsharded run.
+//
+// The partitioning invariant the executor relies on is purely
+// content-based: every stored copy of a tuple lives in exactly the
+// shard its partition-column value routes to, so identical rows always
+// colocate. Under that invariant, slicing a single atom of a query
+// across the fragments enumerates every result assignment exactly once
+// (its witnessing row in the sliced atom lives in exactly one
+// fragment), and the merged union of per-shard streams is exactly the
+// unsharded stream.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"minesweeper/internal/planner"
+)
+
+// Partition records how one relation's tuples are divided across the
+// shard set: the routing column, the mode, and — for range mode — the
+// n-1 ascending split points (shard i owns values < Splits[i], the last
+// shard owns the tail).
+type Partition struct {
+	Column int    `json:"column"`
+	Attr   string `json:"attr,omitempty"`
+	Mode   string `json:"mode"` // "hash" or "range"
+	Splits []int  `json:"splits,omitempty"`
+}
+
+// Route returns the shard index owning a tuple whose partition column
+// holds v.
+func (p Partition) Route(v, shards int) int {
+	if p.Mode == ModeRange {
+		return sort.SearchInts(p.Splits, v+1)
+	}
+	return hashRoute(v, shards)
+}
+
+// String renders the partition for plan output: "attr:mode".
+func (p Partition) String() string {
+	attr := p.Attr
+	if attr == "" {
+		attr = "#" + strconv.Itoa(p.Column)
+	}
+	return attr + ":" + p.Mode
+}
+
+// Partition modes.
+const (
+	ModeHash  = "hash"
+	ModeRange = "range"
+)
+
+// hashRoute buckets a value with FNV-1a over its 8 little-endian
+// bytes — stable across processes (recovery re-routes to the same
+// shard) and well-mixed for strided integer domains, where v % n would
+// alias the stride.
+func hashRoute(v, shards int) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		h *= prime
+		u >>= 8
+	}
+	return int(h % uint64(shards))
+}
+
+// choosePartition picks the partition for a relation snapshot: the
+// planner names the column (leading attribute of the single-atom GAO)
+// and gates range mode; range splits are the column's n-quantiles,
+// deduplicated to a strictly increasing list. When deduplication leaves
+// no usable split the partition falls back to hash.
+func choosePartition(attrs []string, tuples [][]int, shards int) Partition {
+	arity := len(attrs)
+	st := planner.Collect(tuples, arity)
+	pc := planner.ChoosePartition(attrs, st, shards)
+	p := Partition{Column: pc.Col, Attr: pc.Attr, Mode: ModeHash}
+	if pc.Range {
+		if splits := quantileSplits(tuples, pc.Col, shards); len(splits) > 0 {
+			p.Mode, p.Splits = ModeRange, splits
+		}
+	}
+	return p
+}
+
+// quantileSplits returns up to shards-1 strictly increasing split
+// points dividing the column's stored values into near-equal runs.
+func quantileSplits(tuples [][]int, col, shards int) []int {
+	if len(tuples) == 0 || shards <= 1 {
+		return nil
+	}
+	vals := make([]int, len(tuples))
+	for i, tup := range tuples {
+		vals[i] = tup[col]
+	}
+	sort.Ints(vals)
+	splits := make([]int, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		s := vals[i*len(vals)/shards]
+		if len(splits) == 0 || s > splits[len(splits)-1] {
+			splits = append(splits, s)
+		}
+	}
+	return splits
+}
+
+// split routes a tuple batch into per-shard buckets.
+func (p Partition) split(tuples [][]int, shards int) [][][]int {
+	buckets := make([][][]int, shards)
+	for _, tup := range tuples {
+		s := p.Route(tup[p.Column], shards)
+		buckets[s] = append(buckets[s], tup)
+	}
+	return buckets
+}
+
+// fingerprint is the routing-equivalence key: two partitions with equal
+// fingerprints route every value identically, so a prepared scatter
+// plan stays valid across mutations that re-chose an equal partition.
+func (p Partition) fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:%s", p.Column, p.Mode)
+	for _, s := range p.Splits {
+		fmt.Fprintf(&b, ",%d", s)
+	}
+	return b.String()
+}

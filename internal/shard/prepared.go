@@ -1,0 +1,414 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	minesweeper "minesweeper"
+	"minesweeper/internal/certificate"
+	"minesweeper/internal/core"
+	"minesweeper/internal/engine"
+)
+
+// scatterBuf is the per-shard gather channel depth: deep enough to
+// decouple a shard's probe loop from merge scheduling hiccups, shallow
+// enough that cancellation stops wasted work quickly.
+const scatterBuf = 64
+
+// Prepared is the sharded counterpart of minesweeper.PreparedQuery: it
+// holds the full (gathered) prepared query — which serves planning,
+// Explain and the fallback path — plus, when the plan can scatter, one
+// per-shard prepared query with the query's sliced atom rebound to that
+// shard's fragment. Execution fans the per-shard raw streams out,
+// merges them with a loser tree into GAO-lex order, and applies the
+// shaping (projection, bounds, distinct, aggregates, limit) once on the
+// gathered side, so the emitted stream is byte-identical to an
+// unsharded run.
+type Prepared struct {
+	cat  *Catalog
+	q    *minesweeper.Query
+	opts minesweeper.Options
+	full *minesweeper.PreparedQuery
+
+	mu  sync.Mutex
+	cur *scatterPlan
+}
+
+// scatterPlan pins one scatter decision: the GAO it was made for, the
+// routing-table revision it saw, and — when scattering — the per-shard
+// prepared queries (all forced to the same GAO under the
+// order-preserving natural domain, so their raw streams merge by plain
+// tuple comparison).
+type scatterPlan struct {
+	gao        []string
+	version    uint64
+	partitions []string
+	shards     []*minesweeper.PreparedQuery // nil => run gathered via full
+}
+
+// Prepare plans a query for sharded execution. The query must have been
+// built against this catalog's relations (Catalog.Query). Options carry
+// through to every per-shard prepare, except that the GAO is pinned to
+// the full plan's choice and the domain to the order-preserving natural
+// encoding — a frequency-permuted domain would give each shard its own
+// code order and break the merge.
+func (c *Catalog) Prepare(q *minesweeper.Query, opts *minesweeper.Options) (*Prepared, error) {
+	full, err := q.Prepare(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{cat: c, q: q, full: full}
+	if opts != nil {
+		p.opts = *opts
+	}
+	if err := p.Refresh(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Refresh re-plans the full query if its relations mutated, then
+// rebuilds the scatter plan when the GAO or the routing table moved.
+func (p *Prepared) Refresh() error {
+	if err := p.full.Refresh(); err != nil {
+		return err
+	}
+	gao := p.full.GAO()
+	version := p.cat.partsVersion()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur != nil && p.cur.version == version && sameStrings(p.cur.gao, gao) {
+		return nil
+	}
+	cur, err := p.buildPlan(gao, version)
+	if err != nil {
+		return err
+	}
+	p.cur = cur
+	return nil
+}
+
+// buildPlan decides whether the query scatters and builds the per-shard
+// prepared queries when it does. Scatter requires a sliceable atom: one
+// bound to a partitioned view relation whose partition column carries
+// the leading GAO attribute — then each shard's substream enumerates a
+// restriction of the outermost domain and per-assignment work is done
+// once across the shard set. With several candidates the largest
+// relation wins (slicing it buys the most). Without one — or under a
+// frequency-permuted domain, or with one shard — execution runs
+// gathered over the whole view.
+func (p *Prepared) buildPlan(gao []string, version uint64) (*scatterPlan, error) {
+	plan := &scatterPlan{gao: gao, version: version}
+	if p.cat.n <= 1 {
+		return plan, nil
+	}
+	plan.partitions = []string{"gathered"}
+	if p.opts.Domain == minesweeper.DomainFreq || len(gao) == 0 {
+		return plan, nil
+	}
+	atoms := p.q.Atoms()
+	p.cat.mu.Lock()
+	slice, part := -1, Partition{}
+	for i, a := range atoms {
+		rel, ok := p.cat.view.Get(a.Rel.Name())
+		if !ok || minesweeper.Fragment(rel) != a.Rel {
+			continue // not this catalog's relation (or a stale binding)
+		}
+		pt, ok := p.cat.parts[a.Rel.Name()]
+		if !ok || pt.Column >= len(a.Vars) || a.Vars[pt.Column] != gao[0] {
+			continue
+		}
+		if slice < 0 || a.Rel.Len() > atoms[slice].Rel.Len() {
+			slice, part = i, pt
+		}
+	}
+	p.cat.mu.Unlock()
+	if slice < 0 {
+		return plan, nil
+	}
+	name := atoms[slice].Rel.Name()
+	shards := make([]*minesweeper.PreparedQuery, p.cat.n)
+	for s := range shards {
+		frag, ok := p.cat.inner[s].Get(name)
+		if !ok {
+			return plan, nil // fragment missing (partial create): run gathered
+		}
+		qs := p.q.CloneWithRelations(func(i int, f minesweeper.Fragment) minesweeper.Fragment {
+			if i == slice {
+				return frag
+			}
+			return f
+		})
+		o := p.opts
+		o.GAO = gao
+		o.Domain = minesweeper.DomainNatural
+		pq, err := qs.Prepare(&o)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		shards[s] = pq
+	}
+	plan.shards = shards
+	plan.partitions = []string{fmt.Sprintf("%s=%s/%d", name, part.String(), p.cat.n)}
+	return plan, nil
+}
+
+// OutputVars returns the emitted column names (same as unsharded).
+func (p *Prepared) OutputVars() []string { return p.full.OutputVars() }
+
+// Engine returns the resolved engine.
+func (p *Prepared) Engine() minesweeper.Engine { return p.full.Engine() }
+
+// GAO returns the resolved global attribute order.
+func (p *Prepared) GAO() []string { return p.full.GAO() }
+
+// Explain returns the full plan annotated with the scatter decision.
+func (p *Prepared) Explain() minesweeper.Explain {
+	ex := p.full.Explain()
+	p.mu.Lock()
+	if p.cur != nil {
+		ex.Partitions = append([]string(nil), p.cur.partitions...)
+	}
+	p.mu.Unlock()
+	return ex
+}
+
+// Execute runs the query to completion (convenience over the stream).
+func (p *Prepared) Execute() (*minesweeper.Result, error) {
+	var tuples [][]int
+	var ex minesweeper.Explain
+	stats, err := p.StreamContextExplained(context.Background(), func(e minesweeper.Explain) { ex = e }, func(t []int) bool {
+		tuples = append(tuples, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &minesweeper.Result{Vars: p.OutputVars(), Tuples: tuples, GAO: ex.GAO, Stats: stats}, nil
+}
+
+// StreamContextExplained re-plans if needed, reports the plan, and
+// streams the shaped result: scattered across the shard set when the
+// plan allows, gathered over the view otherwise. Cancellation,
+// emit-false early stop and error-truncated prefixes behave exactly as
+// in the unsharded stream.
+func (p *Prepared) StreamContextExplained(ctx context.Context, plan func(minesweeper.Explain), yield func([]int) bool) (minesweeper.Stats, error) {
+	if err := p.Refresh(); err != nil {
+		return minesweeper.Stats{}, err
+	}
+	p.mu.Lock()
+	cur := p.cur
+	p.mu.Unlock()
+	if cur.shards == nil {
+		wrapped := plan
+		if plan != nil && len(cur.partitions) > 0 {
+			wrapped = func(ex minesweeper.Explain) {
+				ex.Partitions = append([]string(nil), cur.partitions...)
+				plan(ex)
+			}
+		}
+		return p.full.StreamContextExplained(ctx, wrapped, yield)
+	}
+	return p.gather(ctx, cur, plan, yield)
+}
+
+// gather is the scatter-gather executor: every shard's raw substream
+// (already GAO-lex-ordered and decoded) feeds a bounded channel; a
+// loser tree merges the fronts into one globally ordered raw stream,
+// which flows through the query's shape exactly once. Because every
+// stored copy of a sliced-atom row lives in exactly one fragment, each
+// raw assignment surfaces exactly once and the merged stream is
+// byte-identical to the unsharded raw stream.
+func (p *Prepared) gather(ctx context.Context, cur *scatterPlan, plan func(minesweeper.Explain), yield func([]int) bool) (minesweeper.Stats, error) {
+	_, sh, err := p.q.ShapePlan(cur.gao, &p.opts)
+	if err != nil {
+		return minesweeper.Stats{}, err
+	}
+	ex := p.full.Explain()
+	ex.Partitions = append([]string(nil), cur.partitions...)
+	if plan != nil {
+		plan(ex)
+	}
+
+	synth := func(rctx context.Context, _ *core.Problem, stats *certificate.Stats, emit func([]int) bool) error {
+		cctx, cancel := context.WithCancel(rctx)
+		type sub struct {
+			ch    chan []int
+			stats minesweeper.Stats
+			err   error
+		}
+		subs := make([]*sub, len(cur.shards))
+		var wg sync.WaitGroup
+		for s := range subs {
+			sb := &sub{ch: make(chan []int, scatterBuf)}
+			subs[s] = sb
+			wg.Add(1)
+			go func(s int, sb *sub) {
+				defer wg.Done()
+				defer close(sb.ch)
+				ctr := &p.cat.counters[s]
+				ctr.runs.Add(1)
+				ctr.inflight.Add(1)
+				defer ctr.inflight.Add(-1)
+				sb.stats, sb.err = cur.shards[s].StreamRawContext(cctx, nil, func(t []int) bool {
+					ctr.emitted.Add(1)
+					select {
+					case sb.ch <- t:
+						return true
+					default:
+					}
+					// Full channel: the merge is draining a hotter
+					// shard. Park visibly (the queued counter) until
+					// there is room or the run is over.
+					ctr.queued.Add(1)
+					defer ctr.queued.Add(-1)
+					select {
+					case sb.ch <- t:
+						return true
+					case <-cctx.Done():
+						return false
+					}
+				})
+			}(s, sb)
+		}
+		// On every exit: stop the producers, wait them out, and fold
+		// their stats into the run's — including early stops, so a
+		// limited run still reports the probe work it caused.
+		defer func() {
+			cancel()
+			wg.Wait()
+			for _, sb := range subs {
+				stats.Add(&sb.stats)
+			}
+		}()
+
+		var firstErr error
+		recv := func(s int) []int {
+			t, ok := <-subs[s].ch
+			if !ok {
+				if subs[s].err != nil && firstErr == nil {
+					firstErr = subs[s].err
+				}
+				return nil
+			}
+			return t
+		}
+		heads := make([][]int, len(subs))
+		for s := range heads {
+			heads[s] = recv(s)
+		}
+		lt := newLoserTree(heads)
+		for firstErr == nil {
+			// Check before every emit, not just when a producer fails:
+			// with small fragments the substreams can already sit fully
+			// buffered when the caller cancels, and draining them would
+			// break the anytime contract the unsharded engines keep
+			// (no tuple is yielded after the context is done).
+			if err := rctx.Err(); err != nil {
+				return err
+			}
+			t := lt.pop(recv)
+			if t == nil {
+				break
+			}
+			if !emit(t) {
+				return nil
+			}
+		}
+		// A failed shard truncates the stream at the merge frontier:
+		// everything emitted so far is a correct ordered prefix.
+		return firstErr
+	}
+
+	var stats minesweeper.Stats
+	err = engine.RunShaped(ctx, synth, nil, sh, &stats, yield)
+	stats.PlanWidth, stats.PlanCost = ex.Width, ex.EstCost
+	return stats, err
+}
+
+// loserTree merges k ordered tuple streams. Internal nodes 1..k-1 hold
+// the loser of the match played there; tree[0] holds the overall
+// winner; leaf s maps to node s+k. Each pop replays exactly the
+// winner's root path: ceil(log2 k) comparisons per emitted tuple.
+type loserTree struct {
+	k    int
+	tree []int
+	head [][]int // current front per source; nil = exhausted
+}
+
+func newLoserTree(heads [][]int) *loserTree {
+	lt := &loserTree{k: len(heads), tree: make([]int, len(heads)), head: heads}
+	if lt.k > 0 {
+		lt.tree[0] = lt.build(1)
+	}
+	return lt
+}
+
+// build computes the winner of the subtree rooted at node, parking each
+// match's loser at its node.
+func (lt *loserTree) build(node int) int {
+	if node >= lt.k {
+		return node - lt.k
+	}
+	a, b := lt.build(2*node), lt.build(2*node+1)
+	if lt.beats(a, b) {
+		lt.tree[node] = b
+		return a
+	}
+	lt.tree[node] = a
+	return b
+}
+
+// beats reports whether source a's front comes before source b's:
+// exhausted streams lose to everything, ties break to the lower shard
+// index so the merge is deterministic.
+func (lt *loserTree) beats(a, b int) bool {
+	ha, hb := lt.head[a], lt.head[b]
+	if ha == nil {
+		return false
+	}
+	if hb == nil {
+		return true
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			return ha[i] < hb[i]
+		}
+	}
+	return a < b
+}
+
+// pop removes and returns the smallest front, refilling its source and
+// replaying its path. Returns nil when every source is exhausted.
+func (lt *loserTree) pop(refill func(s int) []int) []int {
+	if lt.k == 0 {
+		return nil
+	}
+	w := lt.tree[0]
+	t := lt.head[w]
+	if t == nil {
+		return nil
+	}
+	lt.head[w] = refill(w)
+	s := w
+	for n := (w + lt.k) / 2; n > 0; n /= 2 {
+		if lt.beats(lt.tree[n], s) {
+			lt.tree[n], s = s, lt.tree[n]
+		}
+	}
+	lt.tree[0] = s
+	return t
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

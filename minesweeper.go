@@ -98,13 +98,13 @@ func permKey(perm []int) string {
 	return b.String()
 }
 
-// indexesFor returns the relation's search trees for the given column
+// IndexesFor returns the relation's search trees for the given column
 // permutations — building and caching missing ones — together with the
 // epoch the trees reflect. All trees are fetched under a single lock
 // acquisition, so every atom of a query that binds this relation sees
 // one consistent version even while mutations race with the binding
-// (no torn self-joins).
-func (r *Relation) indexesFor(perms [][]int) ([]*reltree.Tree, uint64, error) {
+// (no torn self-joins). Part of the Fragment interface.
+func (r *Relation) IndexesFor(perms [][]int) ([]*reltree.Tree, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	trees := make([]*reltree.Tree, len(perms))
@@ -236,11 +236,12 @@ func (r *Relation) mutate(tuples [][]int) {
 	r.stats = nil
 }
 
-// colStats returns the relation's cached per-column statistics,
+// ColStats returns the relation's cached per-column statistics,
 // computing them on first use. The cache is dropped by mutate, so the
 // returned snapshot reflects some recent epoch; the planner tolerates
 // slightly stale statistics (they steer order choice, not correctness).
-func (r *Relation) colStats() *planner.RelStats {
+// Part of the Fragment interface.
+func (r *Relation) ColStats() *planner.RelStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stats == nil {
@@ -249,10 +250,10 @@ func (r *Relation) colStats() *planner.RelStats {
 	return r.stats
 }
 
-// snapshotTuples returns the stored tuples (rows shared, outer slice
+// SnapshotTuples returns the stored tuples (rows shared, outer slice
 // owned by the caller) together with the epoch they reflect, under one
-// lock acquisition.
-func (r *Relation) snapshotTuples() ([][]int, uint64) {
+// lock acquisition. Part of the Fragment interface.
+func (r *Relation) SnapshotTuples() ([][]int, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([][]int(nil), r.tuples...), r.epoch
@@ -339,8 +340,13 @@ func (r *Relation) Replace(tuples [][]int) error {
 // the engines skip the unselected region instead of filtering after the
 // join. Constants never join across atoms and do not appear in
 // Query.Vars or the output.
+//
+// Rel is a Fragment, not necessarily a *Relation: the execution
+// pipeline only needs the read-side data-access interface, which is
+// what lets internal/shard substitute partition-owned fragments for
+// catalog relations without the query layer noticing.
 type Atom struct {
-	Rel  *Relation
+	Rel  Fragment
 	Vars []string
 }
 
@@ -388,9 +394,9 @@ func NewQuery(atoms ...Atom) (*Query, error) {
 		if a.Rel == nil {
 			return nil, fmt.Errorf("minesweeper: atom %d has nil relation", i)
 		}
-		if len(a.Vars) != a.Rel.arity {
+		if len(a.Vars) != a.Rel.Arity() {
 			return nil, fmt.Errorf("minesweeper: atom %d binds %d vars to %d-ary relation %q",
-				i, len(a.Vars), a.Rel.arity, a.Rel.name)
+				i, len(a.Vars), a.Rel.Arity(), a.Rel.Name())
 		}
 		vars := append([]string(nil), a.Vars...)
 		var real []string
@@ -421,7 +427,7 @@ func NewQuery(atoms ...Atom) (*Query, error) {
 		}
 		if len(real) == 0 {
 			return nil, fmt.Errorf("minesweeper: atom %d (%s) binds only constants; every atom needs at least one variable",
-				i, a.Rel.name)
+				i, a.Rel.Name())
 		}
 		// The hypergraph ranges over the real variables only: constants
 		// are selections, not join structure, so acyclicity and width
@@ -501,13 +507,13 @@ func (q *Query) extendGAO(gao []string) []string {
 	return append(ext, gao...)
 }
 
-// Relations returns the distinct relations the query binds, in order of
-// first appearance (self-joins contribute one entry). Long-lived
-// callers use this to check that the relations a query was built over
-// are still the ones a catalog serves under those names.
-func (q *Query) Relations() []*Relation {
-	seen := map[*Relation]bool{}
-	var out []*Relation
+// Relations returns the distinct data fragments the query binds, in
+// order of first appearance (self-joins contribute one entry).
+// Long-lived callers use this to check that the fragments a query was
+// built over are still the ones a catalog serves under those names.
+func (q *Query) Relations() []Fragment {
+	seen := map[Fragment]bool{}
+	var out []Fragment
 	for _, a := range q.atoms {
 		if !seen[a.Rel] {
 			seen[a.Rel] = true
@@ -572,7 +578,7 @@ func (q *Query) RecommendGAO() (gao []string, width int) {
 func (q *Query) plannerAtoms() []planner.Atom {
 	atoms := make([]planner.Atom, 0, len(q.atoms))
 	for _, a := range q.atoms {
-		st := a.Rel.colStats()
+		st := a.Rel.ColStats()
 		pa := planner.Atom{Rows: st.Rows}
 		for j, v := range a.Vars {
 			if strings.HasPrefix(v, "#") {
@@ -847,7 +853,7 @@ func ExecuteStreamContext(ctx context.Context, q *Query, opts *Options, yield fu
 func (q *Query) atomSpecs() []core.AtomSpec {
 	specs := make([]core.AtomSpec, len(q.atoms))
 	for i, a := range q.atoms {
-		specs[i] = core.AtomSpec{Name: fmt.Sprintf("%s#%d", a.Rel.name, i), Attrs: a.Vars, Tuples: a.Rel.Tuples()}
+		specs[i] = core.AtomSpec{Name: fmt.Sprintf("%s#%d", a.Rel.Name(), i), Attrs: a.Vars, Tuples: a.Rel.Tuples()}
 	}
 	return specs
 }

@@ -159,7 +159,7 @@ func (q *Query) dictPositions(mode DictMode, ext []string) []bool {
 	}
 	aggs := map[string]*agg{}
 	for _, a := range q.atoms {
-		st := a.Rel.colStats()
+		st := a.Rel.ColStats()
 		for j, v := range a.Vars {
 			if len(v) > 0 && v[0] == '#' {
 				continue // hidden constant column
@@ -230,7 +230,7 @@ func (q *Query) dictPlan(o *Options, ext []string, bounds []core.Bound) (encode,
 	}
 	skewed := map[string]bool{}
 	for _, a := range q.atoms {
-		st := a.Rel.colStats()
+		st := a.Rel.ColStats()
 		for j, v := range a.Vars {
 			if len(v) > 0 && v[0] == '#' {
 				continue // hidden constant column
@@ -302,16 +302,16 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 	for i, a := range q.atoms {
 		positions, perm, err := core.ColumnPlan(gao, a.Vars)
 		if err != nil {
-			return nil, fmt.Errorf("minesweeper: atom %d (%s): %w", i, a.Rel.name, err)
+			return nil, fmt.Errorf("minesweeper: atom %d (%s): %w", i, a.Rel.Name(), err)
 		}
 		perms[i] = perm
 		atoms[i] = core.Atom{
-			Name:      fmt.Sprintf("%s#%d", a.Rel.name, i),
+			Name:      fmt.Sprintf("%s#%d", a.Rel.Name(), i),
 			Positions: positions,
 		}
 	}
-	byRel := map[*Relation][]int{}
-	var order []*Relation
+	byRel := map[Fragment][]int{}
+	var order []Fragment
 	for i, a := range q.atoms {
 		if _, seen := byRel[a.Rel]; !seen {
 			order = append(order, a.Rel)
@@ -327,7 +327,7 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 			for j, i := range idxs {
 				ps[j] = perms[i]
 			}
-			trees, epoch, err := rel.indexesFor(ps)
+			trees, epoch, err := rel.IndexesFor(ps)
 			if err != nil {
 				return nil, err
 			}
@@ -352,7 +352,7 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 	// cache — the warm zero-rebuild path — which also means a relation
 	// must take one path for ALL its atoms (mixing fetches could bind a
 	// self-join across two epochs).
-	relEncoded := map[*Relation]bool{}
+	relEncoded := map[Fragment]bool{}
 	for i, a := range q.atoms {
 		for _, gp := range atoms[i].Positions {
 			if encode[gp] {
@@ -361,7 +361,7 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 			}
 		}
 	}
-	relTuples := map[*Relation][][]int{}
+	relTuples := map[Fragment][][]int{}
 	for _, rel := range order {
 		idxs := byRel[rel]
 		if !relEncoded[rel] {
@@ -369,7 +369,7 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 			for j, i := range idxs {
 				ps[j] = perms[i]
 			}
-			trees, epoch, err := rel.indexesFor(ps)
+			trees, epoch, err := rel.IndexesFor(ps)
 			if err != nil {
 				return nil, err
 			}
@@ -379,7 +379,7 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 			}
 			continue
 		}
-		tuples, epoch := rel.snapshotTuples()
+		tuples, epoch := rel.SnapshotTuples()
 		relTuples[rel] = tuples
 		for _, i := range idxs {
 			epochs[i] = epoch
@@ -402,7 +402,7 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 			}
 		}
 	}
-	unchanged := map[*Relation]bool{}
+	unchanged := map[Fragment]bool{}
 	if reuse {
 		for _, rel := range order {
 			ok := true
@@ -470,10 +470,10 @@ func (q *Query) bind(gao []string, bounds []core.Bound, debug bool, encode, freq
 		}
 		permuted, err := core.PermuteTuples(perms[i], relTuples[a.Rel])
 		if err != nil {
-			return nil, fmt.Errorf("minesweeper: relation %q: %w", a.Rel.name, err)
+			return nil, fmt.Errorf("minesweeper: relation %q: %w", a.Rel.Name(), err)
 		}
 		ds.EncodeTuples(permuted, atoms[i].Positions)
-		tree, err := reltree.New(a.Rel.name, len(perms[i]), permuted)
+		tree, err := reltree.New(a.Rel.Name(), len(perms[i]), permuted)
 		if err != nil {
 			return nil, err
 		}
@@ -581,6 +581,12 @@ type Explain struct {
 	// bounds mirror raw value order, under "freq" they follow the
 	// permuted domain.
 	DictOrders []string `json:"dict_orders,omitempty"`
+	// Partitions describes sharded execution, set only by the
+	// scatter-gather layer (internal/shard): "attr:hash" or "attr:range"
+	// per sharded relation named as "rel=attr:mode", or a single
+	// "gathered" entry when the plan could not scatter and ran over the
+	// gathered whole. Empty for unsharded execution.
+	Partitions []string `json:"partitions,omitempty"`
 	// Engine is the resolved engine.
 	Engine Engine `json:"-"`
 }
@@ -748,13 +754,13 @@ func (pq *PreparedQuery) StreamContextExplained(ctx context.Context, plan func(E
 	return stats, err
 }
 
-// streamPinned runs the query against one pinned plan state, which it
-// returns alongside the run's stats (nil for the provably-empty
-// no-work path). Everything the run reports — the plan callback, the
-// stats plan fields, Result.GAO in the Execute wrappers — comes from
-// that single state, never from a racy re-read of pq.cur.
-func (pq *PreparedQuery) streamPinned(ctx context.Context, plan func(Explain), yield func([]int) bool) (Stats, *prepState, error) {
-	var stats Stats
+// pinnedRaw pins one plan state and assembles its raw run function —
+// the resolved engine, the parallel-Minesweeper swap, the dictionary
+// decode wrapper — shared by the shaped (streamPinned) and raw
+// (StreamRawContext) streaming paths. A nil *prepState with nil error
+// is the provably-empty no-work short-circuit (the plan callback has
+// then already fired).
+func (pq *PreparedQuery) pinnedRaw(plan func(Explain)) (engine.RunFunc, *core.Problem, *prepState, error) {
 	pq.mu.Lock()
 	empty := pq.cur.shape != nil && pq.cur.shape.Empty
 	pq.mu.Unlock()
@@ -764,11 +770,11 @@ func (pq *PreparedQuery) streamPinned(ctx context.Context, plan func(Explain), y
 		if plan != nil {
 			plan(pq.Explain())
 		}
-		return stats, nil, nil
+		return nil, nil, nil, nil
 	}
 	run, st, err := pq.snapshot()
 	if err != nil {
-		return stats, nil, err
+		return nil, nil, nil, err
 	}
 	if plan != nil {
 		plan(pq.explainState(st))
@@ -790,9 +796,63 @@ func (pq *PreparedQuery) streamPinned(ctx context.Context, plan func(Explain), y
 			})
 		}
 	}
+	return rawRun, run, st, nil
+}
+
+// streamPinned runs the query against one pinned plan state, which it
+// returns alongside the run's stats (nil for the provably-empty
+// no-work path). Everything the run reports — the plan callback, the
+// stats plan fields, Result.GAO in the Execute wrappers — comes from
+// that single state, never from a racy re-read of pq.cur.
+func (pq *PreparedQuery) streamPinned(ctx context.Context, plan func(Explain), yield func([]int) bool) (Stats, *prepState, error) {
+	var stats Stats
+	rawRun, run, st, err := pq.pinnedRaw(plan)
+	if err != nil || st == nil {
+		return stats, nil, err
+	}
 	err = engine.RunShaped(ctx, rawRun, run, st.shape, &stats, yield)
 	stats.PlanWidth, stats.PlanCost = st.width, st.cost
 	return stats, st, err
+}
+
+// StreamRawContext runs the prepared query and yields RAW evaluation
+// tuples: full extended-GAO-order rows (hidden constant positions
+// first, then the GAO variables), dictionary-decoded, with range bounds
+// already pushed down — but with no projection, dedup or aggregation
+// applied. Tuples arrive in extended-GAO-lexicographic order and are
+// fresh slices the callback may retain; yield returning false stops the
+// run with a nil error.
+//
+// This is the scatter half of sharded execution: internal/shard runs
+// one raw stream per fragment shard, merges them (the raw order is
+// total and shard-disjoint on the partition attribute), and applies the
+// query's shape exactly once on the gathered stream — which is what
+// makes sharded output byte-identical to unsharded. The plan callback,
+// when non-nil, is invoked with the run's pinned plan before the first
+// yield, like StreamContextExplained.
+func (pq *PreparedQuery) StreamRawContext(ctx context.Context, plan func(Explain), yield func([]int) bool) (Stats, error) {
+	var stats Stats
+	rawRun, run, st, err := pq.pinnedRaw(plan)
+	if err != nil || st == nil {
+		return stats, err
+	}
+	err = rawRun(ctx, run, &stats, yield)
+	stats.PlanWidth, stats.PlanCost = st.width, st.cost
+	return stats, err
+}
+
+// ShapePlan resolves the query's shaping under the given evaluation
+// order and options: the output column names and the engine-level shape
+// (nil when the run is a pass-through), exactly as a prepared execution
+// would apply them. The shape's column indexes refer to positions of
+// the extended evaluation order (hidden constants first, then gao).
+// The gather half of sharded execution uses this to apply projection,
+// dedup, bounds and aggregation once over the merged raw stream.
+func (q *Query) ShapePlan(gao []string, opts *Options) (outVars []string, sh *engine.Shape, err error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	return q.buildShape(gao, opts)
 }
 
 // Execute evaluates the prepared query and returns the full result.
