@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"minesweeper/internal/shard"
+	"minesweeper/internal/storage"
+)
+
+// The replicated-serving acceptance path from the issue: a 4-shard ×
+// 2-replica server whose primary backend is killed mid-stream must
+// deliver the byte-identical NDJSON stream, keep accepting mutations
+// after the failover, report the failover in /stats, self-heal through
+// the background reopen loop, and survive a rolling reopen of every
+// replica with /readyz never leaving 200.
+func TestReplicatedFailoverAcceptance(t *testing.T) {
+	const shards, replicas = 4, 2
+	dir := t.TempDir()
+	// Every replica's durable backend is wrapped in the fault layer,
+	// scripted to poison on its first explicit Sync — a kill switch the
+	// test can flip per replica with zero data change.
+	var faulty [shards][replicas]*storage.Faulty
+	sc, err := shard.OpenWith(dir, shards, replicas, storage.Options{}, func(i, j int) (storage.Backend, error) {
+		d, err := storage.OpenDurable(shard.ReplicaDir(dir, i, j), storage.Options{})
+		if err != nil {
+			return nil, err
+		}
+		f, err := storage.NewFaulty(d, "sync@1=err")
+		if err != nil {
+			return nil, err
+		}
+		faulty[i][j] = f
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+
+	// A dense join so every shard's substream runs long enough for the
+	// health probe to notice the poisoned replica mid-stream.
+	var rT, sT [][]int
+	for i := 0; i < 500; i++ {
+		rT = append(rT, []int{i, (i * 3) % 50})
+		sT = append(sT, []int{(i * 3) % 50, i % 20})
+	}
+	if _, err := sc.Create("E", []string{"a", "b"}, rT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Create("F", []string{"b", "c"}, sT); err != nil {
+		t.Fatal(err)
+	}
+
+	kill := make(chan *storage.Faulty, 1)
+	cfg := defaultServerConfig()
+	cfg.reopenBase = 2 * time.Millisecond
+	cfg.reopenPoll = 10 * time.Millisecond
+	cfg.reopenTargets = func() []reopenTarget {
+		var out []reopenTarget
+		for _, ref := range sc.DownReplicas() {
+			ref := ref
+			out = append(out, reopenTarget{
+				key: fmt.Sprintf("shard-%d/replica-%d", ref.Shard, ref.Replica),
+				reopen: func() error {
+					return sc.ReopenReplica(ref.Shard, ref.Replica, func() (storage.Backend, error) {
+						return storage.OpenDurable(shard.ReplicaDir(dir, ref.Shard, ref.Replica), storage.Options{})
+					})
+				},
+			})
+		}
+		return out
+	}
+	emitted := 0
+	cfg.emitHook = func([]int) {
+		emitted++
+		if emitted == 5 {
+			select {
+			case f := <-kill:
+				f.Sync() // poisons the backend; the fragment is untouched
+			default:
+			}
+		}
+	}
+	s := newServerWith(shardStore{sc}, cfg)
+	t.Cleanup(s.Close)
+
+	wantStatus(t, do(t, s, "POST", "/queries", `{"name":"rs","query":"E(A,B), F(B,C)"}`), http.StatusOK)
+
+	// Reference stream with no fault armed.
+	ref := parseRun(t, do(t, s, "GET", "/queries/rs/run", "").Body)
+
+	// Kill shard 0's primary mid-stream: the substream must fail over
+	// to the sibling replica and resume, byte-identically.
+	victim := sc.Primary(0)
+	kill <- faulty[0][victim]
+	emitted = 0
+	rec := do(t, s, "GET", "/queries/rs/run", "")
+	wantStatus(t, rec, http.StatusOK)
+	got := parseRun(t, rec.Body)
+	if !reflect.DeepEqual(got.header, ref.header) || !reflect.DeepEqual(got.tuples, ref.tuples) {
+		t.Fatalf("stream across replica kill diverges: %d tuples vs %d", len(got.tuples), len(ref.tuples))
+	}
+	if got := sc.Primary(0); got == victim {
+		t.Fatalf("shard 0 primary still %d after its backend died", victim)
+	}
+	if sc.Failovers() < 1 {
+		t.Fatal("no failover recorded")
+	}
+
+	// Mutations keep succeeding on the promoted primary; /readyz stays
+	// ready throughout (a healthy replica remains).
+	wantStatus(t, do(t, s, "POST", "/relations/E/insert", `{"tuples":[[900,1],[901,2],[902,3],[903,4]]}`), http.StatusOK)
+	wantStatus(t, do(t, s, "GET", "/readyz", ""), http.StatusOK)
+	health, _ := statsBody(t, s)["health"].(map[string]any)
+	if n, _ := health["substream_retries"].(float64); n < 1 {
+		t.Fatalf("substream_retries = %v, want >= 1", health["substream_retries"])
+	}
+	if n, _ := health["failovers"].(float64); n < 1 {
+		t.Fatalf("failovers = %v, want >= 1", health["failovers"])
+	}
+
+	// The background reopen loop heals the killed replica on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sc.DownReplicas()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reopen loop never healed %+v", sc.DownReplicas())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Rolling reopen of every replica, /readyz polled between each swap:
+	// zero read downtime.
+	for i := 0; i < shards; i++ {
+		for j := 0; j < replicas; j++ {
+			if err := sc.ReopenReplica(i, j, func() (storage.Backend, error) {
+				return storage.OpenDurable(shard.ReplicaDir(dir, i, j), storage.Options{})
+			}); err != nil {
+				t.Fatalf("ReopenReplica(%d, %d): %v", i, j, err)
+			}
+			wantStatus(t, do(t, s, "GET", "/readyz", ""), http.StatusOK)
+		}
+	}
+	// The rolled catalog still answers with the post-insert stream.
+	rec = do(t, s, "GET", "/queries/rs/run", "")
+	wantStatus(t, rec, http.StatusOK)
+	if n := len(parseRun(t, rec.Body).tuples); n <= len(ref.tuples) {
+		t.Fatalf("post-roll run returned %d tuples, want > %d (insert landed)", n, len(ref.tuples))
+	}
+}

@@ -42,6 +42,15 @@
 // the newest snapshot and truncating a torn tail. Without -data-dir
 // everything stays in memory, the historical behavior.
 //
+// -shards N partitions every relation across N fragment owners with
+// scatter-gather execution; -replicas R additionally keeps R
+// synchronous copies of every fragment, each with its own WAL
+// directory. A replica whose storage poisons is failed over: mutations
+// promote a healthy follower, running substreams resume on a sibling
+// from the last delivered key (the stream stays byte-identical), and
+// the background reopen loop recovers each dead copy on an independent
+// backoff schedule while /readyz stays ready.
+//
 // The serving plane defends itself: -max-runs/-max-mutations bound the
 // concurrent work admitted (the overflow queue is capped at
 // -queue-depth; beyond it requests are shed with 429 + Retry-After),
@@ -81,6 +90,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight streams may drain at shutdown")
 	fsync := flag.Bool("fsync", false, "with -data-dir: fsync the WAL on every mutation (safer, slower)")
 	shards := flag.Int("shards", 1, "partition relations across N goroutine-owned shards with scatter-gather execution (with -data-dir: one WAL directory per shard)")
+	replicas := flag.Int("replicas", 1, "keep R synchronous copies of every shard fragment; a poisoned primary fails over to a healthy follower and substreams retry on siblings")
 	cfg := defaultServerConfig()
 	flag.IntVar(&cfg.maxRuns, "max-runs", cfg.maxRuns, "max concurrent query executions (<=0 unlimited)")
 	flag.IntVar(&cfg.maxMutations, "max-mutations", cfg.maxMutations, "max concurrent catalog mutations (<=0 unlimited)")
@@ -89,28 +99,42 @@ func main() {
 	flag.Parse()
 
 	sopts := storage.Options{FsyncEach: *fsync}
+	if *replicas < 1 {
+		*replicas = 1
+	}
 	var cat store
-	if *shards > 1 {
-		// Sharded store: N fragment owners, each with its own WAL
-		// directory under -data-dir, scatter-gather execution.
+	if *shards > 1 || *replicas > 1 {
+		// Sharded store: N fragment owners × R replicas, each replica
+		// with its own WAL directory under -data-dir, scatter-gather
+		// execution with per-substream failover.
 		var sc *shard.Catalog
 		if *dataDir != "" {
 			var err error
-			sc, err = shard.Open(*dataDir, *shards, sopts)
+			sc, err = shard.OpenReplicated(*dataDir, *shards, *replicas, sopts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "msserve: opening -data-dir: %v\n", err)
 				os.Exit(1)
 			}
 			dir := *dataDir
-			cfg.reopen = func() error {
-				return sc.Reopen(func(i int) (storage.Backend, error) {
-					return storage.OpenDurable(shard.ShardDir(dir, i), sopts)
-				})
+			cfg.reopenTargets = func() []reopenTarget {
+				var out []reopenTarget
+				for _, ref := range sc.DownReplicas() {
+					ref := ref
+					out = append(out, reopenTarget{
+						key: fmt.Sprintf("shard-%d/replica-%d", ref.Shard, ref.Replica),
+						reopen: func() error {
+							return sc.ReopenReplica(ref.Shard, ref.Replica, func() (storage.Backend, error) {
+								return storage.OpenDurable(shard.ReplicaDir(dir, ref.Shard, ref.Replica), sopts)
+							})
+						},
+					})
+				}
+				return out
 			}
 		} else {
-			sc = shard.New(*shards)
+			sc = shard.NewReplicated(*shards, *replicas)
 		}
-		log.Printf("sharded catalog: %d shards", *shards)
+		log.Printf("sharded catalog: %d shards x %d replicas", *shards, *replicas)
 		cat = shardStore{sc}
 	} else {
 		var backend storage.Backend = storage.NewMem()
@@ -134,10 +158,18 @@ func main() {
 			// backoff until the failure clears (disk freed, volume
 			// remounted, …).
 			dir := *dataDir
-			cfg.reopen = func() error {
-				return c.Reopen(func() (storage.Backend, error) {
-					return storage.OpenDurable(dir, sopts)
-				})
+			cfg.reopenTargets = func() []reopenTarget {
+				if c.Degraded() == nil {
+					return nil
+				}
+				return []reopenTarget{{
+					key: "store",
+					reopen: func() error {
+						return c.Reopen(func() (storage.Backend, error) {
+							return storage.OpenDurable(dir, sopts)
+						})
+					},
+				}}
 			}
 		}
 		cat = singleStore{c}

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -136,12 +137,18 @@ func TestReopenLoopLeavesDegradedMode(t *testing.T) {
 	}
 	t.Cleanup(func() { cat.Close() })
 	cfg := defaultServerConfig()
-	cfg.reopen = func() error {
-		return cat.Reopen(func() (storage.Backend, error) {
-			return storage.OpenDurable(dir, storage.Options{})
-		})
+	cfg.reopenTargets = func() []reopenTarget {
+		if cat.Degraded() == nil {
+			return nil
+		}
+		return []reopenTarget{{key: "store", reopen: func() error {
+			return cat.Reopen(func() (storage.Backend, error) {
+				return storage.OpenDurable(dir, storage.Options{})
+			})
+		}}}
 	}
 	cfg.reopenBase = 2 * time.Millisecond
+	cfg.reopenPoll = 20 * time.Millisecond
 	s := newServerWith(singleStore{cat}, cfg)
 	t.Cleanup(s.Close)
 
@@ -164,6 +171,47 @@ func TestReopenLoopLeavesDegradedMode(t *testing.T) {
 	}
 	if n, _ := health["reopen_attempts"].(float64); n < 1 {
 		t.Fatalf("reopen_attempts = %v, want >= 1", health["reopen_attempts"])
+	}
+}
+
+// TestReopenBackoffPerTarget: each degraded target keeps an independent
+// capped-exponential schedule — a stubbornly failing replica retries on
+// its own clock and never delays the recovery of a healthy sibling.
+func TestReopenBackoffPerTarget(t *testing.T) {
+	var goodDone atomic.Bool
+	var goodCalls, badCalls atomic.Int64
+	cfg := defaultServerConfig()
+	cfg.reopenBase = time.Millisecond
+	cfg.reopenMax = 4 * time.Millisecond
+	cfg.reopenPoll = 2 * time.Millisecond
+	cfg.reopenTargets = func() []reopenTarget {
+		out := []reopenTarget{{key: "shard-0/replica-1", reopen: func() error {
+			badCalls.Add(1)
+			return errors.New("still broken")
+		}}}
+		if !goodDone.Load() {
+			out = append(out, reopenTarget{key: "shard-1/replica-0", reopen: func() error {
+				goodCalls.Add(1)
+				goodDone.Store(true)
+				return nil
+			}})
+		}
+		return out
+	}
+	s := newServerWith(newTestCatalog(t), cfg)
+	defer s.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !goodDone.Load() || badCalls.Load() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reopen loop stalled: good=%d bad=%d", goodCalls.Load(), badCalls.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The healthy target recovered on its first attempt and left the
+	// schedule; the failing one kept retrying without it.
+	if n := goodCalls.Load(); n != 1 {
+		t.Fatalf("healthy target reopened %d times, want exactly 1", n)
 	}
 }
 

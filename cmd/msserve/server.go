@@ -38,14 +38,22 @@ type serverConfig struct {
 	// client timeout longer than it (or absent) is clamped down to it.
 	// Zero disables the default deadline.
 	runTimeout time.Duration
-	// reopen, when set, is how the server tries to leave degraded
-	// read-only mode: called with capped exponential backoff
-	// (reopenBase doubling up to reopenMax) until it succeeds. The
-	// closure owns the store-specific recovery (catalog.Reopen over a
-	// fresh backend; per-shard reopens for a sharded store).
-	reopen     func() error
-	reopenBase time.Duration
-	reopenMax  time.Duration
+	// reopenTargets, when set, enumerates the store's currently
+	// degraded units — one per down replica for a sharded store, a
+	// single entry for a plain catalog — each with its own reopen
+	// closure. The background loop retries every listed target on an
+	// independent capped-exponential schedule (reopenBase doubling up
+	// to reopenMax), so one stubbornly failing replica never delays
+	// the recovery of the others.
+	reopenTargets func() []reopenTarget
+	reopenBase    time.Duration
+	reopenMax     time.Duration
+	// reopenPoll is the idle re-scan cadence of the reopen loop:
+	// degradations detected out-of-band (a substream health probe, an
+	// injected fault with no mutation behind it) have no 503 to ring
+	// degradedCh, so the loop re-enumerates targets at this interval
+	// too.
+	reopenPoll time.Duration
 	// emitHook is a test seam invoked with each output tuple before it
 	// is written to the stream (nil in production).
 	emitHook func([]int)
@@ -60,7 +68,17 @@ func defaultServerConfig() serverConfig {
 		runTimeout:   time.Minute,
 		reopenBase:   250 * time.Millisecond,
 		reopenMax:    30 * time.Second,
+		reopenPoll:   time.Second,
 	}
+}
+
+// reopenTarget is one independently recoverable storage unit: a down
+// replica of a sharded store, or the whole backend of a plain one. The
+// key identifies the unit across enumerations so its backoff schedule
+// survives re-scans.
+type reopenTarget struct {
+	key    string
+	reopen func() error
 }
 
 // server is the msserve HTTP handler: a relation store (plain or
@@ -218,7 +236,7 @@ func newServerWith(cat store, cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	if cfg.reopen != nil {
+	if cfg.reopenTargets != nil {
 		s.degradedCh = make(chan struct{}, 1)
 		go s.reopenLoop()
 	}
@@ -273,22 +291,50 @@ func (s *server) noteDegraded() {
 	}
 }
 
-// reopenLoop waits for a degradation signal and then retries
-// catalog.Reopen with capped exponential backoff until the catalog
-// leaves read-only mode.
+// reopenLoop recovers degraded storage units in the background. Every
+// wake-up — a 503'd mutation ringing degradedCh, a due retry, or the
+// idle poll — re-enumerates cfg.reopenTargets and attempts each due
+// target. Each target backs off on its own capped-exponential schedule
+// keyed by its identity, so one shard's replica that keeps failing its
+// reopen never gates the recovery of the others; a target that
+// disappears from the enumeration (recovered out of band, superseded)
+// drops its schedule.
 func (s *server) reopenLoop() {
+	base := s.cfg.reopenBase
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	poll := s.cfg.reopenPoll
+	if poll <= 0 {
+		poll = time.Second
+	}
+	type sched struct {
+		delay time.Duration
+		next  time.Time
+	}
+	pending := map[string]*sched{}
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.done:
 			return
 		case <-s.degradedCh:
+		case <-timer.C:
 		}
-		delay := s.cfg.reopenBase
-		if delay <= 0 {
-			delay = 250 * time.Millisecond
-		}
-		for s.cat.Degraded() != nil {
-			err := s.cfg.reopen()
+		seen := map[string]bool{}
+		now := time.Now()
+		for _, t := range s.cfg.reopenTargets() {
+			seen[t.key] = true
+			sc := pending[t.key]
+			if sc == nil {
+				sc = &sched{delay: base}
+				pending[t.key] = sc
+			}
+			if now.Before(sc.next) {
+				continue
+			}
+			err := t.reopen()
 			s.reopenMu.Lock()
 			s.reopenAttempts++
 			if err != nil {
@@ -298,19 +344,38 @@ func (s *server) reopenLoop() {
 			}
 			s.reopenMu.Unlock()
 			if err == nil {
-				log.Printf("storage backend reopened; leaving read-only mode")
-				break
+				log.Printf("storage %s reopened", t.key)
+				delete(pending, t.key)
+				continue
 			}
-			log.Printf("storage reopen failed (retrying in %s): %v", delay, err)
-			select {
-			case <-s.done:
-				return
-			case <-time.After(delay):
-			}
-			if delay *= 2; s.cfg.reopenMax > 0 && delay > s.cfg.reopenMax {
-				delay = s.cfg.reopenMax
+			log.Printf("storage %s reopen failed (next try in %s): %v", t.key, sc.delay, err)
+			sc.next = now.Add(sc.delay)
+			if sc.delay *= 2; s.cfg.reopenMax > 0 && sc.delay > s.cfg.reopenMax {
+				sc.delay = s.cfg.reopenMax
 			}
 		}
+		for key := range pending {
+			if !seen[key] {
+				delete(pending, key)
+			}
+		}
+		// Sleep until the earliest scheduled retry, or the idle poll.
+		wake := poll
+		for _, sc := range pending {
+			if d := time.Until(sc.next); d < wake {
+				wake = d
+			}
+		}
+		if wake < time.Millisecond {
+			wake = time.Millisecond
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wake)
 	}
 }
 
@@ -403,13 +468,26 @@ func (s *server) shardStats() []shard.ShardStat {
 	return nil
 }
 
-// shardHealth summarizes shard readiness for /readyz.
+// shardHealth summarizes shard readiness for /readyz: a shard is ready
+// while any replica is healthy, and each replica reports its own state
+// (so an operator sees which copy a failover abandoned).
 func shardHealth(stats []shard.ShardStat) []map[string]any {
 	out := make([]map[string]any, len(stats))
 	for i, st := range stats {
-		h := map[string]any{"shard": st.Shard, "ready": st.Degraded == ""}
+		h := map[string]any{"shard": st.Shard, "ready": st.Degraded == "", "primary": st.Primary}
 		if st.Degraded != "" {
 			h["error"] = st.Degraded
+		}
+		if len(st.Replicas) > 0 {
+			reps := make([]map[string]any, len(st.Replicas))
+			for j, r := range st.Replicas {
+				rh := map[string]any{"replica": r.Replica, "ready": r.Down == "", "primary": r.Primary}
+				if r.Down != "" {
+					rh["error"] = r.Down
+				}
+				reps[j] = rh
+			}
+			h["replicas"] = reps
 		}
 		out[i] = h
 	}
@@ -1145,6 +1223,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// data volume and per-shard storage health.
 	if sh := s.shardStats(); sh != nil {
 		body["shards"] = sh
+		var retries, panics int64
+		for _, st := range sh {
+			retries += st.Retries
+			panics += st.Panics
+		}
+		health["substream_retries"] = retries
+		health["substream_panics"] = panics
+		if fo, ok := s.cat.(interface{ Failovers() int64 }); ok {
+			health["failovers"] = fo.Failovers()
+		}
 	}
 	if s.runs > 0 {
 		body["alloc_objects_per_run"] = float64(allocObjs) / float64(s.runs)

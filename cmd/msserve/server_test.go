@@ -30,16 +30,42 @@ import (
 func newTestCatalog(t testing.TB) store {
 	t.Helper()
 	mode := os.Getenv("MS_TEST_BACKEND")
-	if n, _ := strconv.Atoi(os.Getenv("MS_SHARDS")); n >= 2 {
-		if mode == "durable" {
-			sc, err := shard.Open(t.TempDir(), n, storage.Options{CompactMinBytes: 256})
+	n, _ := strconv.Atoi(os.Getenv("MS_SHARDS"))
+	r, _ := strconv.Atoi(os.Getenv("MS_REPLICAS"))
+	if r < 1 {
+		r = 1
+	}
+	if n >= 2 || r >= 2 {
+		if n < 1 {
+			n = 1
+		}
+		sopts := storage.Options{CompactMinBytes: 256}
+		switch mode {
+		case "durable":
+			sc, err := shard.OpenReplicated(t.TempDir(), n, r, sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sc.Close() })
+			return shardStore{sc}
+		case "faulty":
+			// Benign chaos on every replica's WAL: fail-soft compaction
+			// errors and op delays no handler expectation may notice.
+			dir := t.TempDir()
+			sc, err := shard.OpenWith(dir, n, r, sopts, func(shardIdx, rep int) (storage.Backend, error) {
+				d, err := storage.OpenDurable(shard.ReplicaDir(dir, shardIdx, rep), sopts)
+				if err != nil {
+					return nil, err
+				}
+				return storage.NewFaulty(d, "compact@1/2=err; sync@1/3=delay:100us; append@1/7=delay:50us")
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			t.Cleanup(func() { sc.Close() })
 			return shardStore{sc}
 		}
-		return shardStore{shard.New(n)}
+		return shardStore{shard.NewReplicated(n, r)}
 	}
 	if mode != "durable" && mode != "faulty" {
 		return singleStore{catalog.New()}

@@ -562,6 +562,53 @@ func (c *Catalog) Degraded() error {
 	return c.degraded
 }
 
+// Healthy reports whether the catalog can accept mutations: nil while
+// the backend is appendable, the poisoning failure otherwise. It is
+// stricter than Degraded — a backend can poison itself outside the
+// catalog's own append path (a failed explicit Sync, an injected
+// fault), which Degraded only notices on the next mutation; Healthy
+// asks the backend directly.
+func (c *Catalog) Healthy() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.degraded != nil {
+		return c.degraded
+	}
+	return c.backend.Healthy()
+}
+
+// Restore force-writes one relation at an exact epoch: an existing
+// relation of the name is dropped first, then the relation is created
+// with the given binding, tuples and epoch stamp. Both steps are logged
+// (the WAL create record carries the epoch, exactly as snapshot
+// records do), so a restored catalog recovers identically. This is the
+// replica-resync primitive: a follower rebuilt from an empty or stale
+// store is brought to the leader's exact state, epoch included, so
+// divergence checks on later mutations hold.
+func (c *Catalog) Restore(name string, vars []string, epoch uint64, tuples [][]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rel, err := minesweeper.NewRelation(name, len(vars), tuples)
+	if err != nil {
+		return err
+	}
+	if err := rel.RestoreEpoch(epoch); err != nil {
+		return err
+	}
+	if e, ok := c.rels[name]; ok {
+		if err := c.appendLocked(&storage.Record{Op: storage.OpDrop, Name: name, Epoch: e.rel.Epoch()}); err != nil {
+			return err
+		}
+		delete(c.rels, name)
+	}
+	if err := c.appendLocked(&storage.Record{Op: storage.OpCreate, Name: name, Epoch: epoch, Vars: vars, Tuples: tuples}); err != nil {
+		return err
+	}
+	c.rels[name] = &entry{rel: rel, vars: append([]string(nil), vars...)}
+	c.maybeCompactLocked()
+	return nil
+}
+
 // Reopen attempts to leave degraded read-only mode by swapping in a
 // freshly opened backend. open must return a backend over the same
 // durable store (e.g. a new storage.OpenDurable on the same

@@ -82,14 +82,42 @@ func benchScaling(b *testing.B, shards int, rels []relSpecB, expr string) {
 	b.ReportMetric(float64(tuples), "tuples/op")
 }
 
+// BenchReplicatedInsert measures the synchronous write fan-out cost of
+// replication: steady-state insert+delete pairs against a 4-shard
+// catalog at the given replica count. replicas=1 is the no-fan-out
+// baseline; the slope against 2/3 is the per-copy apply+divergence
+// check the durability of R copies buys.
+func BenchReplicatedInsert(b *testing.B, replicas int) {
+	c := NewReplicated(4, replicas)
+	var tuples [][]int
+	for i := 0; i < 4096; i++ {
+		tuples = append(tuples, []int{i, (i * 7) % 512})
+	}
+	if _, err := c.Create("E", []string{"a", "b"}, tuples); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := []int{100000 + i, i % 512}
+		if _, err := c.Insert("E", t); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.Delete("E", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ScalingBench is one E15 suite entry for msbench registration.
 type ScalingBench struct {
 	Name string
 	F    func(b *testing.B)
 }
 
-// ScalingSuite enumerates the tracked E15 benchmarks: both workloads
-// at 1/2/4/8 shards.
+// ScalingSuite enumerates the tracked E15 benchmarks: both read
+// workloads at 1/2/4/8 shards, plus the replicated write fan-out at
+// 1/2/3 copies.
 func ScalingSuite() []ScalingBench {
 	var out []ScalingBench
 	for _, n := range []int{1, 2, 4, 8} {
@@ -98,6 +126,13 @@ func ScalingSuite() []ScalingBench {
 			ScalingBench{fmt.Sprintf("ShardedScaling/E1/shards=%d", n), func(b *testing.B) { BenchScalingE1(b, n) }},
 			ScalingBench{fmt.Sprintf("ShardedScaling/E12/shards=%d", n), func(b *testing.B) { BenchScalingE12(b, n) }},
 		)
+	}
+	for _, r := range []int{1, 2, 3} {
+		r := r
+		out = append(out, ScalingBench{
+			fmt.Sprintf("ShardedScaling/ReplicatedInsert/replicas=%d", r),
+			func(b *testing.B) { BenchReplicatedInsert(b, r) },
+		})
 	}
 	return out
 }

@@ -5,9 +5,9 @@ import (
 	"testing"
 )
 
-// BenchmarkShardedScaling exposes the E15 suite to `go test -bench`
-// (msbench registers the same bodies for the BENCH_<n>.json
-// trajectory).
+// BenchmarkShardedScaling exposes the E15 suite to `go test -bench` —
+// the read scaling curve plus the replicated write fan-out (msbench
+// registers the same bodies for the BENCH_<n>.json trajectory).
 func BenchmarkShardedScaling(b *testing.B) {
 	for _, e := range ScalingSuite() {
 		b.Run(strings.TrimPrefix(e.Name, "ShardedScaling/"), e.F)

@@ -83,7 +83,7 @@ func TestDurableRecoveryPerShard(t *testing.T) {
 
 	// Tear one shard's WAL mid-record, the classic crash-during-append.
 	const torn = 2
-	wals, err := filepath.Glob(filepath.Join(ShardDir(dir, torn), "wal-*.log"))
+	wals, err := filepath.Glob(filepath.Join(ReplicaDir(dir, torn, 0), "wal-*.log"))
 	if err != nil || len(wals) == 0 {
 		t.Fatalf("no WAL files under shard-%d: %v", torn, err)
 	}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -16,15 +17,20 @@ import (
 // enough that cancellation stops wasted work quickly.
 const scatterBuf = 64
 
+// healthCheckEvery is how many substream tuples pass between replica
+// health probes. Raw tuples come out of in-memory fragments, so a dead
+// backend never fails the read itself — the substream has to ask.
+const healthCheckEvery = 32
+
 // Prepared is the sharded counterpart of minesweeper.PreparedQuery: it
 // holds the full (gathered) prepared query — which serves planning,
 // Explain and the fallback path — plus, when the plan can scatter, one
 // per-shard prepared query with the query's sliced atom rebound to that
-// shard's fragment. Execution fans the per-shard raw streams out,
-// merges them with a loser tree into GAO-lex order, and applies the
-// shaping (projection, bounds, distinct, aggregates, limit) once on the
-// gathered side, so the emitted stream is byte-identical to an
-// unsharded run.
+// shard's serving-replica fragment. Execution fans the per-shard raw
+// streams out, merges them with a loser tree into GAO-lex order, and
+// applies the shaping (projection, bounds, distinct, aggregates, limit)
+// once on the gathered side, so the emitted stream is byte-identical to
+// an unsharded run.
 type Prepared struct {
 	cat  *Catalog
 	q    *minesweeper.Query
@@ -39,13 +45,38 @@ type Prepared struct {
 // routing-table revision it saw, and — when scattering — the per-shard
 // prepared queries (all forced to the same GAO under the
 // order-preserving natural domain, so their raw streams merge by plain
-// tuple comparison).
+// tuple comparison), plus everything a mid-run substream retry needs
+// to rebuild one substream on a sibling replica: the sliced atom, the
+// plan-time fragment epochs, and which replica each shard's substream
+// was bound to.
 type scatterPlan struct {
 	gao        []string
 	version    uint64
 	partitions []string
+	name       string                       // sliced relation
+	slice      int                          // sliced atom index in q.Atoms()
+	epochs     []uint64                     // plan-time fragment epoch per shard
+	replica    []int                        // serving replica per shard
 	shards     []*minesweeper.PreparedQuery // nil => run gathered via full
 }
+
+// substreamError is a recoverable per-substream failure: the scatter
+// manager retries the substream on a sibling replica, resuming from
+// the last delivered key. markDown additionally records the replica as
+// failed (storage death); a recovered panic retries without marking —
+// the replica's data is intact, the fault may be transient.
+type substreamError struct {
+	shard    int
+	replica  int
+	cause    error
+	markDown bool
+}
+
+func (e *substreamError) Error() string {
+	return fmt.Sprintf("shard %d replica %d: %v", e.shard, e.replica, e.cause)
+}
+
+func (e *substreamError) Unwrap() error { return e.cause }
 
 // Prepare plans a query for sharded execution. The query must have been
 // built against this catalog's relations (Catalog.Query). Options carry
@@ -69,7 +100,9 @@ func (c *Catalog) Prepare(q *minesweeper.Query, opts *minesweeper.Options) (*Pre
 }
 
 // Refresh re-plans the full query if its relations mutated, then
-// rebuilds the scatter plan when the GAO or the routing table moved.
+// rebuilds the scatter plan when the GAO or the routing table moved
+// (markDownLocked bumps the same version, so plans re-bind off dead
+// replicas too).
 func (p *Prepared) Refresh() error {
 	if err := p.full.Refresh(); err != nil {
 		return err
@@ -96,8 +129,8 @@ func (p *Prepared) Refresh() error {
 // restriction of the outermost domain and per-assignment work is done
 // once across the shard set. With several candidates the largest
 // relation wins (slicing it buys the most). Without one — or under a
-// frequency-permuted domain, or with one shard — execution runs
-// gathered over the whole view.
+// frequency-permuted domain, with one shard, or with a shard that has
+// no healthy replica — execution runs gathered over the whole view.
 func (p *Prepared) buildPlan(gao []string, version uint64) (*scatterPlan, error) {
 	plan := &scatterPlan{gao: gao, version: version}
 	if p.cat.n <= 1 {
@@ -123,35 +156,120 @@ func (p *Prepared) buildPlan(gao []string, version uint64) (*scatterPlan, error)
 			slice, part = i, pt
 		}
 	}
-	p.cat.mu.Unlock()
 	if slice < 0 {
+		p.cat.mu.Unlock()
 		return plan, nil
 	}
 	name := atoms[slice].Rel.Name()
+	frags := make([]*minesweeper.Relation, p.cat.n)
+	epochs := make([]uint64, p.cat.n)
+	reps := make([]int, p.cat.n)
+	ok := true
+	for s := 0; s < p.cat.n; s++ {
+		rep := -1
+		for jj := 0; jj < p.cat.r; jj++ {
+			j := (p.cat.primary[s] + jj) % p.cat.r
+			if p.cat.down[s][j] == nil && p.cat.replicas[s][j].Healthy() == nil {
+				rep = j
+				break
+			}
+		}
+		if rep < 0 {
+			ok = false // fully dead shard: the view still serves reads
+			break
+		}
+		frag, have := p.cat.replicas[s][rep].Get(name)
+		if !have {
+			ok = false // fragment missing (partial create): run gathered
+			break
+		}
+		frags[s], epochs[s], reps[s] = frag, frag.Epoch(), rep
+	}
+	p.cat.mu.Unlock()
+	if !ok {
+		return plan, nil
+	}
 	shards := make([]*minesweeper.PreparedQuery, p.cat.n)
 	for s := range shards {
-		frag, ok := p.cat.inner[s].Get(name)
-		if !ok {
-			return plan, nil // fragment missing (partial create): run gathered
-		}
-		qs := p.q.CloneWithRelations(func(i int, f minesweeper.Fragment) minesweeper.Fragment {
-			if i == slice {
-				return frag
-			}
-			return f
-		})
-		o := p.opts
-		o.GAO = gao
-		o.Domain = minesweeper.DomainNatural
-		pq, err := qs.Prepare(&o)
+		pq, err := p.prepareSubstream(gao, slice, frags[s], nil)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		shards[s] = pq
 	}
-	plan.shards = shards
+	plan.name, plan.slice = name, slice
+	plan.shards, plan.epochs, plan.replica = shards, epochs, reps
 	plan.partitions = []string{fmt.Sprintf("%s=%s/%d", name, part.String(), p.cat.n)}
 	return plan, nil
+}
+
+// prepareSubstream builds one shard's prepared query: the sliced atom
+// rebound to frag, the GAO pinned, the domain forced natural. A
+// non-nil resume row (a full extended-GAO raw tuple, the last one the
+// failed substream delivered) additionally pushes the resume key down
+// as an inclusive lower bound on the leading GAO variable — the PR 4
+// bounds machinery — so the replacement substream seeks straight to
+// the failure frontier instead of rescanning the fragment.
+func (p *Prepared) prepareSubstream(gao []string, slice int, frag minesweeper.Fragment, resume []int) (*minesweeper.PreparedQuery, error) {
+	qs := p.q.CloneWithRelations(func(i int, f minesweeper.Fragment) minesweeper.Fragment {
+		if i == slice {
+			return frag
+		}
+		return f
+	})
+	o := p.opts
+	o.GAO = gao
+	o.Domain = minesweeper.DomainNatural
+	if resume != nil && len(gao) > 0 {
+		// nil Where means "the query's own parsed where clause": make
+		// that explicit before appending, or the resume bound would
+		// silently drop the query's textual filters.
+		eff := o.Where
+		if eff == nil {
+			eff = p.q.Where()
+		}
+		where := make([]minesweeper.Filter, 0, len(eff)+1)
+		where = append(where, eff...)
+		// The raw row layout is hidden constants first, then the GAO
+		// variables: gao[0]'s value sits at len(resume)-len(gao).
+		where = append(where, minesweeper.Filter{
+			Var: gao[0], Op: ">=", Value: resume[len(resume)-len(gao)],
+		})
+		o.Where = where
+	}
+	return qs.Prepare(&o)
+}
+
+// retrySubstream picks an untried healthy sibling replica whose
+// fragment still sits at the plan's pinned epoch (a replica that moved
+// past it — a concurrent mutation — cannot resume byte-identically)
+// and builds the resumed substream against it.
+func (p *Prepared) retrySubstream(cur *scatterPlan, s int, tried map[int]bool, resume []int) (int, *minesweeper.PreparedQuery, error) {
+	type cand struct {
+		rep  int
+		frag *minesweeper.Relation
+	}
+	p.cat.mu.Lock()
+	var cands []cand
+	for j := 0; j < p.cat.r; j++ {
+		if tried[j] || p.cat.down[s][j] != nil || p.cat.replicas[s][j].Healthy() != nil {
+			continue
+		}
+		frag, ok := p.cat.replicas[s][j].Get(cur.name)
+		if !ok || frag.Epoch() != cur.epochs[s] {
+			continue
+		}
+		cands = append(cands, cand{j, frag})
+	}
+	p.cat.mu.Unlock()
+	for _, cd := range cands {
+		pq, err := p.prepareSubstream(cur.gao, cur.slice, cd.frag, resume)
+		if err == nil {
+			tried[cd.rep] = true
+			return cd.rep, pq, nil
+		}
+	}
+	return -1, nil, fmt.Errorf("shard %d: no replica can resume the substream", s)
 }
 
 // OutputVars returns the emitted column names (same as unsharded).
@@ -213,6 +331,14 @@ func (p *Prepared) StreamContextExplained(ctx context.Context, plan func(mineswe
 	return p.gather(ctx, cur, plan, yield)
 }
 
+// sub is one shard's gather-side state: the merge channel, the folded
+// stats of every attempt, and the terminal error when retries ran out.
+type sub struct {
+	ch    chan []int
+	stats minesweeper.Stats
+	err   error
+}
+
 // gather is the scatter-gather executor: every shard's raw substream
 // (already GAO-lex-ordered and decoded) feeds a bounded channel; a
 // loser tree merges the fronts into one globally ordered raw stream,
@@ -220,6 +346,14 @@ func (p *Prepared) StreamContextExplained(ctx context.Context, plan func(mineswe
 // stored copy of a sliced-atom row lives in exactly one fragment, each
 // raw assignment surfaces exactly once and the merged stream is
 // byte-identical to the unsharded raw stream.
+//
+// Each substream is its own fault domain: a replica that dies or an
+// engine that panics mid-run fails only that substream, and its
+// manager goroutine retries on a sibling replica with the substream's
+// last delivered key pushed down as a resume bound — everything at or
+// before the key is skipped, so the merged stream continues exactly
+// where it stopped and stays byte-identical through the failure. Only
+// when no replica can resume does the run truncate with an error.
 func (p *Prepared) gather(ctx context.Context, cur *scatterPlan, plan func(minesweeper.Explain), yield func([]int) bool) (minesweeper.Stats, error) {
 	_, sh, err := p.q.ShapePlan(cur.gao, &p.opts)
 	if err != nil {
@@ -233,11 +367,6 @@ func (p *Prepared) gather(ctx context.Context, cur *scatterPlan, plan func(mines
 
 	synth := func(rctx context.Context, _ *core.Problem, stats *certificate.Stats, emit func([]int) bool) error {
 		cctx, cancel := context.WithCancel(rctx)
-		type sub struct {
-			ch    chan []int
-			stats minesweeper.Stats
-			err   error
-		}
 		subs := make([]*sub, len(cur.shards))
 		var wg sync.WaitGroup
 		for s := range subs {
@@ -251,25 +380,36 @@ func (p *Prepared) gather(ctx context.Context, cur *scatterPlan, plan func(mines
 				ctr.runs.Add(1)
 				ctr.inflight.Add(1)
 				defer ctr.inflight.Add(-1)
-				sb.stats, sb.err = cur.shards[s].StreamRawContext(cctx, nil, func(t []int) bool {
-					ctr.emitted.Add(1)
-					select {
-					case sb.ch <- t:
-						return true
-					default:
+				pq := cur.shards[s]
+				rep := cur.replica[s]
+				tried := map[int]bool{rep: true}
+				var last []int
+				var resume []int
+				for {
+					st, err := p.runSubstream(cctx, s, rep, pq, resume, sb, &last)
+					sb.stats.Add(&st)
+					if err == nil {
+						return
 					}
-					// Full channel: the merge is draining a hotter
-					// shard. Park visibly (the queued counter) until
-					// there is room or the run is over.
-					ctr.queued.Add(1)
-					defer ctr.queued.Add(-1)
-					select {
-					case sb.ch <- t:
-						return true
-					case <-cctx.Done():
-						return false
+					var serr *substreamError
+					if !errors.As(err, &serr) || cctx.Err() != nil {
+						sb.err = err
+						return
 					}
-				})
+					if serr.markDown {
+						p.cat.markReplicaDown(s, rep, serr.cause)
+					}
+					if last != nil {
+						resume = append(resume[:0], last...)
+					}
+					nrep, npq, rerr := p.retrySubstream(cur, s, tried, resume)
+					if rerr != nil {
+						sb.err = serr.cause
+						return
+					}
+					rep, pq = nrep, npq
+					ctr.retries.Add(1)
+				}
 			}(s, sb)
 		}
 		// On every exit: stop the producers, wait them out, and fold
@@ -325,6 +465,94 @@ func (p *Prepared) gather(ctx context.Context, cur *scatterPlan, plan func(mines
 	err = engine.RunShaped(ctx, synth, nil, sh, &stats, yield)
 	stats.PlanWidth, stats.PlanCost = ex.Width, ex.EstCost
 	return stats, err
+}
+
+// runSubstream runs one attempt of one shard's raw substream against
+// one replica, pushing tuples into the gather channel. It is the
+// per-substream fault boundary:
+//
+//   - a panicking engine is recovered here and surfaced as a retryable
+//     substream error (counted per shard);
+//   - every healthCheckEvery tuples the replica's health is probed —
+//     fragments are in-memory, so a poisoned store never fails the
+//     read itself, the substream has to detect it and hand over;
+//   - the test-only killHook can fail the attempt at an exact tuple;
+//   - on a resumed attempt, rows lexicographically at or before the
+//     resume key are skipped (the coarse >= bound on gao[0] readmits
+//     rows sharing the boundary value that were already delivered).
+//
+// last tracks the newest tuple actually handed to the gather channel
+// across attempts — the resume frontier.
+func (p *Prepared) runSubstream(cctx context.Context, s, rep int, pq *minesweeper.PreparedQuery, resume []int, sb *sub, last *[]int) (st minesweeper.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.cat.counters[s].panics.Add(1)
+			err = &substreamError{shard: s, replica: rep, cause: fmt.Errorf("substream panic: %v", r)}
+		}
+	}()
+	ctr := &p.cat.counters[s]
+	n := 0
+	var ferr error
+	st, serr := pq.StreamRawContext(cctx, nil, func(t []int) bool {
+		if kill := p.cat.killHook; kill != nil {
+			if kerr := kill(s, rep, t); kerr != nil {
+				ferr = &substreamError{shard: s, replica: rep, cause: kerr, markDown: true}
+				return false
+			}
+		}
+		if resume != nil && !lexAfter(t, resume) {
+			return true
+		}
+		if n%healthCheckEvery == 0 {
+			if h := p.cat.replicaHealth(s, rep); h != nil {
+				ferr = &substreamError{shard: s, replica: rep,
+					cause: fmt.Errorf("replica unhealthy: %w", h), markDown: true}
+				return false
+			}
+		}
+		n++
+		ctr.emitted.Add(1)
+		select {
+		case sb.ch <- t:
+			*last = t
+			return true
+		default:
+		}
+		// Full channel: the merge is draining a hotter shard. Park
+		// visibly (the queued counter) until there is room or the run
+		// is over.
+		ctr.queued.Add(1)
+		defer ctr.queued.Add(-1)
+		select {
+		case sb.ch <- t:
+			*last = t
+			return true
+		case <-cctx.Done():
+			return false
+		}
+	})
+	if ferr != nil {
+		return st, ferr
+	}
+	if serr != nil {
+		return st, &substreamError{shard: s, replica: rep, cause: serr, markDown: true}
+	}
+	return st, nil
+}
+
+// lexAfter reports t > last lexicographically. Raw rows of one
+// substream share an arity and are strictly increasing, so this is the
+// exact already-delivered test for resumed attempts.
+func lexAfter(t, last []int) bool {
+	for i := range t {
+		if i >= len(last) {
+			return true
+		}
+		if t[i] != last[i] {
+			return t[i] > last[i]
+		}
+	}
+	return false
 }
 
 // loserTree merges k ordered tuple streams. Internal nodes 1..k-1 hold

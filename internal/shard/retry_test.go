@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	minesweeper "minesweeper"
+)
+
+// GAO-resumable retry coverage (the read half of replication): a
+// substream whose serving replica dies — or panics — mid-stream resumes
+// on a sibling replica from the last delivered key, and the fused
+// NDJSON stream stays byte-identical to the unsharded reference across
+// engines, shard counts and kill points.
+
+// killer arms c.killHook to fail the serving attempt of one shard at an
+// exact output tuple, once per arm.
+type killer struct {
+	shard   int
+	at      int64 // fail before the (at+1)-th tuple of the substream
+	armed   atomic.Bool
+	seen    atomic.Int64
+	fired   atomic.Int64
+	doPanic bool
+}
+
+func (k *killer) arm() {
+	k.seen.Store(0)
+	k.armed.Store(true)
+}
+
+func (k *killer) hook(shard, replica int, tuple []int) error {
+	if shard != k.shard || !k.armed.Load() {
+		return nil
+	}
+	if k.seen.Add(1) != k.at+1 {
+		return nil
+	}
+	if !k.armed.CompareAndSwap(true, false) {
+		return nil
+	}
+	k.fired.Add(1)
+	if k.doPanic {
+		panic("injected substream panic")
+	}
+	return errors.New("injected replica death")
+}
+
+// retryRels is a dense equi-join (~500 output tuples, spread over every
+// shard) so each shard's substream is long enough to kill mid-stream.
+func retryRels() []relSpec {
+	var rT, sT [][]int
+	for i := 0; i < 160; i++ {
+		rT = append(rT, []int{i, (i * 3) % 50})
+		sT = append(sT, []int{(i * 3) % 50, i % 20})
+	}
+	return []relSpec{
+		{"E", []string{"a", "b"}, rT},
+		{"F", []string{"b", "c"}, sT},
+	}
+}
+
+func retryFixture(t *testing.T, n, r int) (*Catalog, string) {
+	t.Helper()
+	c := NewReplicated(n, r)
+	for _, rs := range retryRels() {
+		if _, err := c.Create(rs.name, rs.vars, rs.tuples); err != nil {
+			t.Fatalf("Create %s: %v", rs.name, err)
+		}
+	}
+	return c, "E(A,B), F(B,C)"
+}
+
+func sumRetries(c *Catalog) (retries, panics int64) {
+	for _, st := range c.ShardStats() {
+		retries += st.Retries
+		panics += st.Panics
+	}
+	return
+}
+
+// TestSubstreamRetryByteIdentical is the property matrix: every engine
+// × shard count × kill point delivers the exact unsharded stream even
+// though one substream was killed mid-run and resumed on a sibling.
+func TestSubstreamRetryByteIdentical(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		for _, at := range []int64{0, 1, 5} {
+			for _, eng := range allEngines {
+				// Fresh catalog per case: the killed replica is marked
+				// down, and reusing it would drain the sibling pool.
+				c, expr := retryFixture(t, n, 2)
+				opts := &minesweeper.Options{Engine: eng}
+				ref := reference(t, c, expr, opts)
+				q, err := c.Query(expr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pq, err := c.Prepare(q, opts)
+				if err != nil {
+					t.Fatalf("prepare engine=%v: %v", eng, err)
+				}
+				if ex := pq.Explain(); len(ex.Partitions) != 1 || ex.Partitions[0] == "gathered" {
+					t.Fatalf("n=%d engine=%v: plan did not scatter: %v", n, eng, ex.Partitions)
+				}
+				k := &killer{shard: 0, at: at}
+				c.killHook = k.hook
+				k.arm()
+				res, err := pq.Execute()
+				if err != nil {
+					t.Fatalf("n=%d at=%d engine=%v: %v", n, at, eng, err)
+				}
+				if k.fired.Load() != 1 {
+					t.Fatalf("n=%d at=%d engine=%v: kill hook fired %d times, want 1 (substream too short?)",
+						n, at, eng, k.fired.Load())
+				}
+				if ndjson(t, res.Vars, res.Tuples) != ndjson(t, ref.Vars, ref.Tuples) {
+					t.Fatalf("n=%d at=%d engine=%v: resumed stream diverges (%d vs %d tuples)",
+						n, at, eng, len(res.Tuples), len(ref.Tuples))
+				}
+				if r, _ := sumRetries(c); r != 1 {
+					t.Fatalf("n=%d at=%d engine=%v: retries counter = %d, want 1", n, at, eng, r)
+				}
+				// The killed replica was demoted: the shard's serving
+				// copy moved and the death is reported for reopen.
+				if len(c.DownReplicas()) != 1 {
+					t.Fatalf("n=%d at=%d engine=%v: DownReplicas = %+v", n, at, eng, c.DownReplicas())
+				}
+			}
+		}
+	}
+}
+
+// TestSubstreamPanicIsolation: a panic inside a substream goroutine is
+// recovered at the substream boundary, counted, and retried on a
+// sibling replica — the run output is still byte-identical and the
+// panicking replica is NOT marked down (its storage is fine).
+func TestSubstreamPanicIsolation(t *testing.T) {
+	c, expr := retryFixture(t, 4, 2)
+	ref := reference(t, c, expr, nil)
+	q, err := c.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := c.Prepare(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &killer{shard: 1, at: 3, doPanic: true}
+	c.killHook = k.hook
+	k.arm()
+	res, err := pq.Execute()
+	if err != nil {
+		t.Fatalf("execute across panic: %v", err)
+	}
+	if k.fired.Load() != 1 {
+		t.Fatalf("panic hook fired %d times, want 1", k.fired.Load())
+	}
+	if ndjson(t, res.Vars, res.Tuples) != ndjson(t, ref.Vars, ref.Tuples) {
+		t.Fatal("stream after substream panic diverges from reference")
+	}
+	retries, panics := sumRetries(c)
+	if retries != 1 || panics != 1 {
+		t.Fatalf("retries=%d panics=%d, want 1 and 1", retries, panics)
+	}
+	if got := c.DownReplicas(); len(got) != 0 {
+		t.Fatalf("panic marked replicas down: %+v (storage was healthy)", got)
+	}
+}
+
+// TestRetryExhaustion: when no sibling can resume (single replica), the
+// substream failure surfaces as the run error instead of hanging.
+func TestRetryExhaustion(t *testing.T) {
+	c, expr := retryFixture(t, 2, 1) // one replica per shard: nowhere to retry
+	q, err := c.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := c.Prepare(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &killer{shard: 0, at: 2}
+	c.killHook = k.hook
+	k.arm()
+	if _, err := pq.Execute(); err == nil {
+		t.Fatal("execute succeeded though the only replica died mid-stream")
+	}
+}
